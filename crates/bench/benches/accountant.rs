@@ -1,0 +1,30 @@
+//! Privacy-accounting cost: one RDP curve evaluation and the full bisection
+//! search for σ — the pre-training calibration every worker performs once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpbfl_dp::{compose_rdp, default_orders, paper_delta, RdpAccountant};
+
+fn bench_accountant(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accountant");
+    group.sample_size(20);
+    let q = 16.0 / 3000.0;
+    let steps = 1500u64;
+    let orders = default_orders();
+    let delta = paper_delta(3000);
+
+    group.bench_function("rdp_curve", |b| {
+        b.iter(|| std::hint::black_box(compose_rdp(q, 0.79, steps, &orders)))
+    });
+    group.bench_function("epsilon_report", |b| {
+        let acc = RdpAccountant::new(q, steps);
+        b.iter(|| std::hint::black_box(acc.epsilon(0.79, delta)))
+    });
+    group.bench_function("noise_multiplier_search", |b| {
+        let acc = RdpAccountant::new(q, steps);
+        b.iter(|| std::hint::black_box(acc.find_noise_multiplier(2.0, delta)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_accountant);
+criterion_main!(benches);

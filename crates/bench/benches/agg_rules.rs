@@ -1,0 +1,59 @@
+//! Server-side aggregation cost: the paper's two-stage rule vs the classical
+//! robust aggregators (Table 1 rows), at the paper's operating point
+//! (n = 25 workers, d = 25 450).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpbfl::aggregator::AggregatorKind;
+use dpbfl::first_stage::FirstStage;
+use dpbfl::second_stage::SecondStage;
+use dpbfl_stats::normal::gaussian_vector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn uploads(n: usize, d: usize) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(1);
+    (0..n).map(|_| gaussian_vector(&mut rng, 0.05, d)).collect()
+}
+
+fn bench_aggregators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregation_rules");
+    group.sample_size(10);
+    let d = 25_450;
+    let n = 25;
+    let ups = uploads(n, d);
+
+    for (name, kind) in [
+        ("mean", AggregatorKind::Mean),
+        ("krum", AggregatorKind::Krum { f: 10 }),
+        ("coordinate_median", AggregatorKind::CoordinateMedian),
+        ("trimmed_mean", AggregatorKind::TrimmedMean { trim: 8 }),
+        ("geometric_median", AggregatorKind::GeometricMedian),
+    ] {
+        group.bench_function(BenchmarkId::new(name, format!("n{n}_d{d}")), |b| {
+            b.iter(|| std::hint::black_box(kind.aggregate(&ups)))
+        });
+    }
+
+    // The paper's two-stage rule: first-stage tests + inner-product
+    // selection (server gradient precomputed here; its cost is the aux
+    // forward/backward, benched separately in per_example_grad).
+    let first = FirstStage::new(0.05, d, 0.05, 3.0);
+    let server_grad = {
+        let mut rng = StdRng::seed_from_u64(2);
+        gaussian_vector(&mut rng, 1.0, d)
+    };
+    group.bench_function(BenchmarkId::new("two_stage", format!("n{n}_d{d}")), |b| {
+        b.iter(|| {
+            let mut ups = ups.clone();
+            for u in &mut ups {
+                first.filter(u);
+            }
+            let mut second = SecondStage::new(n, 0.4);
+            std::hint::black_box(second.select(&ups, &server_grad))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_aggregators);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Adversary-side synthesis cost for each crafted attack (the omniscient
+//! attacker sees all benign uploads; how much work is each strategy?).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpbfl::attack::{craft_uploads, AttackContext, AttackSpec};
+use dpbfl_stats::normal::gaussian_vector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_attacks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attack_synthesis");
+    group.sample_size(20);
+    let d = 25_450;
+    let mut rng = StdRng::seed_from_u64(1);
+    let benign: Vec<Vec<f32>> = (0..10).map(|_| gaussian_vector(&mut rng, 0.05, d)).collect();
+
+    for (name, spec) in [
+        ("gaussian", AttackSpec::Gaussian),
+        ("opt_lmp", AttackSpec::OptLmp),
+        ("a_little", AttackSpec::ALittle),
+        ("inner_product", AttackSpec::InnerProduct { scale: 5.0 }),
+    ] {
+        group.bench_function(name, |b| {
+            let mut arng = StdRng::seed_from_u64(2);
+            b.iter(|| {
+                let ctx = AttackContext {
+                    benign_uploads: &benign,
+                    n_byzantine: 15,
+                    noise_std: 0.05,
+                    round: 0,
+                    total_rounds: 100,
+                    poisoned_uploads: &[],
+                };
+                std::hint::black_box(craft_uploads(&spec, &ctx, &mut arng))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_attacks);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! First-stage test throughput (Algorithm 2): the norm test is O(d), the KS
+//! test is O(d log d) — this bench shows where server time goes and how it
+//! scales with the model dimension.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpbfl::first_stage::FirstStage;
+use dpbfl_stats::ks::ks_test_gaussian;
+use dpbfl_stats::normal::gaussian_vector;
+use dpbfl_tensor::vecops;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_first_stage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("first_stage");
+    group.sample_size(20);
+    for d in [6_000usize, 25_450] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let upload = gaussian_vector(&mut rng, 0.05, d);
+        let stage = FirstStage::new(0.05, d, 0.05, 3.0);
+
+        group.bench_function(BenchmarkId::new("norm_test", d), |b| {
+            b.iter(|| std::hint::black_box(vecops::l2_norm_sq(&upload)))
+        });
+        group.bench_function(BenchmarkId::new("ks_test", d), |b| {
+            b.iter(|| std::hint::black_box(ks_test_gaussian(&upload, 0.0, 0.05)))
+        });
+        group.bench_function(BenchmarkId::new("full_check", d), |b| {
+            b.iter(|| std::hint::black_box(stage.check(&upload)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_first_stage);
+criterion_main!(benches);

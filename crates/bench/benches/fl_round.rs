@@ -1,0 +1,49 @@
+//! End-to-end federated round cost: a complete (broadcast → local steps →
+//! attack → defense → update) iteration at several worker counts, defended
+//! and undefended — the figure that says what a training run costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpbfl::prelude::*;
+
+fn tiny(n_honest: usize, n_byz: usize, defended: bool) -> SimulationConfig {
+    let mut cfg = SimulationConfig::quick(SyntheticSpec::mnist_like(), ModelKind::Mlp784);
+    cfg.per_worker = 128;
+    cfg.test_count = 16; // evaluation excluded from the hot loop as far as possible
+    cfg.n_honest = n_honest;
+    cfg.n_byzantine = n_byz;
+    cfg.epochs = 16.0 / 128.0 * 2.0; // exactly 2 iterations
+    cfg.epsilon = None;
+    cfg.dp.noise_multiplier = 0.79;
+    if n_byz > 0 {
+        cfg.attack = AttackSpec::OptLmp;
+    }
+    if defended {
+        cfg.defense = DefenseKind::TwoStage;
+        cfg.defense_cfg.gamma = n_honest as f64 / (n_honest + n_byz) as f64;
+    }
+    cfg
+}
+
+fn bench_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fl_round");
+    group.sample_size(10);
+    for (n_honest, n_byz) in [(10usize, 0usize), (10, 15)] {
+        for defended in [false, true] {
+            if n_byz == 0 && defended {
+                continue;
+            }
+            let cfg = tiny(n_honest, n_byz, defended);
+            let label = format!(
+                "h{n_honest}_b{n_byz}_{}",
+                if defended { "two_stage" } else { "undefended" }
+            );
+            group.bench_function(BenchmarkId::new("two_iterations", label), |b| {
+                b.iter(|| std::hint::black_box(dpbfl::simulation::run(&cfg)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rounds);
+criterion_main!(benches);

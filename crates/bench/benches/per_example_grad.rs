@@ -1,0 +1,41 @@
+//! Per-example gradient cost — the worker-side hot loop. DP-SGD computes one
+//! of these per batch slot per iteration; the paper's MLP (`d = 25 450`) and
+//! MNIST CNN (`d = 21 802`) differ by ~40× here, which is why reduced-scale
+//! experiments default to the MLP.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpbfl_nn::{zoo, CrossEntropyLoss};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_gradients(c: &mut Criterion) {
+    let mut group = c.benchmark_group("per_example_gradient");
+    group.sample_size(20);
+    let loss = CrossEntropyLoss;
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut mlp = zoo::mlp_784(&mut rng);
+    let x_mlp = vec![0.5f32; 784];
+    let mut g_mlp = vec![0.0f32; mlp.param_len()];
+    group.bench_function("mlp_784_d25450", |b| {
+        b.iter(|| std::hint::black_box(mlp.example_gradient(&loss, &x_mlp, 3, &mut g_mlp)))
+    });
+
+    let mut cnn = zoo::mnist_cnn(&mut rng);
+    let x_cnn = vec![0.5f32; 784];
+    let mut g_cnn = vec![0.0f32; cnn.param_len()];
+    group.bench_function("mnist_cnn_d21802", |b| {
+        b.iter(|| std::hint::black_box(cnn.example_gradient(&loss, &x_cnn, 3, &mut g_cnn)))
+    });
+
+    let mut colo = zoo::colorectal_cnn(&mut rng);
+    let x_colo = vec![0.5f32; 3 * 32 * 32];
+    let mut g_colo = vec![0.0f32; colo.param_len()];
+    group.bench_function("colorectal_cnn_d25144", |b| {
+        b.iter(|| std::hint::black_box(colo.example_gradient(&loss, &x_colo, 3, &mut g_colo)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gradients);
+criterion_main!(benches);

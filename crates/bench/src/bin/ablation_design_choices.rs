@@ -1,0 +1,112 @@
+//! Design-choice ablation (paper §4.5 "Novelties" and §4.7): each of the
+//! protocol's deliberate choices is flipped in isolation at 60 % label-flip,
+//! plus the FLTrust prior-work comparator. Measures what each choice buys.
+//!
+//! | variant | paper's claim |
+//! |---|---|
+//! | cosine scoring | inner product carries Eq. 7's bound; cosine does not |
+//! | proportional weights | real-valued weights + DP noise ⇒ biased update |
+//! | second stage only | one selected arbitrary upload can destroy the model |
+//! | momentum kept (no reset) | line 11's reset is what the paper runs |
+//! | selected-count step | Algorithm 1 line 14 divides by n |
+//! | FLTrust | cosine + real weights + no DP-awareness |
+//!
+//! ```text
+//! cargo run --release -p dpbfl-bench --bin ablation_design_choices [--dataset mnist]
+//! ```
+
+use dpbfl::prelude::*;
+use dpbfl_bench::{fmt_acc, print_table, run_seeds, save_json, Args, Scale};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Record {
+    variant: String,
+    accuracy: f64,
+    reference: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale = Scale::from_env();
+    let dataset = args.value("dataset").unwrap_or("mnist");
+
+    let base = || {
+        let mut cfg = scale.config(dataset);
+        cfg.epsilon = Some(1.0);
+        cfg.n_byzantine = (cfg.n_honest as f64 * 1.5).round() as usize; // 60 %
+        cfg.attack = AttackSpec::LabelFlip;
+        cfg.defense = DefenseKind::TwoStage;
+        cfg.defense_cfg.gamma = cfg.n_honest as f64 / cfg.n_total() as f64;
+        cfg
+    };
+    let reference = {
+        let mut cfg = scale.config(dataset);
+        cfg.epsilon = Some(1.0);
+        run_seeds(&cfg, &scale.seeds).mean
+    };
+
+    let variants: Vec<(&str, SimulationConfig)> = vec![
+        ("full protocol (paper)", base()),
+        ("scoring: cosine instead of inner product", {
+            let mut c = base();
+            c.defense_cfg.scoring = ScoringRule::Cosine;
+            c
+        }),
+        ("weights: proportional instead of binary", {
+            let mut c = base();
+            c.defense_cfg.weighting = WeightScheme::Proportional;
+            c
+        }),
+        ("first stage disabled (second stage only)", {
+            let mut c = base();
+            c.defense_cfg.first_stage_enabled = false;
+            c
+        }),
+        ("second stage disabled (first stage only)", {
+            let mut c = base();
+            // γ = 1 selects every upload: only the first stage filters.
+            c.defense_cfg.gamma = 1.0;
+            c
+        }),
+        ("momentum kept across rounds (no line-11 reset)", {
+            let mut c = base();
+            c.dp.momentum_reset = MomentumReset::Keep;
+            c
+        }),
+        ("step normalized by |selected| instead of n", {
+            let mut c = base();
+            c.defense_cfg.step_normalization = StepNormalization::SelectedCount;
+            c
+        }),
+        ("FLTrust (prior auxiliary-data defense)", {
+            let mut c = base();
+            c.defense = DefenseKind::FlTrust;
+            c
+        }),
+    ];
+
+    let mut records = Vec::new();
+    let mut rows = Vec::new();
+    for (name, cfg) in variants {
+        let s = run_seeds(&cfg, &scale.seeds);
+        rows.push(vec![
+            name.to_string(),
+            fmt_acc(&s),
+            format!("{:+.3}", s.mean - reference),
+        ]);
+        records.push(Record { variant: name.to_string(), accuracy: s.mean, reference });
+    }
+    print_table(
+        &format!("Design-choice ablation [{dataset}, 60% label-flip, ε=1; RA={reference:.3}]"),
+        &["variant", "accuracy", "gap vs RA"],
+        &rows,
+    );
+    println!(
+        "\nExpected shape (§4.5/§4.7): the full protocol tracks RA; disabling the\n\
+         first stage admits unbounded payloads; FLTrust's cosine weighting loses\n\
+         accuracy under DP noise; the remaining flips cost little at 60% byz but\n\
+         remove the guarantees the paper proves."
+    );
+    save_json("ablation_design_choices", &records);
+}

@@ -1,0 +1,107 @@
+//! Figure 1 (and supp. Figures 18/21/24/27/30): Byzantine-resilient test
+//! accuracy across privacy levels ε ∈ {⅛, ¼, ½, 1, 2} under 20/40/60 %
+//! Byzantine workers, compared against the Reference Accuracy.
+//!
+//! ```text
+//! cargo run --release -p dpbfl-bench --bin fig1_label_flip
+//!     [--attack label-flip|gaussian|opt-lmp]   # supp. figure variants
+//!     [--datasets mnist,fashion,usps,colorectal]
+//!     [--non-iid]                              # supp. non-i.i.d. variants
+//!     [--byz 20,40,60]
+//! ```
+
+use dpbfl::prelude::*;
+use dpbfl_bench::{fmt_acc, print_table, run_seeds, save_json, Args, Scale, EPSILONS};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Record {
+    dataset: String,
+    attack: String,
+    byz_pct: usize,
+    epsilon: f64,
+    ours_mean: f64,
+    reference_mean: f64,
+    sigma: f64,
+}
+
+fn parse_attack(name: &str) -> AttackSpec {
+    match name {
+        "label-flip" => AttackSpec::LabelFlip,
+        "gaussian" => AttackSpec::Gaussian,
+        "opt-lmp" => AttackSpec::OptLmp,
+        other => panic!("unknown attack {other:?}"),
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale = Scale::from_env();
+    let attack_name = args.value("attack").unwrap_or("label-flip").to_string();
+    let attack = parse_attack(&attack_name);
+    let datasets = args.list("datasets", if scale.full { "mnist,fashion,usps,colorectal" } else { "mnist,fashion" });
+    let byz_list: Vec<usize> = args
+        .list("byz", if scale.full { "20,40,60" } else { "20,60" })
+        .iter()
+        .map(|s| s.parse().expect("--byz takes integers"))
+        .collect();
+    let iid = !args.flag("non-iid");
+    let epsilons: Vec<f64> = if scale.full { EPSILONS.to_vec() } else { vec![0.125, 0.5, 2.0] };
+
+    let mut records = Vec::new();
+    for dataset in &datasets {
+        let mut rows = Vec::new();
+        for &byz_pct in &byz_list {
+            for &eps in &epsilons {
+                let mut cfg = scale.config(dataset);
+                cfg.iid = iid;
+                cfg.epsilon = Some(eps);
+                // byz_pct is a percentage of the *total* worker count.
+                cfg.n_byzantine =
+                    (cfg.n_honest as f64 * byz_pct as f64 / (100.0 - byz_pct as f64)).round()
+                        as usize;
+                cfg.attack = attack.clone();
+                cfg.defense = DefenseKind::TwoStage;
+                cfg.defense_cfg.gamma = cfg.n_honest as f64 / cfg.n_total() as f64;
+                let ours = run_seeds(&cfg, &scale.seeds);
+
+                // Reference Accuracy: DP only, no Byzantine workers, no
+                // defense.
+                let mut ra_cfg = scale.config(dataset);
+                ra_cfg.iid = iid;
+                ra_cfg.epsilon = Some(eps);
+                let ra = run_seeds(&ra_cfg, &scale.seeds);
+
+                rows.push(vec![
+                    format!("{byz_pct}%"),
+                    format!("{eps}"),
+                    fmt_acc(&ours),
+                    fmt_acc(&ra),
+                    format!("{:+.3}", ours.mean - ra.mean),
+                ]);
+                records.push(Record {
+                    dataset: dataset.to_string(),
+                    attack: attack_name.clone(),
+                    byz_pct,
+                    epsilon: eps,
+                    ours_mean: ours.mean,
+                    reference_mean: ra.mean,
+                    sigma: ours.sigma,
+                });
+            }
+        }
+        print_table(
+            &format!(
+                "Figure 1 [{dataset}, {attack_name}, {}]: ours vs Reference Accuracy",
+                if iid { "iid" } else { "non-iid" }
+            ),
+            &["byz", "ε", "ours", "Reference Acc.", "gap"],
+            &rows,
+        );
+    }
+    println!(
+        "\nPaper shape (Fig. 1): 'ours' tracks the Reference Accuracy at every ε and\n\
+         Byzantine level, with the only visible gap at the extreme ε = 0.125."
+    );
+    save_json(&format!("fig1_{attack_name}_{}", if iid { "iid" } else { "noniid" }), &records);
+}

@@ -1,0 +1,91 @@
+//! Figure 2 (and supp. Figures 6–17): resilience when 90 % — optionally
+//! 95 %/99 % — of all workers are Byzantine.
+//!
+//! ```text
+//! cargo run --release -p dpbfl-bench --bin fig2_majority_byz
+//!     [--attack label-flip|gaussian|opt-lmp] [--datasets ...]
+//!     [--byz 90] [--non-iid]
+//! ```
+
+use dpbfl::prelude::*;
+use dpbfl_bench::{fmt_acc, print_table, run_seeds, save_json, Args, Scale, EPSILONS};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Record {
+    dataset: String,
+    byz_pct: usize,
+    epsilon: f64,
+    ours_mean: f64,
+    reference_mean: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale = Scale::from_env();
+    let attack = match args.value("attack").unwrap_or("label-flip") {
+        "label-flip" => AttackSpec::LabelFlip,
+        "gaussian" => AttackSpec::Gaussian,
+        "opt-lmp" => AttackSpec::OptLmp,
+        other => panic!("unknown attack {other:?}"),
+    };
+    let datasets = args.list("datasets", if scale.full { "mnist,fashion,usps,colorectal" } else { "mnist" });
+    let byz_pct: usize = args.value("byz").unwrap_or("90").parse().expect("--byz integer");
+    let iid = !args.flag("non-iid");
+    let epsilons: Vec<f64> = if scale.full { EPSILONS.to_vec() } else { vec![0.125, 0.5, 2.0] };
+
+    let mut records = Vec::new();
+    for dataset in &datasets {
+        let mut rows = Vec::new();
+        for &eps in &epsilons {
+            let mut cfg = scale.config(dataset);
+            // Keep the extreme-majority grids tractable: the honest count
+            // stays fixed, the Byzantine count grows to reach byz_pct.
+            if !scale.full {
+                cfg.n_honest = (cfg.n_honest / 2).max(4);
+                // The faithful 1/n update (Alg. 1 line 14) shrinks the
+                // effective step by γ; at 90% Byzantine that is 10×, which
+                // the paper absorbs with its large T. Compensate the
+                // reduced-scale run with extra epochs.
+                cfg.epochs *= 2.0;
+            }
+            cfg.iid = iid;
+            cfg.epsilon = Some(eps);
+            cfg.n_byzantine =
+                (cfg.n_honest as f64 * byz_pct as f64 / (100.0 - byz_pct as f64)).round() as usize;
+            cfg.attack = attack.clone();
+            cfg.defense = DefenseKind::TwoStage;
+            cfg.defense_cfg.gamma = cfg.n_honest as f64 / cfg.n_total() as f64;
+            let ours = run_seeds(&cfg, &scale.seeds);
+
+            let mut ra_cfg = scale.config(dataset);
+            ra_cfg.iid = iid;
+            ra_cfg.epsilon = Some(eps);
+            let ra = run_seeds(&ra_cfg, &scale.seeds);
+
+            rows.push(vec![
+                format!("{eps}"),
+                fmt_acc(&ours),
+                fmt_acc(&ra),
+                format!("{:+.3}", ours.mean - ra.mean),
+            ]);
+            records.push(Record {
+                dataset: dataset.to_string(),
+                byz_pct,
+                epsilon: eps,
+                ours_mean: ours.mean,
+                reference_mean: ra.mean,
+            });
+        }
+        print_table(
+            &format!("Figure 2 [{dataset}, {}% {} attackers]", byz_pct, attack.name()),
+            &["ε", "ours", "Reference Acc.", "gap"],
+            &rows,
+        );
+    }
+    println!(
+        "\nPaper shape (Fig. 2): even at 90% Byzantine the protocol tracks the\n\
+         Reference Accuracy for ε ≥ 0.5; drops appear only at ε ∈ {{0.125, 0.25}}."
+    );
+    save_json(&format!("fig2_byz{byz_pct}"), &records);
+}

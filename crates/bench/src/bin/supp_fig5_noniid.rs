@@ -1,0 +1,57 @@
+//! Supp. Figure 5: visualization of the non-i.i.d. partition produced by
+//! Algorithm 4 — per-worker class-ratio bars (rendered as an ASCII heat map).
+//!
+//! ```text
+//! cargo run --release -p dpbfl-bench --bin supp_fig5_noniid [--workers 20]
+//! ```
+
+use dpbfl_bench::{save_json, Args};
+use dpbfl_data::{label_distribution, non_iid_partition, SyntheticSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::parse();
+    let n_workers: usize = args.value("workers").unwrap_or("20").parse().expect("--workers int");
+    let spec = SyntheticSpec::mnist_like();
+    let data = spec.generate(10_000, 1);
+    let mut rng = StdRng::seed_from_u64(1);
+    let parts = non_iid_partition(&mut rng, &data.labels, data.num_classes, n_workers);
+    let dist = label_distribution(&data.labels, &parts, data.num_classes);
+
+    println!("Supp. Figure 5: non-i.i.d. class ratios per worker (Algorithm 4)");
+    println!("(each cell: ratio of that class in the worker's local data; ▓ ≥ .2, ▒ ≥ .1, ░ ≥ .05)");
+    print!("{:>9}", "worker");
+    for c in 0..data.num_classes {
+        print!("{c:>6}");
+    }
+    println!();
+    let mut max_dev = 0.0f64;
+    for (w, row) in dist.iter().enumerate() {
+        print!("{w:>9}");
+        for &r in row {
+            let cell = if r >= 0.2 {
+                "▓"
+            } else if r >= 0.1 {
+                "▒"
+            } else if r >= 0.05 {
+                "░"
+            } else {
+                "·"
+            };
+            print!("{:>5}{cell}", format!("{:.2}", r).trim_start_matches('0'));
+            max_dev = max_dev.max((r - 1.0 / data.num_classes as f64).abs());
+        }
+        println!();
+    }
+    println!(
+        "\nUniform (i.i.d.) ratio would be {:.2} everywhere; max deviation here = {:.2}.",
+        1.0 / data.num_classes as f64,
+        max_dev
+    );
+    println!(
+        "Paper shape (supp. Fig. 5): ratios vary wildly across workers — e.g. a class\n\
+         at ~0.2–0.3 for one worker and ~0 for another."
+    );
+    save_json("supp_fig5_noniid", &dist);
+}

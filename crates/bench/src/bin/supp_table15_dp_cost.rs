@@ -1,0 +1,83 @@
+//! Supp. Tables 15/16: the "side-effect" of DP itself — accuracy of plain
+//! federated training vs DP training across ε, in both i.i.d. and
+//! non-i.i.d. settings (no Byzantine workers, no defense).
+//!
+//! ```text
+//! cargo run --release -p dpbfl-bench --bin supp_table15_dp_cost [--datasets ...]
+//! ```
+
+use dpbfl::prelude::*;
+use dpbfl_bench::{fmt_acc, print_table, run_seeds, save_json, Args, Scale, EPSILONS};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Record {
+    dataset: String,
+    epsilon: Option<f64>,
+    iid: bool,
+    accuracy: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale = Scale::from_env();
+    let datasets = args.list("datasets", if scale.full { "mnist,fashion,usps,colorectal" } else { "mnist,fashion" });
+    let epsilons: Vec<f64> =
+        if scale.full { EPSILONS.iter().rev().cloned().collect() } else { vec![2.0, 0.5, 0.125] };
+
+    let mut records = Vec::new();
+    for iid in [true, false] {
+        let mut rows = Vec::new();
+        // Non-DP row.
+        let mut row = vec!["Non-DP".to_string()];
+        for dataset in &datasets {
+            let mut cfg = scale.config(dataset);
+            cfg.iid = iid;
+            cfg.protocol = WorkerProtocol::Plain;
+            let s = run_seeds(&cfg, &scale.seeds);
+            row.push(fmt_acc(&s));
+            records.push(Record {
+                dataset: dataset.to_string(),
+                epsilon: None,
+                iid,
+                accuracy: s.mean,
+            });
+        }
+        rows.push(row);
+        // DP rows.
+        for &eps in &epsilons {
+            let mut row = vec![format!("ε={eps}")];
+            for dataset in &datasets {
+                let mut cfg = scale.config(dataset);
+                cfg.iid = iid;
+                cfg.epsilon = Some(eps);
+                let s = run_seeds(&cfg, &scale.seeds);
+                row.push(fmt_acc(&s));
+                records.push(Record {
+                    dataset: dataset.to_string(),
+                    epsilon: Some(eps),
+                    iid,
+                    accuracy: s.mean,
+                });
+            }
+            rows.push(row);
+        }
+        let mut headers: Vec<String> = vec!["privacy".into()];
+        headers.extend(datasets.iter().map(|d| d.to_string()));
+        let headers_ref: Vec<&str> = headers.iter().map(|h| h.as_str()).collect();
+        print_table(
+            &format!(
+                "Supp. Table {} ({}): DP's own utility cost",
+                if iid { "15" } else { "16" },
+                if iid { "iid" } else { "non-iid" }
+            ),
+            &headers_ref,
+            &rows,
+        );
+    }
+    println!(
+        "\nPaper shape (supp. Tables 15/16): monotone utility loss as ε shrinks;\n\
+         i.i.d. and non-i.i.d. columns are nearly identical."
+    );
+    save_json("supp_table15_dp_cost", &records);
+}

@@ -1,0 +1,77 @@
+//! Supp. Table 17: what happens when the server's auxiliary data comes from
+//! a *different data space* (KMNIST in the paper, our independent-seed
+//! `kmnist_like` family): the second-stage gradient misdirects and training
+//! yields no useful utility — motivating the same-data-space assumption.
+//!
+//! ```text
+//! cargo run --release -p dpbfl-bench --bin supp_table17_ood_aux [--datasets ...]
+//! ```
+
+use dpbfl::prelude::*;
+use dpbfl_bench::{fmt_acc, print_table, run_seeds, save_json, Args, Scale};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Record {
+    dataset: String,
+    attack: String,
+    byz_pct: usize,
+    accuracy_ood_aux: f64,
+    accuracy_good_aux: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale = Scale::from_env();
+    let datasets = args.list("datasets", "mnist,fashion");
+    let attacks: [(&str, AttackSpec); 2] =
+        [("gaussian", AttackSpec::Gaussian), ("label-flip", AttackSpec::LabelFlip)];
+    let byz_pcts: [usize; 2] = [20, 40];
+
+    let mut records = Vec::new();
+    for (aname, attack) in &attacks {
+        let mut rows = Vec::new();
+        for &byz_pct in &byz_pcts {
+            let mut row = vec![format!("{byz_pct}%")];
+            for dataset in &datasets {
+                let mk = |ood: bool| {
+                    let mut cfg = scale.config(dataset);
+                    cfg.epsilon = Some(2.0);
+                    cfg.n_byzantine = (cfg.n_honest as f64 * byz_pct as f64
+                        / (100.0 - byz_pct as f64))
+                        .round() as usize;
+                    cfg.attack = attack.clone();
+                    cfg.defense = DefenseKind::TwoStage;
+                    cfg.defense_cfg.gamma = cfg.n_honest as f64 / cfg.n_total() as f64;
+                    cfg.ood_auxiliary = ood;
+                    cfg
+                };
+                let ood = run_seeds(&mk(true), &scale.seeds);
+                let good = run_seeds(&mk(false), &scale.seeds);
+                row.push(format!("{} (vs {})", fmt_acc(&ood), fmt_acc(&good)));
+                records.push(Record {
+                    dataset: dataset.to_string(),
+                    attack: aname.to_string(),
+                    byz_pct,
+                    accuracy_ood_aux: ood.mean,
+                    accuracy_good_aux: good.mean,
+                });
+            }
+            rows.push(row);
+        }
+        let mut headers: Vec<String> = vec!["byz".into()];
+        headers.extend(datasets.iter().map(|d| format!("{d}: OOD aux (vs in-dist)")));
+        let headers_ref: Vec<&str> = headers.iter().map(|h| h.as_str()).collect();
+        print_table(
+            &format!("Supp. Table 17 [{aname} attack, ε=2]: KMNIST-like auxiliary data"),
+            &headers_ref,
+            &rows,
+        );
+    }
+    println!(
+        "\nPaper shape (supp. Table 17): with out-of-distribution auxiliary data the\n\
+         defense collapses (≈ chance under Gaussian, ≤ chance under label-flip),\n\
+         while in-distribution auxiliary data preserves full utility."
+    );
+    save_json("supp_table17_ood_aux", &records);
+}

@@ -1,0 +1,96 @@
+//! Table 3: comparison with [77] (sign-compression DP aggregation) on MNIST
+//! under the Gaussian attack.
+//!
+//! Paper's numbers: [77] reaches .20/.43 with only 10 % Byzantine workers at
+//! ε ∈ {0.21, 0.40}; ours reaches ~.86 with 40–60 % Byzantine at ε = 0.125.
+//!
+//! ```text
+//! cargo run --release -p dpbfl-bench --bin table3_vs_sign_dp [--dataset mnist]
+//! ```
+
+use dpbfl::baseline::{run_sign_dp, SignDpConfig};
+use dpbfl::prelude::*;
+use dpbfl_bench::{fmt_acc, print_table, run_seeds, save_json, Args, Scale};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Record {
+    method: String,
+    byz_pct: usize,
+    epsilon: f64,
+    accuracy: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale = Scale::from_env();
+    let dataset = args.value("dataset").unwrap_or("mnist");
+    let mut records = Vec::new();
+    let mut rows = Vec::new();
+
+    // [77]-style sign DP at 10% byz. The paper's ε is the TOTAL privacy
+    // budget of the whole training run; under (naive, linear) composition
+    // the per-round randomized-response budget is ε/T, which drives the
+    // flip probability toward 1/2 — the structural reason [77]'s accuracy
+    // collapses at these privacy levels.
+    for eps_total in [0.21f64, 0.40] {
+        let base_cfg = scale.config(dataset);
+        let n_honest = base_cfg.n_honest;
+        let rounds = (base_cfg.epochs * base_cfg.per_worker as f64 / 16.0).ceil();
+        let eps0 = eps_total / rounds;
+        let cfg = SignDpConfig {
+            dataset: base_cfg.dataset.clone(),
+            model: ModelKind::SmallMlp { hidden: 16 },
+            per_worker: base_cfg.per_worker,
+            test_count: base_cfg.test_count,
+            n_honest,
+            n_byzantine: (n_honest as f64 / 9.0).round().max(1.0) as usize, // 10 % of total
+            epochs: base_cfg.epochs,
+            lr: 0.002,
+            batch_size: 16,
+            flip_prob: SignDpConfig::flip_prob_for_epsilon(eps0),
+            seed: 1,
+        };
+        let r = run_sign_dp(&cfg);
+        rows.push(vec![
+            format!("[77] sign-DP, 10% byz, ε={eps_total}"),
+            format!("{:.3}", r.final_accuracy),
+        ]);
+        records.push(Record {
+            method: "sign-dp".into(),
+            byz_pct: 10,
+            epsilon: eps_total,
+            accuracy: r.final_accuracy,
+        });
+    }
+
+    // Ours at 40% and 60% byz, ε = 0.125.
+    for byz_pct in [40usize, 60] {
+        let mut cfg = scale.config(dataset);
+        cfg.epsilon = Some(0.125);
+        cfg.n_byzantine =
+            (cfg.n_honest as f64 * byz_pct as f64 / (100.0 - byz_pct as f64)).round() as usize;
+        cfg.attack = AttackSpec::Gaussian;
+        cfg.defense = DefenseKind::TwoStage;
+        cfg.defense_cfg.gamma = cfg.n_honest as f64 / cfg.n_total() as f64;
+        let s = run_seeds(&cfg, &scale.seeds);
+        rows.push(vec![format!("Ours, {byz_pct}% byz, ε=0.125"), fmt_acc(&s)]);
+        records.push(Record {
+            method: "ours".into(),
+            byz_pct,
+            epsilon: 0.125,
+            accuracy: s.mean,
+        });
+    }
+
+    print_table(
+        &format!("Table 3 [{dataset}]: vs sign-compression DP, Gaussian attack"),
+        &["method / setting", "accuracy"],
+        &rows,
+    );
+    println!(
+        "\nPaper shape (Table 3): ours at 6× the Byzantine fraction and a stronger\n\
+         privacy level still clearly beats the sign-DP baseline."
+    );
+    save_json("table3_vs_sign_dp", &records);
+}

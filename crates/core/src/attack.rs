@@ -1,0 +1,319 @@
+//! Byzantine attacks (paper §2.3, §4.6).
+//!
+//! The threat model is the paper's strongest: a single master attacker
+//! controls every Byzantine worker, is **omniscient** (sees all honest
+//! uploads and knows the aggregation rule, the protocol parameters, and the
+//! honest data), and instantiates its attack *against our published
+//! protocol*.
+//!
+//! * [`AttackSpec::Gaussian`] — pure `N(0, σ'²I)` uploads (Guideline 1: any
+//!   permutation of a valid order-statistic sequence).
+//! * [`AttackSpec::LabelFlip`] — data poisoning `I → H−1−I`; the Byzantine
+//!   workers then follow the honest protocol, so their uploads pass the
+//!   first stage by construction (Guideline 2).
+//! * [`AttackSpec::OptLmp`] — Optimized Local Model Poisoning [Fang et al.]
+//!   instantiated against our protocol per Eq. 8–10: every Byzantine upload
+//!   is `−((1+λ)/Mₙ)·Σ g_B` with `λ = Mₙ/√Bₘ − 1`, which reverses the
+//!   aggregate while remaining distributed exactly like the DP noise.
+//! * [`AttackSpec::ALittle`] — "A little is enough" [Baruch et al.]:
+//!   coordinate-wise `μ − z·s` perturbation within the empirical spread.
+//! * [`AttackSpec::InnerProduct`] — inner-product manipulation / "Fall of
+//!   Empires" [Xie et al.]: `−scale · mean(benign)`.
+//! * [`AttackSpec::Adaptive`] — the paper's TTBB adaptive attacker: copies
+//!   honest uploads until `ttbb·T` iterations have passed, then switches to
+//!   an inner attack.
+
+use dpbfl_stats::normal::{gaussian_vector, standard_normal_quantile};
+use dpbfl_stats::moments::coordinate_moments;
+use dpbfl_tensor::vecops;
+use rand::Rng;
+
+/// Which Byzantine attack the adversary mounts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttackSpec {
+    /// No Byzantine workers.
+    None,
+    /// Pure Gaussian noise uploads.
+    Gaussian,
+    /// Data poisoning: Byzantine workers run the honest protocol over
+    /// label-flipped local data (handled by the simulation's worker setup).
+    LabelFlip,
+    /// Optimized Local Model Poisoning instantiated against the protocol.
+    OptLmp,
+    /// "A little is enough" coordinate-wise perturbation.
+    ALittle,
+    /// Negative-scaled mean (inner-product manipulation).
+    InnerProduct {
+        /// Magnitude of the sign-flipped mean (paper's ε parameter).
+        scale: f64,
+    },
+    /// Behave honestly (copy a benign upload) until `ttbb·T`, then mount
+    /// `inner`.
+    Adaptive {
+        /// Time-To-Be-Byzantine as a fraction of total iterations.
+        ttbb: f64,
+        /// The attack mounted after turning.
+        inner: Box<AttackSpec>,
+    },
+}
+
+impl AttackSpec {
+    /// True iff this attack (or its post-TTBB inner attack) requires the
+    /// Byzantine workers to hold label-flipped local datasets.
+    pub fn needs_poisoned_workers(&self) -> bool {
+        match self {
+            AttackSpec::LabelFlip => true,
+            AttackSpec::Adaptive { inner, .. } => inner.needs_poisoned_workers(),
+            _ => false,
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> String {
+        match self {
+            AttackSpec::None => "none".into(),
+            AttackSpec::Gaussian => "gaussian".into(),
+            AttackSpec::LabelFlip => "label-flip".into(),
+            AttackSpec::OptLmp => "opt-lmp".into(),
+            AttackSpec::ALittle => "a-little".into(),
+            AttackSpec::InnerProduct { .. } => "inner-product".into(),
+            AttackSpec::Adaptive { ttbb, inner } => format!("adaptive({ttbb},{})", inner.name()),
+        }
+    }
+}
+
+/// Everything the omniscient attacker sees when crafting a round's uploads.
+pub struct AttackContext<'a> {
+    /// The honest workers' uploads this round.
+    pub benign_uploads: &'a [Vec<f32>],
+    /// Number of Byzantine uploads to produce.
+    pub n_byzantine: usize,
+    /// Effective per-coordinate DP noise std `σ' = σ/b_c` (protocol public).
+    pub noise_std: f64,
+    /// Current iteration (0-based).
+    pub round: usize,
+    /// Total iterations `T`.
+    pub total_rounds: usize,
+    /// Uploads computed by the Byzantine workers' own (label-flipped)
+    /// protocol runs, when the attack needs them.
+    pub poisoned_uploads: &'a [Vec<f32>],
+}
+
+/// Crafts this round's Byzantine uploads.
+///
+/// Returns `n_byzantine` vectors. For [`AttackSpec::LabelFlip`] the poisoned
+/// workers' protocol uploads are passed through unchanged.
+pub fn craft_uploads<R: Rng + ?Sized>(
+    spec: &AttackSpec,
+    ctx: &AttackContext<'_>,
+    rng: &mut R,
+) -> Vec<Vec<f32>> {
+    if ctx.n_byzantine == 0 {
+        return Vec::new();
+    }
+    let d = ctx.benign_uploads.first().map(|u| u.len()).unwrap_or_else(|| {
+        ctx.poisoned_uploads.first().map(|u| u.len()).expect("no uploads to infer dimension from")
+    });
+    match spec {
+        AttackSpec::None => Vec::new(),
+        AttackSpec::Gaussian => (0..ctx.n_byzantine)
+            .map(|_| gaussian_vector(rng, ctx.noise_std, d))
+            .collect(),
+        AttackSpec::LabelFlip => {
+            assert_eq!(
+                ctx.poisoned_uploads.len(),
+                ctx.n_byzantine,
+                "label-flip needs one poisoned worker per Byzantine slot"
+            );
+            ctx.poisoned_uploads.to_vec()
+        }
+        AttackSpec::OptLmp => opt_lmp(ctx),
+        AttackSpec::ALittle => a_little(ctx),
+        AttackSpec::InnerProduct { scale } => {
+            let refs: Vec<&[f32]> = ctx.benign_uploads.iter().map(|u| u.as_slice()).collect();
+            let mut mean = vecops::mean(&refs).expect("inner-product attack needs benign uploads");
+            vecops::scale(&mut mean, -(*scale as f32));
+            vec![mean; ctx.n_byzantine]
+        }
+        AttackSpec::Adaptive { ttbb, inner } => {
+            if (ctx.round as f64) < ttbb * ctx.total_rounds as f64 {
+                // Honest phase: copy uploads of random honest workers.
+                (0..ctx.n_byzantine)
+                    .map(|_| {
+                        let i = rng.gen_range(0..ctx.benign_uploads.len());
+                        ctx.benign_uploads[i].clone()
+                    })
+                    .collect()
+            } else {
+                craft_uploads(inner, ctx, rng)
+            }
+        }
+    }
+}
+
+/// Eq. 8–10: every Byzantine upload is `−((1+λ)/Mₙ)·Σ_j g_{B_j}` with
+/// `λ = Mₙ/√Bₘ − 1`, so the Byzantine sum is `−(1+λ)·Σ g_B` and the total
+/// aggregate points opposite the benign sum, while each upload's coordinates
+/// are distributed as `N(0, σ'²)` — passing the first stage.
+///
+/// The attack requires `Mₙ > √Bₘ` (λ > 0); otherwise the adversary's best
+/// effort is the λ → 0⁺ version, which the paper notes cannot reverse the
+/// aggregate.
+fn opt_lmp(ctx: &AttackContext<'_>) -> Vec<Vec<f32>> {
+    let refs: Vec<&[f32]> = ctx.benign_uploads.iter().map(|u| u.as_slice()).collect();
+    let sum = vecops::sum(&refs).expect("opt-lmp needs benign uploads");
+    let b_m = ctx.benign_uploads.len() as f64;
+    let m_n = ctx.n_byzantine as f64;
+    let lambda = (m_n / b_m.sqrt() - 1.0).max(0.0);
+    let coef = -((1.0 + lambda) / m_n);
+    let upload: Vec<f32> = sum.iter().map(|&s| (coef as f32) * s).collect();
+    vec![upload; ctx.n_byzantine]
+}
+
+/// "A little is enough": with `n` total workers and `m` Byzantine, the
+/// attacker needs `s = ⌊n/2⌋ + 1 − m` honest workers to side with its
+/// uploads; it shifts each coordinate by `z_max` empirical standard
+/// deviations where `z_max = Φ⁻¹((n − m − s)/(n − m))`.
+fn a_little(ctx: &AttackContext<'_>) -> Vec<Vec<f32>> {
+    let (mean, std) =
+        coordinate_moments(&ctx.benign_uploads.iter().map(|u| u.as_slice()).collect::<Vec<_>>())
+            .expect("a-little needs benign uploads");
+    let m = ctx.n_byzantine;
+    let n = ctx.benign_uploads.len() + m;
+    let s = (n / 2 + 1).saturating_sub(m);
+    let honest = n - m;
+    let z = if s == 0 || s >= honest {
+        1.0 // degenerate regimes: fall back to a one-σ shift
+    } else {
+        let p = (honest - s) as f64 / honest as f64;
+        standard_normal_quantile(p.clamp(1e-6, 1.0 - 1e-6))
+    };
+    let upload: Vec<f32> =
+        mean.iter().zip(&std).map(|(&mu, &sd)| (mu - z * sd) as f32).collect();
+    vec![upload; m]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const D: usize = 4096;
+    const STD: f64 = 0.05;
+
+    fn benign(n: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| gaussian_vector(&mut rng, STD, D)).collect()
+    }
+
+    fn ctx<'a>(benign: &'a [Vec<f32>], n_byz: usize) -> AttackContext<'a> {
+        AttackContext {
+            benign_uploads: benign,
+            n_byzantine: n_byz,
+            noise_std: STD,
+            round: 0,
+            total_rounds: 100,
+            poisoned_uploads: &[],
+        }
+    }
+
+    #[test]
+    fn gaussian_attack_matches_noise_statistics() {
+        let b = benign(4, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let ups = craft_uploads(&AttackSpec::Gaussian, &ctx(&b, 3), &mut rng);
+        assert_eq!(ups.len(), 3);
+        for u in &ups {
+            let norm_sq = vecops::l2_norm_sq(u);
+            let expected = STD * STD * D as f64;
+            assert!((norm_sq / expected - 1.0).abs() < 0.15);
+        }
+    }
+
+    #[test]
+    fn opt_lmp_reverses_the_aggregate() {
+        // With Mₙ > √Bₘ the total sum must point opposite the benign sum.
+        let b = benign(9, 2); // √9 = 3
+        let mut rng = StdRng::seed_from_u64(3);
+        let ups = craft_uploads(&AttackSpec::OptLmp, &ctx(&b, 6), &mut rng);
+        assert_eq!(ups.len(), 6);
+        let refs: Vec<&[f32]> = b.iter().map(|u| u.as_slice()).collect();
+        let benign_sum = vecops::sum(&refs).expect("non-empty");
+        let mut total = benign_sum.clone();
+        for u in &ups {
+            vecops::add_assign(&mut total, u);
+        }
+        let cos = vecops::cosine_similarity(&total, &benign_sum);
+        assert!(cos < -0.9, "aggregate not reversed (cos = {cos})");
+    }
+
+    #[test]
+    fn opt_lmp_upload_norm_matches_noise() {
+        // The crafted upload is −(1/√Bₘ)·Σ g_B: its norm must match a single
+        // noise vector's, which is what lets it pass the first stage.
+        let b = benign(16, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let ups = craft_uploads(&AttackSpec::OptLmp, &ctx(&b, 8), &mut rng);
+        let norm_sq = vecops::l2_norm_sq(&ups[0]);
+        let expected = STD * STD * D as f64;
+        // λ = 8/4 − 1 = 1 ⇒ coefficient (1+λ)/Mₙ = 2/8 = 1/4 = 1/√16. ✓
+        assert!((norm_sq / expected - 1.0).abs() < 0.2, "norm_sq={norm_sq} vs {expected}");
+    }
+
+    #[test]
+    fn a_little_stays_within_spread() {
+        let b = benign(10, 6);
+        let mut rng = StdRng::seed_from_u64(7);
+        let ups = craft_uploads(&AttackSpec::ALittle, &ctx(&b, 4), &mut rng);
+        assert_eq!(ups.len(), 4);
+        assert_eq!(ups[0], ups[1]); // colluding workers upload identically
+        // The shift is a bounded multiple of the coordinate spread.
+        let norm = vecops::l2_norm(&ups[0]);
+        let noise_norm = STD * (D as f64).sqrt();
+        assert!(norm < 3.0 * noise_norm, "a-little shifted too far: {norm}");
+    }
+
+    #[test]
+    fn inner_product_points_against_mean() {
+        let b = benign(5, 8);
+        let mut rng = StdRng::seed_from_u64(9);
+        let ups =
+            craft_uploads(&AttackSpec::InnerProduct { scale: 10.0 }, &ctx(&b, 2), &mut rng);
+        let refs: Vec<&[f32]> = b.iter().map(|u| u.as_slice()).collect();
+        let mean = vecops::mean(&refs).expect("non-empty");
+        assert!(vecops::cosine_similarity(&ups[0], &mean) < -0.99);
+    }
+
+    #[test]
+    fn adaptive_copies_then_turns() {
+        let b = benign(6, 10);
+        let spec = AttackSpec::Adaptive { ttbb: 0.5, inner: Box::new(AttackSpec::Gaussian) };
+        let mut rng = StdRng::seed_from_u64(11);
+        // Round 10 of 100 < 50: copies.
+        let mut early_ctx = ctx(&b, 2);
+        early_ctx.round = 10;
+        let early = craft_uploads(&spec, &early_ctx, &mut rng);
+        assert!(b.contains(&early[0]), "early adaptive upload is not a copy");
+        // Round 60 of 100 ≥ 50: fresh Gaussian, not a copy.
+        let mut late_ctx = ctx(&b, 2);
+        late_ctx.round = 60;
+        let late = craft_uploads(&spec, &late_ctx, &mut rng);
+        assert!(!b.contains(&late[0]), "late adaptive upload should not be a copy");
+    }
+
+    #[test]
+    fn zero_byzantine_returns_empty() {
+        let b = benign(3, 12);
+        let mut rng = StdRng::seed_from_u64(13);
+        assert!(craft_uploads(&AttackSpec::Gaussian, &ctx(&b, 0), &mut rng).is_empty());
+    }
+
+    #[test]
+    fn needs_poisoned_workers_propagates_through_adaptive() {
+        assert!(AttackSpec::LabelFlip.needs_poisoned_workers());
+        assert!(AttackSpec::Adaptive { ttbb: 0.2, inner: Box::new(AttackSpec::LabelFlip) }
+            .needs_poisoned_workers());
+        assert!(!AttackSpec::Gaussian.needs_poisoned_workers());
+    }
+}

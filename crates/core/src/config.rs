@@ -1,0 +1,131 @@
+//! Protocol configuration.
+
+use crate::second_stage::{ScoringRule, WeightScheme};
+use serde::{Deserialize, Serialize};
+
+/// What each worker does with its momentum list after uploading.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum MomentumReset {
+    /// Algorithm 1 line 11 as written: every slot is overwritten with the
+    /// noisy upload, `φ[j] ← g_i^t`.
+    #[default]
+    PaperReset,
+    /// Conventional momentum: slots persist across rounds (ablation).
+    Keep,
+}
+
+/// How the server normalizes the sum of selected uploads in the model update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum StepNormalization {
+    /// Algorithm 1 line 14 as written: `w ← w − η·(1/n)·Σ_{g∈G} g`
+    /// (divide by the total worker count).
+    #[default]
+    TotalWorkers,
+    /// Divide by the number of *selected* uploads (ablation; keeps the
+    /// effective step independent of the Byzantine fraction).
+    SelectedCount,
+}
+
+/// Per-worker DP training hyper-parameters (paper Algorithm 1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DpSgdConfig {
+    /// Local batch size `b_c` — deliberately small (8/16), §4.2 property 1.
+    pub batch_size: usize,
+    /// Gradient momentum `β` (paper uses 0.1).
+    pub momentum: f32,
+    /// Noise multiplier σ (relative to the unit per-example sensitivity the
+    /// normalization enforces).
+    pub noise_multiplier: f64,
+    /// Momentum handling after upload.
+    pub momentum_reset: MomentumReset,
+}
+
+impl Default for DpSgdConfig {
+    fn default() -> Self {
+        DpSgdConfig {
+            batch_size: 16,
+            momentum: 0.1,
+            noise_multiplier: 0.79, // the paper's σ_b at ε = 2 (MNIST setup)
+            momentum_reset: MomentumReset::default(),
+        }
+    }
+}
+
+impl DpSgdConfig {
+    /// Per-coordinate standard deviation of the noise *as the server sees
+    /// it*: Algorithm 1 line 10 scales the noisy sum by `1/b_c`, so uploads
+    /// carry `N(0, (σ/b_c)² I)`.
+    pub fn effective_noise_std(&self) -> f64 {
+        self.noise_multiplier / self.batch_size as f64
+    }
+}
+
+/// Server-side defense parameters (Algorithms 2 and 3).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DefenseConfig {
+    /// Server's belief: at least `⌈γ·n⌉` of the `n` workers are honest.
+    pub gamma: f64,
+    /// KS significance level (paper: 0.05).
+    pub ks_significance: f64,
+    /// Width of the norm-test interval in χ² standard deviations (paper: 3,
+    /// the 68–95–99.7 rule).
+    pub norm_test_stds: f64,
+    /// Number of auxiliary samples per class the server holds (paper: 2).
+    pub aux_per_class: usize,
+    /// Model-update normalization.
+    pub step_normalization: StepNormalization,
+    /// Second-stage scoring metric (paper: inner product).
+    pub scoring: ScoringRule,
+    /// Second-stage weight scheme (paper: binary).
+    pub weighting: WeightScheme,
+    /// Whether the first stage runs at all (disabled only by the
+    /// design-choice ablation; the paper argues second stage alone is
+    /// unsafe because a single selected arbitrary upload can destroy the
+    /// model).
+    pub first_stage_enabled: bool,
+}
+
+impl Default for DefenseConfig {
+    fn default() -> Self {
+        DefenseConfig {
+            gamma: 0.5,
+            ks_significance: 0.05,
+            norm_test_stds: 3.0,
+            aux_per_class: 2,
+            step_normalization: StepNormalization::default(),
+            scoring: ScoringRule::default(),
+            weighting: WeightScheme::default(),
+            first_stage_enabled: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_noise_scales_with_batch() {
+        let cfg = DpSgdConfig { batch_size: 16, noise_multiplier: 0.8, ..Default::default() };
+        assert!((cfg.effective_noise_std() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        let dp = DpSgdConfig::default();
+        assert_eq!(dp.batch_size, 16);
+        assert!((dp.momentum - 0.1).abs() < 1e-6);
+        let def = DefenseConfig::default();
+        assert!((def.ks_significance - 0.05).abs() < 1e-12);
+        assert_eq!(def.aux_per_class, 2);
+        assert!((def.norm_test_stds - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn configs_serialize_roundtrip() {
+        let dp = DpSgdConfig::default();
+        let s = serde_json::to_string(&dp).expect("serialize");
+        let back: DpSgdConfig = serde_json::from_str(&s).expect("deserialize");
+        assert_eq!(back.batch_size, dp.batch_size);
+    }
+}

@@ -1,0 +1,281 @@
+//! First-stage aggregation (paper Algorithm 2, `FirstAGG`).
+//!
+//! Because every honest upload is noise-dominated (`‖z‖ ≫ ‖g̃‖`, §4.3), the
+//! server can treat an upload as a `d`-coordinate sample from `N(0, σ'²)` and
+//! test exactly that:
+//!
+//! 1. **Norm test** — `‖g‖²` must land in the 3-s.t.d. Gaussian approximation
+//!    of `σ'²·χ²_d`: `[σ'²d − 3σ'²√(2d), σ'²d + 3σ'²√(2d)]`.
+//! 2. **KS test** — the empirical CDF of the coordinates must match
+//!    `Φ_{σ'}` at significance 0.05.
+//!
+//! Failures are zeroed, not dropped: a zero vector contributes nothing to the
+//! update but keeps upload indices stable for the second stage's accumulated
+//! score list. Anything that *passes* is confined to the Theorem-2 subspace,
+//! so its malicious payload `ĝ` is strictly norm-bounded.
+
+use dpbfl_stats::ks::ks_test_gaussian;
+use dpbfl_tensor::vecops;
+
+/// Why an upload was rejected (or that it passed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FirstStageVerdict {
+    /// Upload is consistent with the DP noise distribution.
+    Accepted,
+    /// Upload contained NaN or ±∞ — malformed, rejected before any test.
+    NonFinite,
+    /// `‖g‖` fell outside the norm-test interval.
+    NormOutOfRange,
+    /// The KS P-value fell below the significance level.
+    KsRejected,
+}
+
+impl FirstStageVerdict {
+    /// True iff the upload passed every test.
+    #[inline]
+    pub fn is_accepted(self) -> bool {
+        self == FirstStageVerdict::Accepted
+    }
+}
+
+/// The first-stage filter, parameterized by the *effective* per-coordinate
+/// noise std `σ' = σ/b_c` the server expects on uploads.
+#[derive(Debug, Clone)]
+pub struct FirstStage {
+    noise_std: f64,
+    dimension: usize,
+    ks_significance: f64,
+    norm_lo: f64,
+    norm_hi: f64,
+}
+
+impl FirstStage {
+    /// Builds the filter for model dimension `d`, effective noise std, KS
+    /// significance (paper: 0.05) and norm-test width in χ² standard
+    /// deviations (paper: 3).
+    pub fn new(noise_std: f64, dimension: usize, ks_significance: f64, norm_stds: f64) -> Self {
+        assert!(noise_std > 0.0, "first stage requires positive noise (DP must be on)");
+        assert!(dimension > 1, "first stage needs a non-trivial dimension");
+        let (lo, hi) = norm_interval(noise_std, dimension, norm_stds);
+        FirstStage { noise_std, dimension, ks_significance, norm_lo: lo, norm_hi: hi }
+    }
+
+    /// The `[lo, hi]` interval the ℓ2 **norm** (not squared) must fall in.
+    pub fn norm_bounds(&self) -> (f64, f64) {
+        (self.norm_lo.sqrt(), self.norm_hi.sqrt())
+    }
+
+    /// Runs both tests on an upload.
+    pub fn check(&self, upload: &[f32]) -> FirstStageVerdict {
+        assert_eq!(upload.len(), self.dimension, "upload has wrong dimension");
+        if !vecops::all_finite(upload) {
+            return FirstStageVerdict::NonFinite;
+        }
+        let norm_sq = vecops::l2_norm_sq(upload);
+        if norm_sq < self.norm_lo || norm_sq > self.norm_hi {
+            return FirstStageVerdict::NormOutOfRange;
+        }
+        let ks = ks_test_gaussian(upload, 0.0, self.noise_std);
+        if ks.rejects_at(self.ks_significance) {
+            return FirstStageVerdict::KsRejected;
+        }
+        FirstStageVerdict::Accepted
+    }
+
+    /// Algorithm 2: zeroes `upload` in place when any test fails; returns the
+    /// verdict.
+    pub fn filter(&self, upload: &mut [f32]) -> FirstStageVerdict {
+        let verdict = self.check(upload);
+        if !verdict.is_accepted() {
+            upload.fill(0.0);
+        }
+        verdict
+    }
+}
+
+/// The norm-test interval on `‖g‖²`:
+/// `[σ'²d − k·σ'²√(2d), σ'²d + k·σ'²√(2d)]` (paper footnote 5 with k = 3).
+pub fn norm_interval(noise_std: f64, d: usize, k: f64) -> (f64, f64) {
+    let var = noise_std * noise_std;
+    let center = var * d as f64;
+    let spread = k * var * (2.0 * d as f64).sqrt();
+    ((center - spread).max(0.0), center + spread)
+}
+
+/// Theorem 2: the envelope interval the `k`-th smallest coordinate (1-based)
+/// of an accepted upload must occupy, given the KS band `D_KS`.
+///
+/// `E_u(x) = min(1, Φ(x) + D)` and `E_l(x) = max(0, Φ(x) − D)` bound the
+/// empirical CDF, so coordinate `k` lies in `[E_u⁻¹(k/d), E_l⁻¹((k−1)/d)]`
+/// (±∞ when the envelope never reaches the level).
+pub fn theorem2_envelope(noise_std: f64, d: usize, d_ks: f64, k: usize) -> (f64, f64) {
+    assert!(k >= 1 && k <= d, "order statistic index out of range");
+    let normal = dpbfl_stats::Normal::new(0.0, noise_std);
+    let upper_level = k as f64 / d as f64; // E_u⁻¹(k/d): Φ(x) + D = k/d
+    let lower_level = (k as f64 - 1.0) / d as f64; // E_l⁻¹((k−1)/d): Φ(x) − D = (k−1)/d
+    let lo = {
+        let p = upper_level - d_ks;
+        if p <= 0.0 {
+            f64::NEG_INFINITY
+        } else if p >= 1.0 {
+            f64::INFINITY
+        } else {
+            normal.quantile(p)
+        }
+    };
+    let hi = {
+        let p = lower_level + d_ks;
+        if p <= 0.0 {
+            f64::NEG_INFINITY
+        } else if p >= 1.0 {
+            f64::INFINITY
+        } else {
+            normal.quantile(p)
+        }
+    };
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpbfl_stats::normal::gaussian_vector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const D: usize = 25_450;
+    const STD: f64 = 0.05; // σ = 0.8, b_c = 16
+
+    fn stage() -> FirstStage {
+        FirstStage::new(STD, D, 0.05, 3.0)
+    }
+
+    #[test]
+    fn genuine_noise_passes() {
+        let s = stage();
+        let mut rejections = 0;
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let v = gaussian_vector(&mut rng, STD, D);
+            if !s.check(&v).is_accepted() {
+                rejections += 1;
+            }
+        }
+        assert!(rejections <= 4, "rejected {rejections}/20 null uploads");
+    }
+
+    #[test]
+    fn honest_shaped_upload_passes() {
+        // Noise plus a norm-bounded signal (what Algorithm 1 actually
+        // uploads): acceptance rate must stay near the null's 95 %.
+        let s = stage();
+        let mut rejections = 0;
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut v = gaussian_vector(&mut rng, STD, D);
+            // Signal: norm-1 spread over all coordinates, scaled by 1/b_c.
+            let per_coord = (1.0 / (D as f64).sqrt() / 16.0) as f32;
+            for (i, x) in v.iter_mut().enumerate() {
+                *x += if i % 2 == 0 { per_coord } else { -per_coord };
+            }
+            if !s.check(&v).is_accepted() {
+                rejections += 1;
+            }
+        }
+        assert!(rejections <= 4, "rejected {rejections}/20 honest-shaped uploads");
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut v = gaussian_vector(&mut rng, STD, D);
+        v[100] = f32::NAN;
+        assert_eq!(stage().check(&v), FirstStageVerdict::NonFinite);
+        v[100] = f32::INFINITY;
+        assert_eq!(stage().check(&v), FirstStageVerdict::NonFinite);
+    }
+
+    #[test]
+    fn rejects_zero_and_scaled_uploads() {
+        let s = stage();
+        let zero = vec![0.0f32; D];
+        assert_eq!(s.check(&zero), FirstStageVerdict::NormOutOfRange);
+        let mut rng = StdRng::seed_from_u64(1);
+        // Twice the correct std: both tests fail; norm fires first.
+        let big = gaussian_vector(&mut rng, 2.0 * STD, D);
+        assert_eq!(s.check(&big), FirstStageVerdict::NormOutOfRange);
+        // 10% inflated std: norm test catches (3 s.t.d. band is ±~1.9%).
+        let slightly = gaussian_vector(&mut rng, 1.1 * STD, D);
+        assert_eq!(s.check(&slightly), FirstStageVerdict::NormOutOfRange);
+    }
+
+    #[test]
+    fn rejects_right_norm_wrong_shape() {
+        // A vector with the correct ℓ2 norm but a two-point coordinate
+        // distribution: passes the norm test, dies at the KS test. This is
+        // the "A little"-style attack shape.
+        let s = stage();
+        let norm_target = STD * (D as f64).sqrt();
+        let per = (norm_target / (D as f64).sqrt()) as f32;
+        let v: Vec<f32> =
+            (0..D).map(|i| if i % 2 == 0 { per } else { -per }).collect();
+        assert_eq!(s.check(&v), FirstStageVerdict::KsRejected);
+    }
+
+    #[test]
+    fn rejects_sparse_spike() {
+        // All the mass in a few coordinates (gradient-inversion style
+        // payload with the right norm): KS rejects.
+        let s = stage();
+        let norm_target = STD * (D as f64).sqrt();
+        let mut v = vec![0.0f32; D];
+        let spike = (norm_target / 10f64.sqrt()) as f32;
+        for x in v.iter_mut().take(10) {
+            *x = spike;
+        }
+        assert_eq!(s.check(&v), FirstStageVerdict::KsRejected);
+    }
+
+    #[test]
+    fn filter_zeroes_rejected_uploads() {
+        let s = stage();
+        let mut v = vec![1.0f32; D];
+        let verdict = s.filter(&mut v);
+        assert!(!verdict.is_accepted());
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn norm_interval_matches_formula() {
+        let (lo, hi) = norm_interval(0.05, 10_000, 3.0);
+        let var = 0.0025f64;
+        assert!((lo - (var * 10_000.0 - 3.0 * var * (20_000f64).sqrt())).abs() < 1e-9);
+        assert!((hi - (var * 10_000.0 + 3.0 * var * (20_000f64).sqrt())).abs() < 1e-9);
+        // Tiny d: lower bound clamps at zero.
+        let (lo2, _) = norm_interval(1.0, 2, 3.0);
+        assert_eq!(lo2, 0.0);
+    }
+
+    #[test]
+    fn theorem2_envelope_brackets_gaussian_order_stats() {
+        // For genuine N(0, σ'²) samples, each order statistic must fall in
+        // its Theorem-2 interval at the critical D_KS.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v = gaussian_vector(&mut rng, STD, 2_000);
+        v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let d_crit = 1.358 / (2_000f64).sqrt();
+        for &k in &[1usize, 500, 1000, 1500, 2000] {
+            let (lo, hi) = theorem2_envelope(STD, 2_000, d_crit, k);
+            let x = v[k - 1] as f64;
+            assert!(lo <= x && x <= hi, "order stat {k} = {x} outside [{lo}, {hi}]");
+            assert!(lo < hi);
+        }
+    }
+
+    #[test]
+    fn envelope_tightens_with_smaller_dks() {
+        let wide = theorem2_envelope(STD, 1000, 0.1, 500);
+        let tight = theorem2_envelope(STD, 1000, 0.01, 500);
+        assert!(tight.1 - tight.0 < wide.1 - wide.0);
+    }
+}

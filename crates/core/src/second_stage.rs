@@ -1,0 +1,291 @@
+//! Second-stage aggregation (paper Algorithm 3, lines 4–14).
+//!
+//! The first stage confines every accepted upload to "noise + norm-bounded
+//! payload"; the second stage decides *which direction* that payload points.
+//! The server computes a clean gradient `g_s` from its auxiliary data and
+//! scores each upload by the **inner product** `⟨g_i, g_s⟩` (not cosine — the
+//! paper's Eq. 7 lower bound only holds for the inner product). Scores below
+//! the mean of the round's top `⌈γn⌉` are suppressed to zero; surviving
+//! scores **accumulate** across rounds, and the uploads with the top `⌈γn⌉`
+//! accumulated scores are selected with **binary weights**.
+
+use dpbfl_tensor::vecops;
+use serde::{Deserialize, Serialize};
+
+/// How an upload is scored against the server gradient.
+///
+/// The paper's §4.5 "Novelties" argues the **inner product** is the right
+/// metric (it carries Eq. 7's lower bound), while prior auxiliary-data work
+/// (FLTrust, ByGARS) uses **cosine similarity**; the cosine variant is kept
+/// for the design-choice ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ScoringRule {
+    /// `⟨g_i, g_s⟩` (the paper's choice).
+    #[default]
+    InnerProduct,
+    /// `cos(g_i, g_s)` (the prior work's choice; ablation).
+    Cosine,
+}
+
+/// How selected uploads are weighted in the model update.
+///
+/// The paper assigns **binary** weights and observes that real-valued
+/// similarity weights, under DP noise, further bias the aggregate
+/// ("rubbish model update", §4.5); the proportional variant is kept for the
+/// ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum WeightScheme {
+    /// Selected uploads get weight 1 (the paper's choice).
+    #[default]
+    Binary,
+    /// Selected uploads are weighted by their round score, normalized to
+    /// sum to the selection count (ablation).
+    Proportional,
+}
+
+/// Outcome of one second-stage round.
+#[derive(Debug, Clone)]
+pub struct SelectionResult {
+    /// Indices of the selected uploads (top `⌈γn⌉` accumulated scores).
+    pub selected: Vec<usize>,
+    /// Per-upload weights (length `n`; zero for unselected uploads).
+    pub weights: Vec<f64>,
+    /// This round's raw scores.
+    pub round_scores: Vec<f64>,
+    /// The suppression threshold `μ̂` (mean of the round's top scores).
+    pub threshold: f64,
+}
+
+/// The stateful second-stage selector (owns the accumulated score list `S`).
+#[derive(Debug, Clone)]
+pub struct SecondStage {
+    scores: Vec<f64>,
+    gamma: f64,
+    scoring: ScoringRule,
+    weighting: WeightScheme,
+}
+
+impl SecondStage {
+    /// New selector for `n_workers` uploads per round and honest-fraction
+    /// belief `γ ∈ (0, 1]`, with the paper's scoring and weighting.
+    pub fn new(n_workers: usize, gamma: f64) -> Self {
+        Self::with_rules(n_workers, gamma, ScoringRule::default(), WeightScheme::default())
+    }
+
+    /// Selector with explicit scoring/weighting rules (ablation support).
+    pub fn with_rules(
+        n_workers: usize,
+        gamma: f64,
+        scoring: ScoringRule,
+        weighting: WeightScheme,
+    ) -> Self {
+        assert!(n_workers > 0, "need at least one worker");
+        assert!(gamma > 0.0 && gamma <= 1.0, "γ must be in (0, 1], got {gamma}");
+        SecondStage { scores: vec![0.0; n_workers], gamma, scoring, weighting }
+    }
+
+    /// Number of uploads selected per round, `⌈γn⌉`.
+    pub fn select_count(&self) -> usize {
+        ((self.gamma * self.scores.len() as f64).ceil() as usize).clamp(1, self.scores.len())
+    }
+
+    /// The accumulated score list `S` (read-only view).
+    pub fn accumulated_scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// Runs one round of Algorithm 3 lines 5–14 on the (already
+    /// first-stage-filtered) uploads and the server gradient `g_s`.
+    pub fn select(&mut self, uploads: &[Vec<f32>], server_grad: &[f32]) -> SelectionResult {
+        assert_eq!(uploads.len(), self.scores.len(), "upload count changed mid-training");
+        let n = uploads.len();
+        let keep = self.select_count();
+
+        // Lines 6–8: score each upload against the server gradient.
+        let mut round_scores: Vec<f64> = uploads
+            .iter()
+            .map(|g| match self.scoring {
+                ScoringRule::InnerProduct => vecops::dot(g, server_grad),
+                ScoringRule::Cosine => vecops::cosine_similarity(g, server_grad),
+            })
+            .collect();
+
+        // Line 9: μ̂ = mean of the top ⌈γn⌉ scores this round.
+        let mut sorted = round_scores.clone();
+        sorted.sort_unstable_by(|a, b| b.partial_cmp(a).expect("scores are finite"));
+        let threshold = sorted[..keep].iter().sum::<f64>() / keep as f64;
+
+        // Lines 10–13: suppress below-threshold scores, accumulate the rest.
+        for (s, r) in self.scores.iter_mut().zip(round_scores.iter_mut()) {
+            if *r < threshold {
+                *r = 0.0;
+            }
+            *s += *r;
+        }
+
+        // Line 14: top ⌈γn⌉ accumulated scores form the selected set.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            self.scores[b].partial_cmp(&self.scores[a]).expect("scores are finite")
+        });
+        let mut selected = order[..keep].to_vec();
+        selected.sort_unstable();
+
+        // Weights: binary per the paper, or score-proportional (ablation).
+        let mut weights = vec![0.0f64; n];
+        match self.weighting {
+            WeightScheme::Binary => {
+                for &i in &selected {
+                    weights[i] = 1.0;
+                }
+            }
+            WeightScheme::Proportional => {
+                let total: f64 = selected.iter().map(|&i| round_scores[i].max(0.0)).sum();
+                if total > 0.0 {
+                    // Normalize so Σw = |selected| (comparable step size to
+                    // the binary scheme).
+                    for &i in &selected {
+                        weights[i] = round_scores[i].max(0.0) / total * selected.len() as f64;
+                    }
+                } else {
+                    for &i in &selected {
+                        weights[i] = 1.0;
+                    }
+                }
+            }
+        }
+
+        SelectionResult { selected, weights, round_scores, threshold }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(d: usize, dir: f32) -> Vec<f32> {
+        let mut v = vec![0.0f32; d];
+        v[0] = dir;
+        v
+    }
+
+    #[test]
+    fn select_count_is_ceil_gamma_n() {
+        assert_eq!(SecondStage::new(10, 0.5).select_count(), 5);
+        assert_eq!(SecondStage::new(10, 0.41).select_count(), 5);
+        assert_eq!(SecondStage::new(10, 0.05).select_count(), 1);
+        assert_eq!(SecondStage::new(3, 1.0).select_count(), 3);
+    }
+
+    #[test]
+    fn aligned_uploads_beat_opposed_ones() {
+        let d = 8;
+        let server = unit(d, 1.0);
+        let uploads = vec![unit(d, 1.0), unit(d, 0.9), unit(d, -1.0), unit(d, -0.9)];
+        let mut stage = SecondStage::new(4, 0.5);
+        let res = stage.select(&uploads, &server);
+        assert_eq!(res.selected, vec![0, 1]);
+        // Opposed uploads' scores were suppressed to zero, not accumulated
+        // negatively.
+        assert_eq!(stage.accumulated_scores()[2], 0.0);
+        assert_eq!(stage.accumulated_scores()[3], 0.0);
+    }
+
+    #[test]
+    fn threshold_is_mean_of_top_scores() {
+        let d = 4;
+        let server = unit(d, 1.0);
+        let uploads = vec![unit(d, 4.0), unit(d, 2.0), unit(d, 1.0), unit(d, -5.0)];
+        let mut stage = SecondStage::new(4, 0.5);
+        let res = stage.select(&uploads, &server);
+        assert!((res.threshold - 3.0).abs() < 1e-12); // mean of {4, 2}
+        // Only scores ≥ 3 accumulate: worker 0 only.
+        assert_eq!(stage.accumulated_scores(), &[4.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn accumulation_rewards_consistency() {
+        // A worker that scores well every round overtakes one with a single
+        // lucky round — the defense against adaptive (TTBB) attackers.
+        let d = 4;
+        let server = unit(d, 1.0);
+        let mut stage = SecondStage::new(2, 0.5);
+        // Round 1: worker 1 wins big.
+        stage.select(&[unit(d, 1.0), unit(d, 10.0)], &server);
+        // Rounds 2–11: worker 1 turns Byzantine (negative), worker 0 steady.
+        let mut last = None;
+        for _ in 0..10 {
+            last = Some(stage.select(&[unit(d, 2.0), unit(d, -10.0)], &server));
+        }
+        assert_eq!(last.expect("ran").selected, vec![0]);
+    }
+
+    #[test]
+    fn zeroed_first_stage_uploads_score_zero() {
+        let d = 4;
+        let server = unit(d, 1.0);
+        let uploads = vec![vec![0.0; d], unit(d, 1.0)];
+        let mut stage = SecondStage::new(2, 0.5);
+        let res = stage.select(&uploads, &server);
+        assert_eq!(res.round_scores[0], 0.0);
+        assert_eq!(res.selected, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "upload count changed")]
+    fn rejects_inconsistent_upload_count() {
+        let mut stage = SecondStage::new(3, 0.5);
+        let _ = stage.select(&[vec![0.0; 2]], &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn binary_weights_are_zero_one() {
+        let d = 4;
+        let server = unit(d, 1.0);
+        let uploads = vec![unit(d, 3.0), unit(d, 2.0), unit(d, -1.0), unit(d, 1.0)];
+        let mut stage = SecondStage::new(4, 0.5);
+        let res = stage.select(&uploads, &server);
+        for (i, &w) in res.weights.iter().enumerate() {
+            if res.selected.contains(&i) {
+                assert_eq!(w, 1.0);
+            } else {
+                assert_eq!(w, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn proportional_weights_follow_scores() {
+        let d = 4;
+        let server = unit(d, 1.0);
+        let uploads = vec![unit(d, 3.0), unit(d, 1.0), unit(d, -1.0), unit(d, -2.0)];
+        let mut stage = SecondStage::with_rules(
+            4,
+            0.5,
+            ScoringRule::InnerProduct,
+            WeightScheme::Proportional,
+        );
+        let res = stage.select(&uploads, &server);
+        assert_eq!(res.selected, vec![0, 1]);
+        // Weights proportional to 3 and… 1 was suppressed (below μ̂ = 2), so
+        // it carries zero round score → weight 0; all mass on upload 0.
+        assert!(res.weights[0] > res.weights[1]);
+        let total: f64 = res.weights.iter().sum();
+        assert!((total - 2.0).abs() < 1e-9, "weights should sum to |selected|");
+    }
+
+    #[test]
+    fn cosine_scoring_ignores_magnitude() {
+        let d = 4;
+        let server = unit(d, 1.0);
+        // A huge aligned vector and a small aligned vector: inner product
+        // separates them, cosine does not.
+        let uploads = vec![unit(d, 100.0), unit(d, 0.1)];
+        let mut ip = SecondStage::new(2, 0.5);
+        let r_ip = ip.select(&uploads, &server);
+        assert_eq!(r_ip.selected, vec![0]);
+        let mut cos = SecondStage::with_rules(2, 0.5, ScoringRule::Cosine, WeightScheme::Binary);
+        let r_cos = cos.select(&uploads, &server);
+        assert!((r_cos.round_scores[0] - r_cos.round_scores[1]).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,608 @@
+//! End-to-end federated training simulation.
+//!
+//! One [`Simulation`] run reproduces the paper's experimental loop: a server
+//! broadcasts the model, honest workers run Algorithm 1, the omniscient
+//! adversary crafts its Byzantine uploads, the server defends (or doesn't),
+//! updates the model, and the test accuracy is tracked per epoch.
+//!
+//! The *Reference Accuracy* of the paper (§6.1) is this same simulation with
+//! zero Byzantine workers and [`DefenseKind::NoDefense`].
+
+use crate::attack::{craft_uploads, AttackContext, AttackSpec};
+use crate::aggregator::AggregatorKind;
+use crate::config::{DefenseConfig, DpSgdConfig, StepNormalization};
+use crate::first_stage::FirstStage;
+use crate::second_stage::SecondStage;
+use crate::worker::DpWorker;
+use dpbfl_data::{
+    flip_labels, iid_partition, non_iid_partition, sample_auxiliary, Dataset, SyntheticSpec,
+};
+use dpbfl_dp::{paper_delta, RdpAccountant};
+use dpbfl_nn::{accuracy, zoo, CrossEntropyLoss, Sequential};
+use dpbfl_tensor::vecops;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Which network architecture the run trains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// The paper's Fashion/USPS MLP (`d = 25 450`); also used for the
+    /// MNIST-like task at reduced scale.
+    Mlp784,
+    /// The paper's MNIST CNN (`d = 21 802`).
+    MnistCnn,
+    /// The Colorectal-like residual CNN.
+    ColorectalCnn,
+    /// Small generic MLP (reduced-scale experiments): `input → hidden →
+    /// classes`.
+    SmallMlp {
+        /// Hidden width.
+        hidden: usize,
+    },
+}
+
+impl ModelKind {
+    /// Builds the network, checking it matches the dataset's shape.
+    pub fn build<R: Rng + ?Sized>(&self, rng: &mut R, spec: &SyntheticSpec) -> Sequential {
+        let model = match *self {
+            ModelKind::Mlp784 => zoo::mlp_784(rng),
+            ModelKind::MnistCnn => zoo::mnist_cnn(rng),
+            ModelKind::ColorectalCnn => zoo::colorectal_cnn(rng),
+            ModelKind::SmallMlp { hidden } => {
+                zoo::mlp(rng, spec.example_len(), hidden, spec.num_classes)
+            }
+        };
+        assert_eq!(model.input_len(), spec.example_len(), "model/dataset input mismatch");
+        assert_eq!(model.output_len(), spec.num_classes, "model/dataset class mismatch");
+        model
+    }
+}
+
+/// How worker uploads are produced.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WorkerProtocol {
+    /// The paper's protocol: normalization + momentum + Gaussian noise
+    /// (Algorithm 1).
+    PaperDp,
+    /// Vanilla DP-SGD with clipping (the [30]-style baseline substrate).
+    ClippedDp {
+        /// Clipping threshold `C`.
+        clip: f64,
+    },
+    /// No privacy: Algorithm 1 with σ = 0 (normalization and momentum kept,
+    /// no noise), so the Non-DP ablation rows share the same tuned
+    /// hyper-parameters — matching the paper's "same hyperparameter setup
+    /// for a fair comparison" (supp. A.6).
+    Plain,
+}
+
+/// Which server-side defense runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DefenseKind {
+    /// Plain averaging of every upload (Reference Accuracy / undefended).
+    NoDefense,
+    /// The paper's two-stage protocol (Algorithms 2 + 3).
+    TwoStage,
+    /// A classical robust aggregator applied to the uploads (the paper's
+    /// "off-the-shelf robust rule on top of DP" comparison).
+    Robust(AggregatorKind),
+    /// FLTrust [Cao et al. 2020]: cosine-trust weighting against the server's
+    /// auxiliary gradient (the prior auxiliary-data defense in Table 1).
+    FlTrust,
+}
+
+/// Full experiment configuration.
+#[derive(Debug, Clone)]
+pub struct SimulationConfig {
+    /// Synthetic dataset family.
+    pub dataset: SyntheticSpec,
+    /// Network architecture.
+    pub model: ModelKind,
+    /// Examples per worker, `|D_i|`.
+    pub per_worker: usize,
+    /// Held-out test examples.
+    pub test_count: usize,
+    /// Honest worker count.
+    pub n_honest: usize,
+    /// Byzantine worker count.
+    pub n_byzantine: usize,
+    /// i.i.d. (true) or Algorithm-4 non-i.i.d. (false) data distribution.
+    pub iid: bool,
+    /// Epochs; `T = ⌈epochs·|D_i|/b_c⌉`.
+    pub epochs: f64,
+    /// Base learning rate `η_b` (paper: 0.2).
+    pub base_lr: f64,
+    /// Base noise multiplier `σ_b` the base lr was tuned at (paper: 0.79,
+    /// i.e. ε = 2 on MNIST). The run's lr is `η_b·σ_b/σ`.
+    pub base_sigma: f64,
+    /// Target privacy ε; `Some` derives σ via the RDP accountant with
+    /// `δ = |D_i|^{−1.1}`, `None` uses `dp.noise_multiplier` as-is.
+    pub epsilon: Option<f64>,
+    /// Worker-side DP parameters.
+    pub dp: DpSgdConfig,
+    /// Server-side defense parameters.
+    pub defense_cfg: DefenseConfig,
+    /// The attack mounted by the Byzantine workers.
+    pub attack: AttackSpec,
+    /// The server's defense.
+    pub defense: DefenseKind,
+    /// Upload protocol.
+    pub protocol: WorkerProtocol,
+    /// Auxiliary data drawn from a different data space (supp. Table 17).
+    pub ood_auxiliary: bool,
+    /// Master seed.
+    pub seed: u64,
+    /// Evaluate every this many iterations (0 = only at epoch boundaries).
+    pub eval_every: usize,
+}
+
+impl SimulationConfig {
+    /// A small, fast default configuration (reduced scale; the bench harness
+    /// overrides fields per experiment).
+    pub fn quick(dataset: SyntheticSpec, model: ModelKind) -> Self {
+        SimulationConfig {
+            dataset,
+            model,
+            per_worker: 400,
+            test_count: 500,
+            n_honest: 10,
+            n_byzantine: 0,
+            iid: true,
+            epochs: 4.0,
+            base_lr: 0.2,
+            base_sigma: 0.79,
+            epsilon: Some(2.0),
+            dp: DpSgdConfig::default(),
+            defense_cfg: DefenseConfig::default(),
+            attack: AttackSpec::None,
+            defense: DefenseKind::NoDefense,
+            protocol: WorkerProtocol::PaperDp,
+            ood_auxiliary: false,
+            seed: 1,
+            eval_every: 0,
+        }
+    }
+
+    /// Total workers `n`.
+    pub fn n_total(&self) -> usize {
+        self.n_honest + self.n_byzantine
+    }
+
+    /// Iterations `T = ⌈epochs·|D_i|/b_c⌉`.
+    pub fn iterations(&self) -> usize {
+        ((self.epochs * self.per_worker as f64) / self.dp.batch_size as f64).ceil() as usize
+    }
+}
+
+/// One accuracy measurement.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EvalPoint {
+    /// Iteration index (1-based, after the update).
+    pub iteration: usize,
+    /// Fractional epoch.
+    pub epoch: f64,
+    /// Test accuracy in [0, 1].
+    pub accuracy: f64,
+}
+
+/// Defense bookkeeping across the whole run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DefenseStats {
+    /// Uploads zeroed by the first stage, split by worker kind.
+    pub first_stage_rejected_honest: u64,
+    /// Byzantine uploads zeroed by the first stage.
+    pub first_stage_rejected_byzantine: u64,
+    /// Second-stage selections that picked a Byzantine upload.
+    pub byzantine_selected: u64,
+    /// Total selections made (`⌈γn⌉ · rounds`).
+    pub total_selected: u64,
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Final test accuracy.
+    pub final_accuracy: f64,
+    /// Accuracy trajectory.
+    pub history: Vec<EvalPoint>,
+    /// Defense bookkeeping (zeros when no defense ran).
+    pub defense_stats: DefenseStats,
+    /// The noise multiplier σ actually used.
+    pub sigma: f64,
+    /// The learning rate actually used.
+    pub lr: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// δ used by the accountant (0 for non-private runs).
+    pub delta: f64,
+}
+
+/// Runs one full experiment.
+pub fn run(cfg: &SimulationConfig) -> RunResult {
+    let mut master = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9e3779b97f4a7c15));
+
+    // ---- privacy calibration -------------------------------------------
+    let (sigma, delta) = resolve_sigma(cfg);
+    let mut dp = cfg.dp.clone();
+    dp.noise_multiplier = sigma;
+    let lr = if sigma > 0.0 { cfg.base_lr * cfg.base_sigma / sigma } else { cfg.base_lr };
+
+    // ---- data -----------------------------------------------------------
+    let needs_poisoned = cfg.attack.needs_poisoned_workers();
+    let n_data_workers = cfg.n_honest + if needs_poisoned { cfg.n_byzantine } else { 0 };
+    let train = cfg.dataset.generate(n_data_workers * cfg.per_worker, cfg.seed);
+    let parts = if cfg.iid {
+        iid_partition(&mut master, train.len(), n_data_workers)
+    } else {
+        non_iid_partition(&mut master, &train.labels, train.num_classes, n_data_workers)
+    };
+    let test = cfg.dataset.generate(cfg.test_count, cfg.seed.wrapping_add(0x7e57));
+    let validation = cfg.dataset.generate(
+        (cfg.defense_cfg.aux_per_class * cfg.dataset.num_classes * 20).max(200),
+        cfg.seed.wrapping_add(0xa0c),
+    );
+
+    // ---- model and workers ----------------------------------------------
+    let mut init_rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0x4d0de1));
+    let mut server_model = cfg.model.build(&mut init_rng, &cfg.dataset);
+    let d = server_model.param_len();
+    let mut params = server_model.params();
+
+    let mut honest: Vec<DpWorker> = (0..cfg.n_honest)
+        .map(|i| {
+            let data = train.subset(&parts[i]);
+            DpWorker::new(server_model.clone(), data, dp.clone(), worker_seed(cfg.seed, i))
+        })
+        .collect();
+    let mut poisoned: Vec<DpWorker> = if needs_poisoned {
+        (0..cfg.n_byzantine)
+            .map(|j| {
+                let mut data = train.subset(&parts[cfg.n_honest + j]);
+                flip_labels(&mut data);
+                DpWorker::new(
+                    server_model.clone(),
+                    data,
+                    dp.clone(),
+                    worker_seed(cfg.seed, cfg.n_honest + j),
+                )
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    // ---- defense state ----------------------------------------------------
+    let n_total = cfg.n_total();
+    let mut fltrust_state = match &cfg.defense {
+        DefenseKind::FlTrust => {
+            let aux = sample_auxiliary(&mut master, &validation, cfg.defense_cfg.aux_per_class);
+            Some((aux, server_model.clone(), vec![0.0f32; d]))
+        }
+        _ => None,
+    };
+    let mut defense = match &cfg.defense {
+        DefenseKind::TwoStage => {
+            assert!(sigma > 0.0, "the two-stage defense requires DP noise (σ > 0)");
+            let aux_source = if cfg.ood_auxiliary {
+                SyntheticSpec::kmnist_like()
+                    .generate(validation.len(), cfg.seed.wrapping_add(0xbad))
+            } else {
+                validation.clone()
+            };
+            let aux = sample_auxiliary(&mut master, &aux_source, cfg.defense_cfg.aux_per_class);
+            Some(TwoStageState {
+                first: FirstStage::new(
+                    dp.effective_noise_std(),
+                    d,
+                    cfg.defense_cfg.ks_significance,
+                    cfg.defense_cfg.norm_test_stds,
+                ),
+                second: SecondStage::with_rules(
+                    n_total,
+                    cfg.defense_cfg.gamma,
+                    cfg.defense_cfg.scoring,
+                    cfg.defense_cfg.weighting,
+                ),
+                aux,
+                server_model: server_model.clone(),
+                grad_buf: vec![0.0f32; d],
+            })
+        }
+        _ => None,
+    };
+
+    // ---- training loop ----------------------------------------------------
+    let iterations = cfg.iterations();
+    let eval_every = if cfg.eval_every > 0 {
+        cfg.eval_every
+    } else {
+        (cfg.per_worker / cfg.dp.batch_size).max(1) // once per epoch
+    };
+    let mut history = Vec::new();
+    let mut stats = DefenseStats::default();
+    let mut attack_rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0xa77ac4));
+
+    for t in 0..iterations {
+        // Honest and poisoned protocol uploads, in parallel.
+        let benign = parallel_uploads(&mut honest, &params, cfg.protocol);
+        let poisoned_uploads = if needs_poisoned {
+            parallel_uploads(&mut poisoned, &params, cfg.protocol)
+        } else {
+            Vec::new()
+        };
+
+        // The omniscient adversary crafts its uploads.
+        let ctx = AttackContext {
+            benign_uploads: &benign,
+            n_byzantine: cfg.n_byzantine,
+            noise_std: dp.effective_noise_std(),
+            round: t,
+            total_rounds: iterations,
+            poisoned_uploads: &poisoned_uploads,
+        };
+        let byzantine = craft_uploads(&cfg.attack, &ctx, &mut attack_rng);
+
+        let mut uploads = benign;
+        uploads.extend(byzantine);
+
+        // Server step.
+        match (&cfg.defense, defense.as_mut()) {
+            (DefenseKind::NoDefense, _) => {
+                let refs: Vec<&[f32]> = uploads.iter().map(|u| u.as_slice()).collect();
+                let g = vecops::mean(&refs).expect("at least one worker");
+                vecops::axpy(-(lr as f32), &g, &mut params);
+            }
+            (DefenseKind::Robust(kind), _) => {
+                let g = kind.aggregate(&uploads);
+                vecops::axpy(-(lr as f32), &g, &mut params);
+            }
+            (DefenseKind::TwoStage, Some(state)) => {
+                let update = state.step(cfg, &mut uploads, &params, &mut stats, lr, n_total);
+                vecops::add_assign(&mut params, &update);
+            }
+            (DefenseKind::TwoStage, None) => unreachable!("two-stage state always built"),
+            (DefenseKind::FlTrust, _) => {
+                let (aux, model, grad_buf) =
+                    fltrust_state.as_mut().expect("fltrust state always built");
+                model.set_params(&params);
+                let loss_fn = CrossEntropyLoss;
+                let examples: Vec<(&[f32], usize)> =
+                    (0..aux.len()).map(|i| (aux.example(i), aux.label(i))).collect();
+                model.batch_gradient(&loss_fn, &examples, grad_buf);
+                let refs: Vec<&[f32]> = uploads.iter().map(|u| u.as_slice()).collect();
+                let g = crate::aggregator_ext::fltrust(&refs, grad_buf);
+                vecops::axpy(-(lr as f32), &g, &mut params);
+            }
+        }
+
+        // Periodic evaluation.
+        if (t + 1) % eval_every == 0 || t + 1 == iterations {
+            server_model.set_params(&params);
+            let acc = accuracy(&mut server_model, &test.features, &test.labels);
+            history.push(EvalPoint {
+                iteration: t + 1,
+                epoch: (t + 1) as f64 * cfg.dp.batch_size as f64 / cfg.per_worker as f64,
+                accuracy: acc,
+            });
+        }
+    }
+
+    let final_accuracy = history.last().map(|p| p.accuracy).unwrap_or(0.0);
+    RunResult { final_accuracy, history, defense_stats: stats, sigma, lr, iterations, delta }
+}
+
+/// The two-stage defense's mutable state.
+struct TwoStageState {
+    first: FirstStage,
+    second: SecondStage,
+    aux: Dataset,
+    server_model: Sequential,
+    grad_buf: Vec<f32>,
+}
+
+impl TwoStageState {
+    /// Runs Algorithms 2 + 3 for one round; returns the (already
+    /// lr-scaled) parameter update.
+    fn step(
+        &mut self,
+        cfg: &SimulationConfig,
+        uploads: &mut [Vec<f32>],
+        params: &[f32],
+        stats: &mut DefenseStats,
+        lr: f64,
+        n_total: usize,
+    ) -> Vec<f32> {
+        // First stage: test-and-zero every upload. The KS test sorts all d
+        // coordinates per upload, so the checks run in parallel. The ablation
+        // flag can disable this stage to measure its contribution.
+        let verdicts: Vec<bool> = if !cfg.defense_cfg.first_stage_enabled {
+            vec![true; uploads.len()]
+        } else {
+            let first = &self.first;
+            let n = uploads.len();
+            let threads =
+                std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n);
+            let chunk = n.div_ceil(threads);
+            let mut accepted = vec![true; n];
+            std::thread::scope(|scope| {
+                for (u_chunk, a_chunk) in
+                    uploads.chunks_mut(chunk).zip(accepted.chunks_mut(chunk))
+                {
+                    scope.spawn(move || {
+                        for (u, a) in u_chunk.iter_mut().zip(a_chunk.iter_mut()) {
+                            *a = first.filter(u).is_accepted();
+                        }
+                    });
+                }
+            });
+            accepted
+        };
+        for (i, &ok) in verdicts.iter().enumerate() {
+            if !ok {
+                if i < cfg.n_honest {
+                    stats.first_stage_rejected_honest += 1;
+                } else {
+                    stats.first_stage_rejected_byzantine += 1;
+                }
+            }
+        }
+
+        // Server's clean gradient from auxiliary data (Algorithm 3 line 4).
+        self.server_model.set_params(params);
+        let loss_fn = CrossEntropyLoss;
+        let examples: Vec<(&[f32], usize)> =
+            (0..self.aux.len()).map(|i| (self.aux.example(i), self.aux.label(i))).collect();
+        self.server_model.batch_gradient(&loss_fn, &examples, &mut self.grad_buf);
+
+        // Second stage: score, threshold, accumulate, select.
+        let selection = self.second.select(uploads, &self.grad_buf);
+        stats.total_selected += selection.selected.len() as u64;
+        stats.byzantine_selected +=
+            selection.selected.iter().filter(|&&i| i >= cfg.n_honest).count() as u64;
+
+        // Model update: w ← w − η·(1/n)·Σ_{g∈G} g (Algorithm 1 line 14).
+        let denom = match cfg.defense_cfg.step_normalization {
+            StepNormalization::TotalWorkers => n_total as f64,
+            StepNormalization::SelectedCount => selection.selected.len().max(1) as f64,
+        };
+        let d = params.len();
+        let mut update = vec![0.0f64; d];
+        for &i in &selection.selected {
+            let w = selection.weights[i];
+            for (u, &g) in update.iter_mut().zip(&uploads[i]) {
+                *u += w * g as f64;
+            }
+        }
+        let coef = -lr / denom;
+        update.into_iter().map(|u| (u * coef) as f32).collect()
+    }
+}
+
+/// σ and δ for the run: either derived from the ε target via the accountant,
+/// or taken from the config.
+fn resolve_sigma(cfg: &SimulationConfig) -> (f64, f64) {
+    match cfg.protocol {
+        WorkerProtocol::Plain => (0.0, 0.0),
+        _ => match cfg.epsilon {
+            Some(eps) => {
+                let q = cfg.dp.batch_size as f64 / cfg.per_worker as f64;
+                let acc = RdpAccountant::new(q, cfg.iterations() as u64);
+                let delta = paper_delta(cfg.per_worker);
+                (acc.find_noise_multiplier(eps, delta), delta)
+            }
+            None => (cfg.dp.noise_multiplier, paper_delta(cfg.per_worker)),
+        },
+    }
+}
+
+/// Deterministic per-worker RNG seed.
+fn worker_seed(master: u64, index: usize) -> u64 {
+    master
+        .wrapping_mul(0x100000001b3)
+        .wrapping_add(index as u64)
+        .wrapping_mul(0x9e3779b97f4a7c15)
+}
+
+/// Computes all workers' uploads for this round in parallel.
+fn parallel_uploads(
+    workers: &mut [DpWorker],
+    params: &[f32],
+    protocol: WorkerProtocol,
+) -> Vec<Vec<f32>> {
+    if workers.is_empty() {
+        return Vec::new();
+    }
+    let n = workers.len();
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n);
+    let chunk = n.div_ceil(threads);
+    let mut outputs: Vec<Vec<f32>> = vec![Vec::new(); n];
+    std::thread::scope(|scope| {
+        for (w_chunk, o_chunk) in workers.chunks_mut(chunk).zip(outputs.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (w, o) in w_chunk.iter_mut().zip(o_chunk.iter_mut()) {
+                    *o = match protocol {
+                        // Plain is Algorithm 1 with σ = 0: the worker's
+                        // noise multiplier is already zero for such runs.
+                        WorkerProtocol::PaperDp | WorkerProtocol::Plain => w.local_step(params),
+                        WorkerProtocol::ClippedDp { clip } => w.clipped_dp_step(params, clip),
+                    };
+                }
+            });
+        }
+    });
+    outputs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> SimulationConfig {
+        let mut cfg = SimulationConfig::quick(
+            SyntheticSpec::mnist_like(),
+            ModelKind::SmallMlp { hidden: 8 },
+        );
+        cfg.per_worker = 128;
+        cfg.test_count = 200;
+        cfg.n_honest = 4;
+        cfg.epochs = 1.0;
+        cfg.epsilon = None;
+        cfg.dp.noise_multiplier = 0.5;
+        cfg
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let cfg = quick_cfg();
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.final_accuracy, b.final_accuracy);
+        assert_eq!(a.history.len(), b.history.len());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = quick_cfg();
+        let mut cfg2 = quick_cfg();
+        cfg2.seed = 99;
+        let a = run(&cfg);
+        let b = run(&cfg2);
+        assert_ne!(a.final_accuracy, b.final_accuracy);
+    }
+
+    #[test]
+    fn lr_follows_tuning_rule() {
+        let mut cfg = quick_cfg();
+        cfg.dp.noise_multiplier = 1.58; // 2 × σ_b
+        let r = run(&cfg);
+        assert!((r.lr - 0.2 * 0.79 / 1.58).abs() < 1e-12);
+        assert!((r.sigma - 1.58).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_private_runs_have_zero_sigma() {
+        let mut cfg = quick_cfg();
+        cfg.protocol = WorkerProtocol::Plain;
+        let r = run(&cfg);
+        assert_eq!(r.sigma, 0.0);
+        assert!((r.lr - cfg.base_lr).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iterations_match_epoch_formula() {
+        let cfg = quick_cfg();
+        assert_eq!(cfg.iterations(), (128.0f64 / 16.0).ceil() as usize);
+        let r = run(&cfg);
+        assert_eq!(r.iterations, cfg.iterations());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires DP noise")]
+    fn two_stage_rejects_non_private_runs() {
+        let mut cfg = quick_cfg();
+        cfg.protocol = WorkerProtocol::Plain;
+        cfg.defense = DefenseKind::TwoStage;
+        let _ = run(&cfg);
+    }
+}

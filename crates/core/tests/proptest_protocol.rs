@@ -1,0 +1,117 @@
+//! Property-based tests for the protocol pieces: aggregator containment,
+//! selection invariants, and first-stage filtering laws.
+
+use dpbfl::aggregator::{coordinate_median, geometric_median, krum, trimmed_mean};
+use dpbfl::first_stage::{theorem2_envelope, FirstStage};
+use dpbfl::second_stage::SecondStage;
+use proptest::prelude::*;
+
+fn upload_set(n: std::ops::Range<usize>, d: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
+    prop::collection::vec(prop::collection::vec(-10.0f32..10.0, d..d + 1), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn krum_returns_one_of_the_inputs(ups in upload_set(2..8, 4), f in 0usize..3) {
+        let refs: Vec<&[f32]> = ups.iter().map(|u| u.as_slice()).collect();
+        let chosen = krum(&refs, f);
+        prop_assert!(ups.iter().any(|u| u.as_slice() == chosen));
+    }
+
+    #[test]
+    fn median_and_trimmed_mean_stay_in_hull(ups in upload_set(3..9, 4)) {
+        let refs: Vec<&[f32]> = ups.iter().map(|u| u.as_slice()).collect();
+        let med = coordinate_median(&refs);
+        let tm = trimmed_mean(&refs, 1);
+        for j in 0..4 {
+            let lo = ups.iter().map(|u| u[j]).fold(f32::INFINITY, f32::min);
+            let hi = ups.iter().map(|u| u[j]).fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(med[j] >= lo - 1e-4 && med[j] <= hi + 1e-4);
+            prop_assert!(tm[j] >= lo - 1e-4 && tm[j] <= hi + 1e-4);
+        }
+    }
+
+    #[test]
+    fn geometric_median_within_bounding_box(ups in upload_set(2..7, 3)) {
+        let refs: Vec<&[f32]> = ups.iter().map(|u| u.as_slice()).collect();
+        let gm = geometric_median(&refs, 100, 1e-8);
+        for j in 0..3 {
+            let lo = ups.iter().map(|u| u[j]).fold(f32::INFINITY, f32::min);
+            let hi = ups.iter().map(|u| u[j]).fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(gm[j] >= lo - 1e-2 && gm[j] <= hi + 1e-2);
+        }
+    }
+
+    #[test]
+    fn second_stage_selects_exactly_ceil_gamma_n(
+        n in 1usize..12, gamma in 0.05f64..1.0
+    ) {
+        let mut stage = SecondStage::new(n, gamma);
+        let uploads: Vec<Vec<f32>> = (0..n).map(|i| vec![i as f32, 1.0]).collect();
+        let res = stage.select(&uploads, &[1.0, 0.0]);
+        let expected = ((gamma * n as f64).ceil() as usize).clamp(1, n);
+        prop_assert_eq!(res.selected.len(), expected);
+        // Selected indices are valid, sorted and unique.
+        let mut sorted = res.selected.clone();
+        sorted.dedup();
+        prop_assert_eq!(&sorted, &res.selected);
+        prop_assert!(res.selected.iter().all(|&i| i < n));
+    }
+
+    #[test]
+    fn second_stage_scores_never_accumulate_negative(
+        n in 2usize..8, rounds in 1usize..10
+    ) {
+        let mut stage = SecondStage::new(n, 0.5);
+        for r in 0..rounds {
+            let uploads: Vec<Vec<f32>> =
+                (0..n).map(|i| vec![(i as f32) - (r as f32), 1.0]).collect();
+            stage.select(&uploads, &[1.0, -1.0]);
+        }
+        // Suppression zeroes below-threshold scores instead of accumulating
+        // them, so no entry may drift negative-unboundedly… in fact scores
+        // above the threshold are by construction ≥ it; entries only grow.
+        for w in 0..n {
+            let s = stage.accumulated_scores()[w];
+            prop_assert!(s.is_finite());
+        }
+    }
+
+    #[test]
+    fn first_stage_filter_is_idempotent(scale in 0.0f32..3.0) {
+        let d = 2048;
+        let noise_std = 0.05;
+        let stage = FirstStage::new(noise_std, d, 0.05, 3.0);
+        // A deterministic pseudo-noise vector scaled by `scale`.
+        let mut v: Vec<f32> = (0..d)
+            .map(|i| {
+                let h = (i as u32).wrapping_mul(2654435761);
+                ((h % 2000) as f32 / 1000.0 - 1.0) * noise_std as f32 * 1.7 * scale
+            })
+            .collect();
+        let first = stage.filter(&mut v);
+        let snapshot = v.clone();
+        let second = stage.filter(&mut v);
+        if !first.is_accepted() {
+            // Once zeroed, stays zeroed (and keeps failing the norm test).
+            prop_assert!(!second.is_accepted());
+            prop_assert_eq!(snapshot, v);
+        }
+    }
+
+    #[test]
+    fn theorem2_envelope_is_ordered_and_monotone_in_k(
+        k in 1usize..1000, d_ks in 0.001f64..0.2
+    ) {
+        let d = 1000;
+        let k = k.min(d);
+        let (lo, hi) = theorem2_envelope(0.05, d, d_ks, k);
+        prop_assert!(lo <= hi, "k={k}: [{lo}, {hi}]");
+        if k < d {
+            let (lo2, _) = theorem2_envelope(0.05, d, d_ks, k + 1);
+            prop_assert!(lo2 >= lo - 1e-12, "lower envelope must be monotone in k");
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Server-held auxiliary data.
+//!
+//! The defender assumption (paper §3.1): the server holds a *tiny* labelled
+//! sample — two examples per class drawn from the validation set (`2C`
+//! samples, e.g. 20 for MNIST) — kept secret from the attacker. The
+//! second-stage aggregation computes its clean gradient from this set.
+
+use crate::dataset::Dataset;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Draws `per_class` examples of every class from `source` (the validation
+/// set in the paper's setup). Panics if some class has fewer than `per_class`
+/// examples.
+pub fn sample_auxiliary<R: Rng + ?Sized>(
+    rng: &mut R,
+    source: &Dataset,
+    per_class: usize,
+) -> Dataset {
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); source.num_classes];
+    for i in 0..source.len() {
+        by_class[source.label(i)].push(i);
+    }
+    let mut chosen = Vec::with_capacity(per_class * source.num_classes);
+    for (c, indices) in by_class.iter().enumerate() {
+        assert!(
+            indices.len() >= per_class,
+            "class {c} has only {} examples, need {per_class}",
+            indices.len()
+        );
+        let mut pool = indices.clone();
+        pool.shuffle(rng);
+        chosen.extend_from_slice(&pool[..per_class]);
+    }
+    let mut aux = source.subset(&chosen);
+    aux.name = format!("{}-aux", source.name);
+    aux
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn draws_exactly_two_per_class() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = SyntheticSpec::mnist_like().generate(500, 0);
+        let aux = sample_auxiliary(&mut rng, &d, 2);
+        assert_eq!(aux.len(), 20);
+        assert_eq!(aux.class_counts(), vec![2; 10]);
+    }
+
+    #[test]
+    fn different_seeds_draw_different_samples() {
+        let d = SyntheticSpec::mnist_like().generate(500, 0);
+        let mut r1 = StdRng::seed_from_u64(1);
+        let mut r2 = StdRng::seed_from_u64(2);
+        let a = sample_auxiliary(&mut r1, &d, 2);
+        let b = sample_auxiliary(&mut r2, &d, 2);
+        assert_ne!(a.features, b.features);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 3")]
+    fn panics_when_class_is_too_small() {
+        let mut rng = StdRng::seed_from_u64(0);
+        // 2 examples of class 0, 1 of class 1.
+        let d = Dataset::new("tiny", vec![0.0; 3], vec![0, 0, 1], 1, 2);
+        let _ = sample_auxiliary(&mut rng, &d, 3);
+    }
+}

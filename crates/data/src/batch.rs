@@ -1,0 +1,72 @@
+//! Mini-batch sampling.
+//!
+//! Algorithm 1 line 5: each worker samples a size-`b_c` mini-batch per
+//! iteration. The accountant treats the per-step sampling rate as
+//! `q = b_c/|D|` (uniform subsampling); [`sample_batch`] draws without
+//! replacement from the worker's local index range.
+
+use rand::Rng;
+
+/// Draws `batch_size` distinct indices from `0..n` (Floyd's algorithm — no
+/// allocation proportional to `n`).
+pub fn sample_batch<R: Rng + ?Sized>(rng: &mut R, n: usize, batch_size: usize) -> Vec<usize> {
+    assert!(batch_size <= n, "batch {batch_size} larger than population {n}");
+    let mut chosen: Vec<usize> = Vec::with_capacity(batch_size);
+    for j in (n - batch_size)..n {
+        let t = rng.gen_range(0..=j);
+        if chosen.contains(&t) {
+            chosen.push(j);
+        } else {
+            chosen.push(t);
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_are_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            let batch = sample_batch(&mut rng, 50, 16);
+            assert_eq!(batch.len(), 16);
+            let mut sorted = batch.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 16, "duplicates in batch");
+            assert!(batch.iter().all(|&i| i < 50));
+        }
+    }
+
+    #[test]
+    fn full_population_batch_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut batch = sample_batch(&mut rng, 10, 10);
+        batch.sort_unstable();
+        assert_eq!(batch, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn coverage_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = vec![0usize; 20];
+        let reps = 4000;
+        for _ in 0..reps {
+            for i in sample_batch(&mut rng, 20, 4) {
+                counts[i] += 1;
+            }
+        }
+        let expected = reps as f64 * 4.0 / 20.0;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.15,
+                "index {i} drawn {c} times, expected ≈{expected}"
+            );
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Distributing a dataset across federated workers.
+//!
+//! Implements both the i.i.d. partition and the paper's non-i.i.d. generator
+//! (Algorithm 4, `GetNonIID`): the dataset is grouped by class, each class is
+//! split across workers by a *normalized vector of uniform randoms*, the
+//! per-worker piles are concatenated and re-chunked evenly, producing workers
+//! whose class mixes differ wildly (paper Figure 5).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// I.i.d. partition: shuffle all indices, deal equal contiguous chunks.
+///
+/// Returns `n_workers` index lists; the last worker may be short when
+/// `n_examples` does not divide evenly.
+pub fn iid_partition<R: Rng + ?Sized>(
+    rng: &mut R,
+    n_examples: usize,
+    n_workers: usize,
+) -> Vec<Vec<usize>> {
+    assert!(n_workers >= 1, "need at least one worker");
+    let mut indices: Vec<usize> = (0..n_examples).collect();
+    indices.shuffle(rng);
+    chunk_evenly(&indices, n_workers)
+}
+
+/// The paper's Algorithm 4 (`GetNonIID`).
+///
+/// 1. Partition indices by class into `G_1 … G_H`.
+/// 2. For each class, draw a uniform random vector `V` over workers,
+///    normalize it, and split the class across workers proportionally.
+/// 3. Concatenate each worker's class-pieces, then concatenate all workers'
+///    piles into `L` and re-chunk `L` into `⌈|L|/n⌉`-sized blocks.
+pub fn non_iid_partition<R: Rng + ?Sized>(
+    rng: &mut R,
+    labels: &[usize],
+    num_classes: usize,
+    n_workers: usize,
+) -> Vec<Vec<usize>> {
+    assert!(n_workers >= 1, "need at least one worker");
+    // Step 1: group by class.
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); num_classes];
+    for (i, &l) in labels.iter().enumerate() {
+        by_class[l].push(i);
+    }
+    // Steps 3–7: split each class by normalized uniforms, append to T_i.
+    let mut piles: Vec<Vec<usize>> = vec![Vec::new(); n_workers];
+    for class_indices in &by_class {
+        let mut v: Vec<f64> = (0..n_workers).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let total: f64 = v.iter().sum();
+        for x in &mut v {
+            *x /= total;
+        }
+        // Cumulative split points over this class.
+        let m = class_indices.len();
+        let mut start = 0usize;
+        let mut acc = 0.0f64;
+        for (w, &frac) in v.iter().enumerate() {
+            acc += frac;
+            let end = if w + 1 == n_workers { m } else { ((acc * m as f64).round() as usize).min(m) };
+            piles[w].extend_from_slice(&class_indices[start..end]);
+            start = end;
+        }
+    }
+    // Steps 8–12: concatenate into L and re-chunk evenly.
+    let l: Vec<usize> = piles.into_iter().flatten().collect();
+    let s = l.len().div_ceil(n_workers);
+    let mut out = Vec::with_capacity(n_workers);
+    for w in 0..n_workers {
+        let start = (w * s).min(l.len());
+        let end = ((w + 1) * s).min(l.len());
+        out.push(l[start..end].to_vec());
+    }
+    out
+}
+
+/// Per-worker label distribution matrix (rows: workers, columns: class
+/// ratios) — the quantity visualized in the paper's Figure 5.
+pub fn label_distribution(
+    labels: &[usize],
+    partitions: &[Vec<usize>],
+    num_classes: usize,
+) -> Vec<Vec<f64>> {
+    partitions
+        .iter()
+        .map(|part| {
+            let mut counts = vec![0usize; num_classes];
+            for &i in part {
+                counts[labels[i]] += 1;
+            }
+            let total = part.len().max(1) as f64;
+            counts.into_iter().map(|c| c as f64 / total).collect()
+        })
+        .collect()
+}
+
+/// Splits `indices` into `n` near-equal contiguous chunks.
+fn chunk_evenly(indices: &[usize], n: usize) -> Vec<Vec<usize>> {
+    let s = indices.len().div_ceil(n);
+    (0..n)
+        .map(|w| {
+            let start = (w * s).min(indices.len());
+            let end = ((w + 1) * s).min(indices.len());
+            indices[start..end].to_vec()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn labels_balanced(n: usize, classes: usize) -> Vec<usize> {
+        (0..n).map(|i| i % classes).collect()
+    }
+
+    #[test]
+    fn iid_covers_every_index_once() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let parts = iid_partition(&mut rng, 103, 7);
+        assert_eq!(parts.len(), 7);
+        let mut seen: Vec<usize> = parts.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..103).collect::<Vec<_>>());
+        // Chunks are near-equal.
+        for p in &parts {
+            assert!(p.len() == 15 || p.len() == 13, "chunk size {}", p.len());
+        }
+    }
+
+    #[test]
+    fn non_iid_covers_every_index_once() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let labels = labels_balanced(1000, 10);
+        let parts = non_iid_partition(&mut rng, &labels, 10, 20);
+        let mut seen: Vec<usize> = parts.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn non_iid_is_actually_skewed() {
+        // Paper Figure 5: per-worker class ratios deviate strongly from the
+        // uniform 1/H; take the max deviation across workers/classes.
+        let mut rng = StdRng::seed_from_u64(2);
+        let labels = labels_balanced(2000, 10);
+        let parts = non_iid_partition(&mut rng, &labels, 10, 20);
+        let dist = label_distribution(&labels, &parts, 10);
+        let max_dev = dist
+            .iter()
+            .flat_map(|row| row.iter().map(|&r| (r - 0.1).abs()))
+            .fold(0.0f64, f64::max);
+        assert!(max_dev > 0.05, "non-iid partition looks iid (max deviation {max_dev})");
+    }
+
+    #[test]
+    fn iid_is_approximately_balanced() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // 500 examples/worker: binomial std of a class ratio ≈ 0.013, so an
+        // 0.07 band is > 5 standard deviations.
+        let labels = labels_balanced(10_000, 10);
+        let parts = iid_partition(&mut rng, 10_000, 20);
+        let dist = label_distribution(&labels, &parts, 10);
+        for row in &dist {
+            for &r in row {
+                assert!((r - 0.1).abs() < 0.07, "iid partition too skewed: {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn label_distribution_rows_sum_to_one() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let labels = labels_balanced(500, 5);
+        let parts = non_iid_partition(&mut rng, &labels, 5, 8);
+        for row in label_distribution(&labels, &parts, 5) {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Property-based tests for the data substrate: partitions must be exact
+//! covers, poisoning must be structure-preserving, sampling must be sane.
+
+use dpbfl_data::{
+    flip_labels, iid_partition, non_iid_partition, sample_batch, Dataset,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn iid_partition_is_an_exact_cover(n in 1usize..500, workers in 1usize..20, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let parts = iid_partition(&mut rng, n, workers);
+        prop_assert_eq!(parts.len(), workers);
+        let mut all: Vec<usize> = parts.into_iter().flatten().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn non_iid_partition_is_an_exact_cover(
+        n in 10usize..400, classes in 2usize..10, workers in 1usize..16, seed in 0u64..100
+    ) {
+        let labels: Vec<usize> = (0..n).map(|i| i % classes).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let parts = non_iid_partition(&mut rng, &labels, classes, workers);
+        let mut all: Vec<usize> = parts.into_iter().flatten().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn label_flip_is_an_involution(labels in prop::collection::vec(0usize..7, 1..100)) {
+        let classes = 7;
+        let mut d = Dataset::new("t", vec![0.0; labels.len()], labels.clone(), 1, classes);
+        flip_labels(&mut d);
+        for (orig, flipped) in labels.iter().zip(&d.labels) {
+            prop_assert_eq!(*flipped, classes - 1 - orig);
+        }
+        flip_labels(&mut d);
+        prop_assert_eq!(d.labels, labels);
+    }
+
+    #[test]
+    fn batch_sampling_is_distinct_and_in_range(
+        n in 1usize..200, seed in 0u64..100
+    ) {
+        let batch_size = (n / 2).max(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let batch = sample_batch(&mut rng, n, batch_size);
+        prop_assert_eq!(batch.len(), batch_size);
+        let mut sorted = batch.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), batch_size, "duplicates drawn");
+        prop_assert!(batch.iter().all(|&i| i < n));
+    }
+
+    #[test]
+    fn subset_preserves_labels_and_features(
+        indices in prop::collection::vec(0usize..20, 1..10)
+    ) {
+        let features: Vec<f32> = (0..40).map(|i| i as f32).collect();
+        let labels: Vec<usize> = (0..20).map(|i| i % 3).collect();
+        let d = Dataset::new("t", features, labels, 2, 3);
+        let s = d.subset(&indices);
+        prop_assert_eq!(s.len(), indices.len());
+        for (pos, &orig) in indices.iter().enumerate() {
+            prop_assert_eq!(s.label(pos), d.label(orig));
+            prop_assert_eq!(s.example(pos), d.example(orig));
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Moments accountant for DP-SGD-style training.
+//!
+//! Ties the pieces together the way the paper uses TensorFlow Privacy:
+//! given the sampling rate `q = b_c/|D|`, the number of iterations `T`, and a
+//! target `(ε, δ)`, [`find_noise_multiplier`] searches for the noise multiplier
+//! σ; given σ it reports the achieved ε. The paper's Theorem 3 is the
+//! asymptotic statement of the same guarantee.
+
+use crate::conversion::{rdp_to_approx_dp, ConversionRule};
+use crate::rdp::{compose_rdp, default_orders};
+
+/// Privacy accountant for `T` steps of subsampled Gaussian noise at rate `q`.
+#[derive(Debug, Clone)]
+pub struct RdpAccountant {
+    /// Subsampling rate per step, `q = b_c / |D|`.
+    pub sampling_rate: f64,
+    /// Number of composed steps (training iterations).
+    pub steps: u64,
+    /// Rényi order grid to optimize over.
+    pub orders: Vec<f64>,
+    /// Conversion rule from RDP to (ε, δ).
+    pub rule: ConversionRule,
+}
+
+impl RdpAccountant {
+    /// Accountant with the default order grid and the improved conversion.
+    pub fn new(sampling_rate: f64, steps: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&sampling_rate),
+            "sampling rate must be in [0,1], got {sampling_rate}"
+        );
+        RdpAccountant {
+            sampling_rate,
+            steps,
+            orders: default_orders(),
+            rule: ConversionRule::default(),
+        }
+    }
+
+    /// ε achieved at failure probability `delta` with noise multiplier
+    /// `sigma`, together with the optimal Rényi order.
+    pub fn epsilon(&self, sigma: f64, delta: f64) -> (f64, f64) {
+        let rdp = compose_rdp(self.sampling_rate, sigma, self.steps, &self.orders);
+        rdp_to_approx_dp(&self.orders, &rdp, delta, self.rule)
+    }
+
+    /// Smallest noise multiplier achieving `(target_eps, delta)`-DP, found by
+    /// bisection (ε is monotone decreasing in σ).
+    ///
+    /// Mirrors TF Privacy's `compute_noise`: doubles an upper bracket until
+    /// ε(σ) ≤ target, then bisects to `tol` relative width.
+    pub fn find_noise_multiplier(&self, target_eps: f64, delta: f64) -> f64 {
+        assert!(target_eps > 0.0, "target epsilon must be positive");
+        let mut lo = 1e-4;
+        let mut hi = 1.0;
+        // Grow the bracket until it straddles the target.
+        while self.epsilon(hi, delta).0 > target_eps {
+            hi *= 2.0;
+            assert!(hi < 1e8, "noise multiplier search diverged (ε target too small?)");
+        }
+        while self.epsilon(lo, delta).0 < target_eps {
+            lo /= 2.0;
+            if lo < 1e-10 {
+                // Even (almost) no noise meets the target: the subsampling
+                // alone suffices.
+                return lo;
+            }
+        }
+        // Bisect: invariant ε(lo) > target ≥ ε(hi).
+        for _ in 0..80 {
+            let mid = 0.5 * (lo + hi);
+            if self.epsilon(mid, delta).0 > target_eps {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if (hi - lo) / hi < 1e-6 {
+                break;
+            }
+        }
+        hi
+    }
+}
+
+/// The paper's δ convention: `δ = 1/|D|^1.1` for a local dataset of size `|D|`
+/// (Section 6.1, "Privacy settings").
+pub fn paper_delta(dataset_size: usize) -> f64 {
+    assert!(dataset_size > 1, "need at least two records");
+    1.0 / (dataset_size as f64).powf(1.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's MNIST configuration: 20 honest workers over 60 000
+    /// examples → |D| = 3 000 per worker, b_c = 16, T = ⌈8·|D|/b_c⌉ = 1 500,
+    /// δ = 1/3 000^1.1 ≈ 1.4e-4. The paper reports σ_b ≈ 0.79 at ε = 2
+    /// (Claim 6 evidence).
+    #[test]
+    fn paper_anchor_sigma_for_eps_2() {
+        let q = 16.0 / 3000.0;
+        let acc = RdpAccountant::new(q, 1500);
+        let delta = paper_delta(3000);
+        assert!((delta - 1.4e-4).abs() < 2e-5, "delta={delta}");
+        let sigma = acc.find_noise_multiplier(2.0, delta);
+        // TF Privacy and our accountant should land near the paper's 0.79.
+        assert!((0.70..=0.90).contains(&sigma), "σ = {sigma}");
+        // Round-trip: the found σ indeed achieves ε ≤ 2.
+        let (eps, _) = acc.epsilon(sigma, delta);
+        assert!(eps <= 2.0 + 1e-6 && eps > 1.9, "eps={eps}");
+    }
+
+    #[test]
+    fn epsilon_monotone_in_sigma_steps_and_q() {
+        let acc = RdpAccountant::new(0.01, 1000);
+        let delta = 1e-5;
+        let (e1, _) = acc.epsilon(1.0, delta);
+        let (e2, _) = acc.epsilon(2.0, delta);
+        assert!(e2 < e1, "more noise must mean less ε");
+
+        let acc_short = RdpAccountant::new(0.01, 100);
+        let (e3, _) = acc_short.epsilon(1.0, delta);
+        assert!(e3 < e1, "fewer steps must mean less ε");
+
+        let acc_small_q = RdpAccountant::new(0.001, 1000);
+        let (e4, _) = acc_small_q.epsilon(1.0, delta);
+        assert!(e4 < e1, "smaller sampling rate must mean less ε");
+    }
+
+    #[test]
+    fn noise_search_brackets_target() {
+        let acc = RdpAccountant::new(0.005, 800);
+        let delta = 1e-5;
+        for &target in &[0.125, 0.5, 2.0, 8.0] {
+            let sigma = acc.find_noise_multiplier(target, delta);
+            let (eps, _) = acc.epsilon(sigma, delta);
+            assert!(eps <= target * (1.0 + 1e-4), "target={target} achieved={eps}");
+            // And not wastefully over-noised: slightly less noise must break
+            // the target.
+            let (eps_less, _) = acc.epsilon(sigma * 0.99, delta);
+            assert!(eps_less > target * (1.0 - 1e-3), "σ search too conservative");
+        }
+    }
+
+    #[test]
+    fn rdp_matches_direct_quadrature() {
+        // Gold values from trapezoid quadrature of
+        // A_α = E_{z∼N(0,σ²)}[((1−q) + q·e^{(2z−1)/(2σ²)})^α]
+        // at q = 0.01, σ = 1.1 (2·10⁶ nodes over ±40σ).
+        let r2 = crate::rdp::rdp_sampled_gaussian(0.01, 1.1, 2.0);
+        assert!((r2 - 1.285_100_813_7e-4).abs() < 1e-9, "α=2: {r2}");
+        let r16 = crate::rdp::rdp_sampled_gaussian(0.01, 1.1, 16.0);
+        assert!((r16 - 1.699_826_727_8).abs() < 1e-6, "α=16: {r16}");
+    }
+
+    #[test]
+    fn end_to_end_epsilon_regression() {
+        // Regression pin for the classic conversion at q=0.01, σ=1.1,
+        // T=1000, δ=1e-5; the underlying RDP curve is quadrature-validated
+        // in `rdp_matches_direct_quadrature`.
+        let acc = RdpAccountant {
+            sampling_rate: 0.01,
+            steps: 1000,
+            orders: default_orders(),
+            rule: ConversionRule::Classic,
+        };
+        let (eps, _) = acc.epsilon(1.1, 1e-5);
+        assert!((eps - 2.0868).abs() < 0.01, "eps={eps}");
+    }
+
+    #[test]
+    fn halving_epsilon_costs_more_sigma() {
+        // Halving ε requires more noise, but sub-linearly more in this
+        // regime: subsampling amplification strengthens as σ grows, so the
+        // ratio sits between 1 and 2 (the pure-Gaussian 1/σ scaling).
+        let acc = RdpAccountant::new(0.005, 1500);
+        let delta = 1e-4;
+        let s1 = acc.find_noise_multiplier(1.0, delta);
+        let s2 = acc.find_noise_multiplier(0.5, delta);
+        let ratio = s2 / s1;
+        assert!((1.1..=2.2).contains(&ratio), "ratio={ratio}");
+    }
+
+    #[test]
+    fn paper_delta_matches_convention() {
+        let d = paper_delta(3000);
+        assert!((d - 1.0 / 3000f64.powf(1.1)).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,71 @@
+//! Property-based tests for the privacy accountant: the qualitative laws of
+//! differential privacy must hold across the whole parameter space.
+
+use dpbfl_dp::{rdp_sampled_gaussian, ConversionRule, RdpAccountant};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rdp_is_nonnegative(q in 0.0f64..0.5, sigma in 0.3f64..10.0, alpha in 1.5f64..64.0) {
+        prop_assert!(rdp_sampled_gaussian(q, sigma, alpha) >= 0.0);
+    }
+
+    #[test]
+    fn rdp_monotone_in_noise(q in 0.001f64..0.2, s1 in 0.3f64..5.0, s2 in 0.3f64..5.0, alpha in 2.0f64..32.0) {
+        let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        let quiet = rdp_sampled_gaussian(q, lo, alpha);
+        let noisy = rdp_sampled_gaussian(q, hi, alpha);
+        prop_assert!(noisy <= quiet * (1.0 + 1e-9) + 1e-12, "σ={lo}/{hi} α={alpha}: {quiet} vs {noisy}");
+    }
+
+    #[test]
+    fn rdp_monotone_in_sampling_rate(q1 in 0.001f64..0.3, q2 in 0.001f64..0.3, sigma in 0.5f64..4.0, alpha in 2.0f64..32.0) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let small = rdp_sampled_gaussian(lo, sigma, alpha);
+        let large = rdp_sampled_gaussian(hi, sigma, alpha);
+        prop_assert!(small <= large * (1.0 + 1e-9) + 1e-12);
+    }
+
+    #[test]
+    fn subsampled_never_exceeds_unsampled(q in 0.001f64..0.999, sigma in 0.4f64..5.0, alpha in 2.0f64..32.0) {
+        let sampled = rdp_sampled_gaussian(q, sigma, alpha);
+        let full = alpha / (2.0 * sigma * sigma);
+        prop_assert!(sampled <= full * (1.0 + 1e-6) + 1e-12);
+    }
+
+    #[test]
+    fn epsilon_decreases_with_more_noise(q in 0.002f64..0.05, steps in 10u64..2000) {
+        let acc = RdpAccountant::new(q, steps);
+        let (e1, _) = acc.epsilon(0.8, 1e-5);
+        let (e2, _) = acc.epsilon(1.6, 1e-5);
+        prop_assert!(e2 <= e1 + 1e-9);
+    }
+
+    #[test]
+    fn sigma_search_meets_its_target(
+        q in 0.005f64..0.1, steps in 50u64..1500, target in 0.2f64..8.0
+    ) {
+        let acc = RdpAccountant::new(q, steps);
+        let sigma = acc.find_noise_multiplier(target, 1e-5);
+        let (achieved, _) = acc.epsilon(sigma, 1e-5);
+        prop_assert!(achieved <= target * (1.0 + 1e-3), "σ={sigma}: achieved {achieved} > {target}");
+    }
+
+    #[test]
+    fn improved_conversion_never_loses_to_classic(
+        q in 0.002f64..0.05, sigma in 0.5f64..4.0, steps in 10u64..1000
+    ) {
+        let classic = RdpAccountant {
+            sampling_rate: q,
+            steps,
+            orders: dpbfl_dp::default_orders(),
+            rule: ConversionRule::Classic,
+        };
+        let improved = RdpAccountant { rule: ConversionRule::Improved, ..classic.clone() };
+        let (ec, _) = classic.epsilon(sigma, 1e-5);
+        let (ei, _) = improved.epsilon(sigma, 1e-5);
+        prop_assert!(ei <= ec + 1e-9, "improved {ei} > classic {ec}");
+    }
+}

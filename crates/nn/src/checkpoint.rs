@@ -1,0 +1,174 @@
+//! Model checkpointing: flat parameter vectors with integrity metadata.
+//!
+//! Federated deployments persist the global model between rounds and ship it
+//! to late-joining workers; the checkpoint format here is deliberately
+//! minimal — architecture tag, dimension, and the flat `f32` parameters the
+//! whole stack already exchanges — with a checksum so corrupted files fail
+//! loudly instead of training quietly wrong.
+
+use crate::sequential::Sequential;
+use serde::{Deserialize, Serialize};
+
+/// A serializable snapshot of a model's parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Free-form architecture tag (e.g. `"mlp_784"`); checked on load.
+    pub architecture: String,
+    /// Parameter count `d`; checked on load.
+    pub param_len: usize,
+    /// Training iteration the snapshot was taken at.
+    pub iteration: usize,
+    /// The flat parameter vector.
+    pub params: Vec<f32>,
+    /// FNV-1a checksum of the parameter bytes.
+    pub checksum: u64,
+}
+
+/// Errors from loading a checkpoint into a model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The architecture tag does not match.
+    ArchitectureMismatch {
+        /// Tag stored in the checkpoint.
+        stored: String,
+        /// Tag the caller expected.
+        expected: String,
+    },
+    /// The parameter count does not match the model.
+    DimensionMismatch {
+        /// Count stored in the checkpoint.
+        stored: usize,
+        /// The model's parameter count.
+        expected: usize,
+    },
+    /// The checksum does not match the parameters (corruption).
+    ChecksumMismatch,
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::ArchitectureMismatch { stored, expected } => {
+                write!(f, "checkpoint architecture {stored:?} does not match {expected:?}")
+            }
+            CheckpointError::DimensionMismatch { stored, expected } => {
+                write!(f, "checkpoint has {stored} parameters, model has {expected}")
+            }
+            CheckpointError::ChecksumMismatch => write!(f, "checkpoint checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// FNV-1a over the little-endian parameter bytes.
+fn checksum(params: &[f32]) -> u64 {
+    let mut hash = 0xcbf29ce484222325u64;
+    for &p in params {
+        for b in p.to_le_bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+    }
+    hash
+}
+
+impl Checkpoint {
+    /// Snapshots a model's parameters.
+    pub fn capture(model: &Sequential, architecture: impl Into<String>, iteration: usize) -> Self {
+        let params = model.params();
+        let checksum = checksum(&params);
+        Checkpoint {
+            architecture: architecture.into(),
+            param_len: params.len(),
+            iteration,
+            params,
+            checksum,
+        }
+    }
+
+    /// Restores the snapshot into `model`, verifying the tag, dimension, and
+    /// checksum.
+    pub fn restore(
+        &self,
+        model: &mut Sequential,
+        expected_architecture: &str,
+    ) -> Result<(), CheckpointError> {
+        if self.architecture != expected_architecture {
+            return Err(CheckpointError::ArchitectureMismatch {
+                stored: self.architecture.clone(),
+                expected: expected_architecture.to_string(),
+            });
+        }
+        if self.param_len != model.param_len() || self.params.len() != model.param_len() {
+            return Err(CheckpointError::DimensionMismatch {
+                stored: self.param_len,
+                expected: model.param_len(),
+            });
+        }
+        if checksum(&self.params) != self.checksum {
+            return Err(CheckpointError::ChecksumMismatch);
+        }
+        model.set_params(&self.params);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn capture_restore_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = zoo::mlp(&mut rng, 8, 4, 3);
+        let ckpt = Checkpoint::capture(&model, "tiny", 42);
+        let mut other = zoo::mlp(&mut rng, 8, 4, 3);
+        assert_ne!(other.params(), model.params());
+        ckpt.restore(&mut other, "tiny").expect("restore");
+        assert_eq!(other.params(), model.params());
+        assert_eq!(ckpt.iteration, 42);
+    }
+
+    #[test]
+    fn rejects_wrong_architecture_and_dimension() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = zoo::mlp(&mut rng, 8, 4, 3);
+        let ckpt = Checkpoint::capture(&model, "tiny", 0);
+        let mut other = zoo::mlp(&mut rng, 8, 4, 3);
+        assert!(matches!(
+            ckpt.restore(&mut other, "big"),
+            Err(CheckpointError::ArchitectureMismatch { .. })
+        ));
+        let mut wrong_shape = zoo::mlp(&mut rng, 9, 4, 3);
+        assert!(matches!(
+            ckpt.restore(&mut wrong_shape, "tiny"),
+            Err(CheckpointError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_corruption() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = zoo::mlp(&mut rng, 8, 4, 3);
+        let mut ckpt = Checkpoint::capture(&model, "tiny", 0);
+        ckpt.params[0] += 1.0;
+        let mut other = zoo::mlp(&mut rng, 8, 4, 3);
+        assert_eq!(ckpt.restore(&mut other, "tiny"), Err(CheckpointError::ChecksumMismatch));
+    }
+
+    #[test]
+    fn survives_json_serialization() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let model = zoo::mlp(&mut rng, 6, 3, 2);
+        let ckpt = Checkpoint::capture(&model, "json-test", 7);
+        let json = serde_json::to_string(&ckpt).expect("serialize");
+        let back: Checkpoint = serde_json::from_str(&json).expect("deserialize");
+        let mut restored = zoo::mlp(&mut rng, 6, 3, 2);
+        back.restore(&mut restored, "json-test").expect("restore");
+        assert_eq!(restored.params(), model.params());
+    }
+}

@@ -1,0 +1,35 @@
+//! Parameter initialization (PyTorch-default Kaiming-uniform).
+
+use rand::Rng;
+
+/// Fills `weights` with `U(−1/√fan_in, 1/√fan_in)` — PyTorch's default for
+/// `nn.Linear` and `nn.Conv2d` (Kaiming-uniform with `a = √5` collapses to
+/// this bound).
+pub fn kaiming_uniform<R: Rng + ?Sized>(rng: &mut R, fan_in: usize, weights: &mut [f32]) {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let bound = 1.0 / (fan_in as f64).sqrt();
+    for w in weights {
+        *w = rng.gen_range(-bound..bound) as f32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn values_respect_bound_and_vary() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut w = vec![0.0f32; 1000];
+        kaiming_uniform(&mut rng, 100, &mut w);
+        let bound = 0.1f32;
+        assert!(w.iter().all(|&x| x.abs() <= bound));
+        let distinct = w.iter().filter(|&&x| x != w[0]).count();
+        assert!(distinct > 900);
+        // Mean near zero.
+        let mean: f32 = w.iter().sum::<f32>() / w.len() as f32;
+        assert!(mean.abs() < 0.01);
+    }
+}

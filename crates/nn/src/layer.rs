@@ -1,0 +1,147 @@
+//! The layer abstraction: forward, backward, and flat parameter access.
+//!
+//! DP-SGD (and therefore the whole protocol) needs **per-example** gradients,
+//! so the entire stack processes one example at a time: `forward` caches what
+//! `backward` needs, `backward` accumulates parameter gradients and returns the
+//! input gradient. Layers are plain `Clone` values — every simulated worker
+//! owns its own model replica, exactly like a real federated deployment.
+
+use crate::activation::{Elu, Relu};
+use crate::conv::Conv2d;
+use crate::linear::Linear;
+use crate::norm::GroupNorm;
+use crate::pool::AdaptiveAvgPool2d;
+use crate::residual::Residual;
+
+/// A differentiable layer processing one example per call.
+pub trait Layer {
+    /// Computes the layer output for `input`, caching activations needed by
+    /// [`Layer::backward`].
+    fn forward(&mut self, input: &[f32]) -> Vec<f32>;
+
+    /// Propagates `grad_output` back through the most recent `forward` call:
+    /// accumulates parameter gradients and returns the gradient with respect
+    /// to the input.
+    fn backward(&mut self, grad_output: &[f32]) -> Vec<f32>;
+
+    /// Number of trainable parameters.
+    fn param_len(&self) -> usize;
+
+    /// Length of the input this layer expects.
+    fn input_len(&self) -> usize;
+
+    /// Length of the output this layer produces.
+    fn output_len(&self) -> usize;
+
+    /// Copies parameters into `out` (must be `param_len()` long).
+    fn write_params(&self, out: &mut [f32]);
+
+    /// Loads parameters from `src` (must be `param_len()` long).
+    fn read_params(&mut self, src: &[f32]);
+
+    /// Copies accumulated gradients into `out` (must be `param_len()` long).
+    fn write_grads(&self, out: &mut [f32]);
+
+    /// Zeroes the accumulated parameter gradients.
+    fn zero_grads(&mut self);
+}
+
+/// Closed set of layer kinds, so models are `Clone` + `Send` without dynamic
+/// dispatch. Every variant delegates to the concrete layer's implementation.
+#[derive(Debug, Clone)]
+pub enum AnyLayer {
+    /// Fully-connected layer.
+    Linear(Linear),
+    /// Valid 2-D convolution.
+    Conv2d(Conv2d),
+    /// Group normalization without affine parameters.
+    GroupNorm(GroupNorm),
+    /// Exponential linear unit.
+    Elu(Elu),
+    /// Rectified linear unit.
+    Relu(Relu),
+    /// Adaptive average pooling.
+    Pool(AdaptiveAvgPool2d),
+    /// Residual block `y = x + body(x)`.
+    Residual(Residual),
+}
+
+macro_rules! delegate {
+    ($self:ident, $m:ident $(, $arg:expr)*) => {
+        match $self {
+            AnyLayer::Linear(l) => l.$m($($arg),*),
+            AnyLayer::Conv2d(l) => l.$m($($arg),*),
+            AnyLayer::GroupNorm(l) => l.$m($($arg),*),
+            AnyLayer::Elu(l) => l.$m($($arg),*),
+            AnyLayer::Relu(l) => l.$m($($arg),*),
+            AnyLayer::Pool(l) => l.$m($($arg),*),
+            AnyLayer::Residual(l) => l.$m($($arg),*),
+        }
+    };
+}
+
+impl Layer for AnyLayer {
+    fn forward(&mut self, input: &[f32]) -> Vec<f32> {
+        delegate!(self, forward, input)
+    }
+    fn backward(&mut self, grad_output: &[f32]) -> Vec<f32> {
+        delegate!(self, backward, grad_output)
+    }
+    fn param_len(&self) -> usize {
+        delegate!(self, param_len)
+    }
+    fn input_len(&self) -> usize {
+        delegate!(self, input_len)
+    }
+    fn output_len(&self) -> usize {
+        delegate!(self, output_len)
+    }
+    fn write_params(&self, out: &mut [f32]) {
+        delegate!(self, write_params, out)
+    }
+    fn read_params(&mut self, src: &[f32]) {
+        delegate!(self, read_params, src)
+    }
+    fn write_grads(&self, out: &mut [f32]) {
+        delegate!(self, write_grads, out)
+    }
+    fn zero_grads(&mut self) {
+        delegate!(self, zero_grads)
+    }
+}
+
+impl From<Linear> for AnyLayer {
+    fn from(l: Linear) -> Self {
+        AnyLayer::Linear(l)
+    }
+}
+impl From<Conv2d> for AnyLayer {
+    fn from(l: Conv2d) -> Self {
+        AnyLayer::Conv2d(l)
+    }
+}
+impl From<GroupNorm> for AnyLayer {
+    fn from(l: GroupNorm) -> Self {
+        AnyLayer::GroupNorm(l)
+    }
+}
+impl From<Elu> for AnyLayer {
+    fn from(l: Elu) -> Self {
+        AnyLayer::Elu(l)
+    }
+}
+impl From<Relu> for AnyLayer {
+    fn from(l: Relu) -> Self {
+        AnyLayer::Relu(l)
+    }
+}
+impl From<AdaptiveAvgPool2d> for AnyLayer {
+    fn from(l: AdaptiveAvgPool2d) -> Self {
+        AnyLayer::Pool(l)
+    }
+}
+impl From<Residual> for AnyLayer {
+    fn from(l: Residual) -> Self {
+        AnyLayer::Residual(l)
+    }
+}

@@ -1,0 +1,65 @@
+//! Evaluation helpers.
+
+use crate::sequential::Sequential;
+
+/// Index of the maximum element (ties resolve to the first).
+pub fn argmax(v: &[f32]) -> usize {
+    assert!(!v.is_empty(), "argmax of empty slice");
+    let mut best = 0usize;
+    let mut best_v = v[0];
+    for (i, &x) in v.iter().enumerate().skip(1) {
+        if x > best_v {
+            best = i;
+            best_v = x;
+        }
+    }
+    best
+}
+
+/// Classification accuracy of `model` over `(features, labels)` where
+/// `features` holds examples of length `example_len` back to back.
+pub fn accuracy(model: &mut Sequential, features: &[f32], labels: &[usize]) -> f64 {
+    let example_len = model.input_len();
+    assert_eq!(features.len(), labels.len() * example_len, "features/labels disagree");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for (i, &label) in labels.iter().enumerate() {
+        let x = &features[i * example_len..(i + 1) * example_len];
+        if model.predict(x) == label {
+            correct += 1;
+        }
+    }
+    correct as f64 / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Layer as _;
+    use crate::linear::Linear;
+    use crate::sequential::Sequential;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn argmax_basics() {
+        assert_eq!(argmax(&[1.0, 3.0, 2.0]), 1);
+        assert_eq!(argmax(&[5.0]), 0);
+        assert_eq!(argmax(&[2.0, 2.0]), 0); // first wins ties
+    }
+
+    #[test]
+    fn accuracy_on_identity_classifier() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut lin = Linear::new(&mut rng, 2, 2);
+        lin.read_params(&[1.0, 0.0, 0.0, 1.0, 0.0, 0.0]); // identity, zero bias
+        let mut m = Sequential::new(vec![lin.into()]);
+        // Two examples: [1,0] → class 0, [0,1] → class 1, one mislabeled.
+        let features = vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0];
+        let labels = vec![0usize, 1, 1];
+        let acc = accuracy(&mut m, &features, &labels);
+        assert!((acc - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,108 @@
+//! The χ² distribution.
+//!
+//! The squared norm of a `d`-dimensional Gaussian upload is `σ²·χ²_d`; the
+//! paper's first-stage norm test (Algorithm 2, line 1) uses the Gaussian
+//! approximation `N(σ²d, 2σ⁴d)` of that distribution. This module provides the
+//! exact CDF (for tests and for callers that want exact tail bounds) and the
+//! moments backing the approximation.
+
+use crate::special::{gamma_p, gamma_q};
+
+/// A χ² distribution with `k` degrees of freedom.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquared {
+    k: f64,
+}
+
+impl ChiSquared {
+    /// Builds χ²_k. Panics unless `k > 0`.
+    pub fn new(k: f64) -> Self {
+        assert!(k > 0.0 && k.is_finite(), "degrees of freedom must be positive, got {k}");
+        ChiSquared { k }
+    }
+
+    /// Degrees of freedom.
+    #[inline]
+    pub fn dof(&self) -> f64 {
+        self.k
+    }
+
+    /// Mean (= k).
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        self.k
+    }
+
+    /// Variance (= 2k).
+    #[inline]
+    pub fn variance(&self) -> f64 {
+        2.0 * self.k
+    }
+
+    /// CDF `P(X ≤ x) = P(k/2, x/2)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        gamma_p(self.k / 2.0, x / 2.0)
+    }
+
+    /// Survival function `P(X > x)`, accurate in the tail.
+    pub fn sf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 1.0;
+        }
+        gamma_q(self.k / 2.0, x / 2.0)
+    }
+
+    /// Probability that `X` falls within `n_std` standard deviations of the
+    /// mean (exact, not the Gaussian approximation).
+    pub fn prob_within_std(&self, n_std: f64) -> f64 {
+        let lo = self.mean() - n_std * self.variance().sqrt();
+        let hi = self.mean() + n_std * self.variance().sqrt();
+        self.cdf(hi) - self.cdf(lo.max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_known_values() {
+        // χ²_2 is Exp(1/2): CDF(x) = 1 − e^{−x/2}.
+        let c2 = ChiSquared::new(2.0);
+        for &x in &[0.5, 1.0, 2.0, 5.0] {
+            assert!((c2.cdf(x) - (1.0 - (-x / 2.0f64).exp())).abs() < 1e-12);
+        }
+        // χ²_1 CDF at 3.841458820694124 ≈ 0.95 (the 95% quantile).
+        let c1 = ChiSquared::new(1.0);
+        assert!((c1.cdf(3.841_458_820_694_124) - 0.95).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_sf_sum_to_one() {
+        let c = ChiSquared::new(10.0);
+        for &x in &[0.1, 5.0, 10.0, 30.0] {
+            assert!((c.cdf(x) + c.sf(x) - 1.0).abs() < 1e-12);
+        }
+        assert_eq!(c.cdf(0.0), 0.0);
+        assert_eq!(c.sf(-1.0), 1.0);
+    }
+
+    #[test]
+    fn three_std_interval_matches_paper_footnote() {
+        // Paper footnote 5: for large d, ‖g‖²/σ² ∈ [d − 3√(2d), d + 3√(2d)]
+        // with probability ≈ 99.7%. Verify the exact χ² mass approaches that.
+        let c = ChiSquared::new(25_450.0); // the paper's MLP dimension
+        let p = c.prob_within_std(3.0);
+        assert!((p - 0.9973).abs() < 2e-3, "p={p}");
+    }
+
+    #[test]
+    fn moments() {
+        let c = ChiSquared::new(7.0);
+        assert_eq!(c.mean(), 7.0);
+        assert_eq!(c.variance(), 14.0);
+    }
+}

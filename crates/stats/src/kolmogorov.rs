@@ -1,0 +1,227 @@
+//! The Kolmogorov distribution and exact finite-`n` KS CDF.
+//!
+//! The paper's first-stage aggregation computes a KS P-value for every upload
+//! from the "Kolmogorov D-statistic table" [Marsaglia–Tsang–Wang 2003]. We
+//! implement both the asymptotic Kolmogorov distribution (used at the
+//! protocol's operating point, where the sample count is the model dimension
+//! `d ≈ 25 000`) and Marsaglia–Tsang–Wang's exact matrix-power evaluation of
+//! `P(D_n < d)` (used for small `n` and as a cross-check).
+
+/// Survival function of the asymptotic Kolmogorov distribution,
+/// `Q_KS(λ) = 2 Σ_{j≥1} (−1)^{j−1} exp(−2 j² λ²)`.
+///
+/// Returns 1 for λ ≤ 0 and switches to the θ-function series for small λ
+/// where the alternating series converges slowly.
+pub fn kolmogorov_sf(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    if lambda < 0.4 {
+        // For tiny λ the CDF underflows to 0; SF is 1 to machine precision.
+        return 1.0 - kolmogorov_cdf(lambda);
+    }
+    let mut sum = 0.0f64;
+    let mut sign = 1.0f64;
+    for j in 1..=100 {
+        let term = (-2.0 * (j as f64) * (j as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        if term < 1e-17 {
+            break;
+        }
+        sign = -sign;
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// CDF of the asymptotic Kolmogorov distribution via the θ-function series,
+/// `K(λ) = (√(2π)/λ) Σ_{j≥1} exp(−(2j−1)² π² / (8λ²))`, which converges
+/// fast for small λ.
+pub fn kolmogorov_cdf(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 0.0;
+    }
+    if lambda >= 0.4 {
+        return 1.0 - kolmogorov_sf(lambda);
+    }
+    let mut sum = 0.0f64;
+    let factor = std::f64::consts::PI * std::f64::consts::PI / (8.0 * lambda * lambda);
+    for j in 1..=20 {
+        let odd = (2 * j - 1) as f64;
+        let term = (-odd * odd * factor).exp();
+        sum += term;
+        if term < 1e-300 {
+            break;
+        }
+    }
+    ((2.0 * std::f64::consts::PI).sqrt() / lambda * sum).clamp(0.0, 1.0)
+}
+
+/// Exact `P(D_n < d)` by the Marsaglia–Tsang–Wang (2003) matrix-power method.
+///
+/// Cost is `O(m³ log n)` with `m = 2⌈nd⌉ − 1`; intended for `n` up to a few
+/// hundred. For larger `n` use [`ks_p_value`](crate::ks::ks_p_value), which
+/// applies the asymptotic distribution with Stephens' finite-`n` correction.
+pub fn ks_cdf_exact(n: usize, d: f64) -> f64 {
+    assert!(n >= 1, "need at least one sample");
+    if d <= 0.0 {
+        return 0.0;
+    }
+    if d >= 1.0 {
+        return 1.0;
+    }
+    let nf = n as f64;
+    let nd = nf * d;
+    let k = nd.ceil() as usize;
+    let h = k as f64 - nd;
+    let m = 2 * k - 1;
+
+    // Build the MTW H matrix.
+    let mut hm = vec![0.0f64; m * m];
+    for i in 0..m {
+        for j in 0..m {
+            if i as i64 - j as i64 + 1 >= 0 {
+                hm[i * m + j] = 1.0;
+            }
+        }
+    }
+    for i in 0..m {
+        hm[i * m] -= h.powi(i as i32 + 1);
+        hm[(m - 1) * m + i] -= h.powi((m - i) as i32);
+    }
+    if 2.0 * h - 1.0 > 0.0 {
+        hm[(m - 1) * m] += (2.0 * h - 1.0).powi(m as i32);
+    }
+    for i in 0..m {
+        for j in 0..m {
+            if i as i64 - j as i64 + 1 > 0 {
+                for g in 1..=(i - j + 1) {
+                    hm[i * m + j] /= g as f64;
+                }
+            }
+        }
+    }
+
+    // H^n with decimal-exponent scaling to avoid overflow.
+    let (hn, mut e_q) = mat_pow(&hm, m, n);
+    let mut s = hn[(k - 1) * m + (k - 1)];
+    for i in 1..=n {
+        s = s * i as f64 / nf;
+        if s < 1e-140 {
+            s *= 1e140;
+            e_q -= 140;
+        }
+    }
+    (s * 10f64.powi(e_q)).clamp(0.0, 1.0)
+}
+
+/// `a · b` for `m×m` row-major matrices.
+fn mat_mul(a: &[f64], b: &[f64], m: usize) -> Vec<f64> {
+    let mut c = vec![0.0f64; m * m];
+    for i in 0..m {
+        for p in 0..m {
+            let aip = a[i * m + p];
+            if aip == 0.0 {
+                continue;
+            }
+            for j in 0..m {
+                c[i * m + j] += aip * b[p * m + j];
+            }
+        }
+    }
+    c
+}
+
+/// `(a^n, exponent)` such that the true power is `a^n · 10^exponent`,
+/// rescaling whenever the central entry exceeds 1e140 (MTW's scheme).
+fn mat_pow(a: &[f64], m: usize, n: usize) -> (Vec<f64>, i32) {
+    if n == 1 {
+        return (a.to_vec(), 0);
+    }
+    let (half, mut e) = mat_pow(a, m, n / 2);
+    let mut v = mat_mul(&half, &half, m);
+    e *= 2;
+    if n % 2 == 1 {
+        v = mat_mul(&v, a, m);
+    }
+    let center = v[(m / 2) * m + (m / 2)];
+    if center > 1e140 {
+        for x in &mut v {
+            *x *= 1e-140;
+        }
+        e += 140;
+    }
+    (v, e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sf_cdf_complementary() {
+        for &l in &[0.2, 0.5, 0.8, 1.0, 1.5, 2.0] {
+            assert!((kolmogorov_sf(l) + kolmogorov_cdf(l) - 1.0).abs() < 1e-12, "λ={l}");
+        }
+    }
+
+    #[test]
+    fn known_asymptotic_values() {
+        // Classic critical values: Q(1.3581) ≈ 0.05, Q(1.2238) ≈ 0.10,
+        // Q(1.6276) ≈ 0.01.
+        assert!((kolmogorov_sf(1.3581) - 0.05).abs() < 1e-4);
+        assert!((kolmogorov_sf(1.2238) - 0.10).abs() < 1e-4);
+        assert!((kolmogorov_sf(1.6276) - 0.01).abs() < 1e-4);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let mut prev = -1.0;
+        let mut l = 0.05;
+        while l < 3.0 {
+            let c = kolmogorov_cdf(l);
+            assert!(c >= prev, "not monotone at λ={l}");
+            prev = c;
+            l += 0.05;
+        }
+    }
+
+    #[test]
+    fn exact_matches_n_equals_one() {
+        // For one uniform sample, D₁ = max(U, 1−U): P(D₁ < d) = 2d − 1 on
+        // [1/2, 1].
+        for &d in &[0.6, 0.75, 0.9] {
+            assert!((ks_cdf_exact(1, d) - (2.0 * d - 1.0)).abs() < 1e-12, "d={d}");
+        }
+        assert_eq!(ks_cdf_exact(1, 0.3), 0.0);
+    }
+
+    #[test]
+    fn exact_matches_marsaglia_reference() {
+        // Marsaglia–Tsang–Wang (2003) report K(100, 0.274) = 0.999999601309…
+        let p = ks_cdf_exact(100, 0.274);
+        assert!((p - 0.999_999_601_309).abs() < 1e-9, "got {p}");
+        // Cross-check against the asymptotic SF at λ = √100·0.274 = 2.74:
+        // the two must agree to within the O(1/√n) correction.
+        let asym = 1.0 - kolmogorov_sf(2.74);
+        assert!((p - asym).abs() < 1e-6, "exact={p} asym={asym}");
+    }
+
+    #[test]
+    fn exact_approaches_asymptotic_for_large_n() {
+        // At n = 500, the exact CDF at d = λ/√n should be within ~1e-2 of the
+        // asymptotic distribution (plus O(1/√n) correction).
+        let n = 500usize;
+        for &lambda in &[0.8, 1.0, 1.3] {
+            let d = lambda / (n as f64).sqrt();
+            let exact = ks_cdf_exact(n, d);
+            let asym = kolmogorov_cdf(lambda);
+            assert!((exact - asym).abs() < 0.03, "λ={lambda}: exact={exact} asym={asym}");
+        }
+    }
+
+    #[test]
+    fn exact_boundaries() {
+        assert_eq!(ks_cdf_exact(10, 0.0), 0.0);
+        assert_eq!(ks_cdf_exact(10, 1.0), 1.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! One-sample Kolmogorov–Smirnov test.
+//!
+//! The server runs this test on every upload (paper §4.3, "KS test"): each of
+//! the `d` coordinates is treated as a sample, the null hypothesis is that they
+//! are drawn from `N(0, σ'²)`, and uploads whose P-value falls below the
+//! significance level (0.05 in the paper) are rejected.
+
+use crate::kolmogorov::{kolmogorov_sf, ks_cdf_exact};
+use crate::normal::Normal;
+
+/// Outcome of a one-sample KS test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsResult {
+    /// The KS statistic `D = sup_x |C_n(x) − F(x)|`.
+    pub statistic: f64,
+    /// Two-sided P-value under the null.
+    pub p_value: f64,
+    /// Number of samples the statistic was computed from.
+    pub n: usize,
+}
+
+impl KsResult {
+    /// True iff the null hypothesis is rejected at significance `alpha`.
+    #[inline]
+    pub fn rejects_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// KS statistic of `sorted` (ascending) against the CDF `f`.
+///
+/// `D = max_k max( k/n − F(x_k), F(x_k) − (k−1)/n )`, the exact supremum of
+/// the empirical-vs-theoretical CDF gap for a step empirical CDF.
+pub fn ks_statistic_sorted(sorted: &[f64], f: impl Fn(f64) -> f64) -> f64 {
+    assert!(!sorted.is_empty(), "KS statistic needs at least one sample");
+    let n = sorted.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in sorted.iter().enumerate() {
+        let fx = f(x);
+        let upper = (i as f64 + 1.0) / n - fx;
+        let lower = fx - (i as f64) / n;
+        d = d.max(upper).max(lower);
+    }
+    d
+}
+
+/// Two-sided P-value for a KS statistic `d` from `n` samples.
+///
+/// Uses the Marsaglia–Tsang–Wang exact CDF for `n ≤ 140` and the asymptotic
+/// Kolmogorov distribution with Stephens' finite-`n` correction
+/// `λ = (√n + 0.12 + 0.11/√n)·d` otherwise — the same strategy as SciPy's
+/// `kstest(mode="approx")` and Numerical Recipes.
+pub fn ks_p_value(d: f64, n: usize) -> f64 {
+    assert!(n >= 1);
+    if d <= 0.0 {
+        return 1.0;
+    }
+    if d >= 1.0 {
+        return 0.0;
+    }
+    if n <= 140 {
+        (1.0 - ks_cdf_exact(n, d)).clamp(0.0, 1.0)
+    } else {
+        let sqrt_n = (n as f64).sqrt();
+        let lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+        kolmogorov_sf(lambda)
+    }
+}
+
+/// One-sample KS test of `samples` (any order; a sorted copy is made) against
+/// an arbitrary continuous CDF.
+pub fn ks_test(samples: &[f64], cdf: impl Fn(f64) -> f64) -> KsResult {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN in KS samples"));
+    let statistic = ks_statistic_sorted(&sorted, cdf);
+    KsResult { statistic, p_value: ks_p_value(statistic, samples.len()), n: samples.len() }
+}
+
+/// KS test of `f32` samples against `N(mean, std²)`.
+///
+/// This is the protocol's exact server-side operation: upload coordinates are
+/// `f32`, the reference distribution is the DP noise distribution. Sorting is
+/// done on the `f32`s (cheaper) and the CDF is evaluated in `f64`.
+pub fn ks_test_gaussian(samples: &[f32], mean: f64, std: f64) -> KsResult {
+    assert!(!samples.is_empty(), "KS test needs at least one sample");
+    let normal = Normal::new(mean, std);
+    let mut sorted: Vec<f32> = samples.to_vec();
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN in KS samples"));
+    let n = sorted.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in sorted.iter().enumerate() {
+        let fx = normal.cdf(x as f64);
+        let upper = (i as f64 + 1.0) / n - fx;
+        let lower = fx - (i as f64) / n;
+        d = d.max(upper).max(lower);
+    }
+    KsResult { statistic: d, p_value: ks_p_value(d, sorted.len()), n: sorted.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normal::gaussian_vector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn statistic_of_perfect_uniform_grid() {
+        // Samples at the midpoints of n equal bins: D = 1/(2n).
+        let n = 10;
+        let samples: Vec<f64> = (0..n).map(|i| (i as f64 + 0.5) / n as f64).collect();
+        let d = ks_statistic_sorted(&samples, |x| x.clamp(0.0, 1.0));
+        assert!((d - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn statistic_detects_gross_mismatch() {
+        // All samples at 0.99 against Uniform(0,1): D ≈ 0.99.
+        let samples = vec![0.99f64; 50];
+        let d = ks_statistic_sorted(&samples, |x| x.clamp(0.0, 1.0));
+        assert!(d > 0.98);
+        assert!(ks_p_value(d, 50) < 1e-10);
+    }
+
+    #[test]
+    fn gaussian_null_is_accepted() {
+        // Genuine N(0, σ²) samples at protocol scale must pass at α = 0.05
+        // in the overwhelming majority of draws. Check several seeds.
+        let mut rejections = 0;
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let v = gaussian_vector(&mut rng, 0.05, 25_450);
+            let r = ks_test_gaussian(&v, 0.0, 0.05);
+            if r.rejects_at(0.05) {
+                rejections += 1;
+            }
+        }
+        // Expected ~1 rejection in 20 under the null; 5+ would be suspicious.
+        assert!(rejections <= 4, "rejected {rejections}/20 genuine Gaussian uploads");
+    }
+
+    #[test]
+    fn wrong_variance_is_rejected() {
+        // N(0, (2σ)²) against N(0, σ²): wrong scale must be caught at d=25450.
+        let mut rng = StdRng::seed_from_u64(3);
+        let v = gaussian_vector(&mut rng, 0.10, 25_450);
+        let r = ks_test_gaussian(&v, 0.0, 0.05);
+        assert!(r.rejects_at(0.05), "p={}", r.p_value);
+    }
+
+    #[test]
+    fn shifted_mean_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut v = gaussian_vector(&mut rng, 0.05, 25_450);
+        for x in &mut v {
+            *x += 0.01; // 0.2σ shift
+        }
+        let r = ks_test_gaussian(&v, 0.0, 0.05);
+        assert!(r.rejects_at(0.05), "p={}", r.p_value);
+    }
+
+    #[test]
+    fn p_value_uniform_under_null_small_n() {
+        // With the exact small-n CDF, the p-value of a uniform sample should
+        // itself be roughly uniform; check its mean over many draws.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut acc = 0.0;
+        let reps = 400;
+        for _ in 0..reps {
+            let samples: Vec<f64> =
+                (0..25).map(|_| rand::Rng::gen_range(&mut rng, 0.0..1.0)).collect();
+            let r = ks_test(&samples, |x: f64| x.clamp(0.0, 1.0));
+            acc += r.p_value;
+        }
+        let mean_p = acc / reps as f64;
+        assert!((mean_p - 0.5).abs() < 0.06, "mean p under null = {mean_p}");
+    }
+
+    #[test]
+    fn p_value_edge_cases() {
+        assert_eq!(ks_p_value(0.0, 100), 1.0);
+        assert_eq!(ks_p_value(1.0, 100), 0.0);
+        assert!(ks_p_value(0.5, 10) > ks_p_value(0.5, 1000));
+    }
+}

@@ -1,0 +1,27 @@
+//! # dpbfl-stats
+//!
+//! Statistical substrate for the `dpbfl` stack: the paper's server-side
+//! defenses are *statistical tests*, so this crate provides everything SciPy
+//! supplied to the reference implementation, built from scratch:
+//!
+//! * [`special`] — log-gamma, regularized incomplete gamma, erf/erfc, and
+//!   log-space add/sub (backing the RDP accountant).
+//! * [`normal`] — Normal pdf/cdf/quantile and Gaussian sampling (Marsaglia
+//!   polar method; `rand_distr` is not in the approved offline crate set).
+//! * [`chi_squared`] — χ² CDF backing the first-stage norm test.
+//! * [`kolmogorov`] — the Kolmogorov distribution (asymptotic series) and the
+//!   Marsaglia–Tsang–Wang exact finite-`n` CDF.
+//! * [`ks`] — the one-sample KS test the server runs on every upload.
+//! * [`moments`] — streaming moments (seed aggregation, "A little" attack).
+
+pub mod chi_squared;
+pub mod kolmogorov;
+pub mod ks;
+pub mod moments;
+pub mod normal;
+pub mod special;
+
+pub use chi_squared::ChiSquared;
+pub use ks::{ks_test, ks_test_gaussian, KsResult};
+pub use moments::RunningMoments;
+pub use normal::{fill_gaussian, gaussian_vector, Normal};

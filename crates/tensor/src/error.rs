@@ -1,0 +1,55 @@
+//! Error type shared by all tensor kernels.
+
+use std::fmt;
+
+/// Errors raised by shape-checked tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes that must agree do not.
+    ShapeMismatch {
+        /// What the caller was doing, e.g. `"matmul"`.
+        op: &'static str,
+        /// Human-readable description of the expected shape.
+        expected: String,
+        /// Human-readable description of the shape that was found.
+        found: String,
+    },
+    /// The element count implied by a shape disagrees with the buffer length.
+    LengthMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements in the provided buffer.
+        found: usize,
+    },
+    /// An index was out of bounds for the tensor's shape.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The axis length it violated.
+        len: usize,
+    },
+    /// An operation that requires a non-empty tensor received an empty one.
+    Empty(&'static str),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, expected, found } => {
+                write!(f, "{op}: shape mismatch (expected {expected}, found {found})")
+            }
+            TensorError::LengthMismatch { expected, found } => {
+                write!(f, "buffer length {found} does not match shape volume {expected}")
+            }
+            TensorError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for axis of length {len}")
+            }
+            TensorError::Empty(op) => write!(f, "{op}: empty tensor"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TensorError>;

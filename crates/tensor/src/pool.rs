@@ -1,0 +1,156 @@
+//! Adaptive average pooling (channels-first, single example).
+//!
+//! The paper's MNIST network ends its convolutional stack with
+//! `AdaptiveAvgPool((4, 4))` (Table 7). Adaptive pooling divides each spatial
+//! axis into `out` bins with PyTorch's bin boundaries
+//! `start = ⌊i·in/out⌋`, `end = ⌈(i+1)·in/out⌉` and averages each bin.
+
+/// Bin boundaries `[start, end)` for adaptive pooling an axis of length
+/// `in_len` down to `out_len` bins (PyTorch-compatible).
+pub fn adaptive_bins(in_len: usize, out_len: usize) -> Vec<(usize, usize)> {
+    assert!(out_len >= 1 && in_len >= out_len, "cannot pool {in_len} up to {out_len}");
+    (0..out_len)
+        .map(|i| {
+            let start = (i * in_len) / out_len;
+            let end = ((i + 1) * in_len).div_ceil(out_len);
+            (start, end)
+        })
+        .collect()
+}
+
+/// Forward adaptive average pooling of `[C, in_h, in_w]` to `[C, out_h, out_w]`.
+pub fn adaptive_avg_pool2d_forward(
+    channels: usize,
+    in_h: usize,
+    in_w: usize,
+    out_h: usize,
+    out_w: usize,
+    input: &[f32],
+    output: &mut [f32],
+) {
+    debug_assert_eq!(input.len(), channels * in_h * in_w);
+    debug_assert_eq!(output.len(), channels * out_h * out_w);
+    let rows = adaptive_bins(in_h, out_h);
+    let cols = adaptive_bins(in_w, out_w);
+    for c in 0..channels {
+        let in_plane = &input[c * in_h * in_w..(c + 1) * in_h * in_w];
+        let out_plane = &mut output[c * out_h * out_w..(c + 1) * out_h * out_w];
+        for (oy, &(y0, y1)) in rows.iter().enumerate() {
+            for (ox, &(x0, x1)) in cols.iter().enumerate() {
+                let mut acc = 0.0f32;
+                for y in y0..y1 {
+                    for x in x0..x1 {
+                        acc += in_plane[y * in_w + x];
+                    }
+                }
+                let count = ((y1 - y0) * (x1 - x0)) as f32;
+                out_plane[oy * out_w + ox] = acc / count;
+            }
+        }
+    }
+}
+
+/// Backward adaptive average pooling: spreads each output gradient uniformly
+/// over its bin. `grad_input` is overwritten.
+pub fn adaptive_avg_pool2d_backward(
+    channels: usize,
+    in_h: usize,
+    in_w: usize,
+    out_h: usize,
+    out_w: usize,
+    grad_output: &[f32],
+    grad_input: &mut [f32],
+) {
+    debug_assert_eq!(grad_output.len(), channels * out_h * out_w);
+    debug_assert_eq!(grad_input.len(), channels * in_h * in_w);
+    grad_input.fill(0.0);
+    let rows = adaptive_bins(in_h, out_h);
+    let cols = adaptive_bins(in_w, out_w);
+    for c in 0..channels {
+        let go_plane = &grad_output[c * out_h * out_w..(c + 1) * out_h * out_w];
+        let gi_plane = &mut grad_input[c * in_h * in_w..(c + 1) * in_h * in_w];
+        for (oy, &(y0, y1)) in rows.iter().enumerate() {
+            for (ox, &(x0, x1)) in cols.iter().enumerate() {
+                let count = ((y1 - y0) * (x1 - x0)) as f32;
+                let g = go_plane[oy * out_w + ox] / count;
+                for y in y0..y1 {
+                    for x in x0..x1 {
+                        gi_plane[y * in_w + x] += g;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_cover_axis_without_gaps() {
+        for (in_len, out_len) in [(16, 4), (10, 3), (7, 7), (5, 2)] {
+            let bins = adaptive_bins(in_len, out_len);
+            assert_eq!(bins.len(), out_len);
+            assert_eq!(bins[0].0, 0);
+            assert_eq!(bins[out_len - 1].1, in_len);
+            for w in bins.windows(2) {
+                // Consecutive bins may overlap (PyTorch semantics) but never
+                // leave a gap.
+                assert!(w[1].0 <= w[0].1);
+            }
+            for &(a, b) in &bins {
+                assert!(a < b);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_division_averages_blocks() {
+        // 4x4 -> 2x2 with one channel: each output is the mean of a 2x2 block.
+        let input: Vec<f32> = (0..16).map(|v| v as f32).collect();
+        let mut out = vec![0.0f32; 4];
+        adaptive_avg_pool2d_forward(1, 4, 4, 2, 2, &input, &mut out);
+        assert_eq!(out, vec![2.5, 4.5, 10.5, 12.5]);
+    }
+
+    #[test]
+    fn global_pool_is_mean() {
+        let input = vec![1.0f32, 2.0, 3.0, 4.0];
+        let mut out = vec![0.0f32; 1];
+        adaptive_avg_pool2d_forward(1, 2, 2, 1, 1, &input, &mut out);
+        assert_eq!(out, vec![2.5]);
+    }
+
+    #[test]
+    fn backward_spreads_gradient_uniformly() {
+        let go = vec![4.0f32; 4]; // 2x2 grads
+        let mut gi = vec![0.0f32; 16];
+        adaptive_avg_pool2d_backward(1, 4, 4, 2, 2, &go, &mut gi);
+        // each bin has 4 cells, so each receives 4.0 / 4 = 1.0
+        assert!(gi.iter().all(|&g| (g - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn forward_backward_finite_difference() {
+        let input: Vec<f32> = (0..2 * 5 * 5).map(|v| (v as f32) * 0.1 - 1.0).collect();
+        let (c, ih, iw, oh, ow) = (2usize, 5usize, 5usize, 2usize, 2usize);
+        let loss = |inp: &[f32]| -> f64 {
+            let mut out = vec![0.0f32; c * oh * ow];
+            adaptive_avg_pool2d_forward(c, ih, iw, oh, ow, inp, &mut out);
+            out.iter().map(|&v| (v as f64) * 2.0).sum()
+        };
+        let go = vec![2.0f32; c * oh * ow];
+        let mut gi = vec![0.0f32; c * ih * iw];
+        adaptive_avg_pool2d_backward(c, ih, iw, oh, ow, &go, &mut gi);
+        let eps = 1e-2f32;
+        for &i in &[0usize, 12, 24, 49] {
+            let mut p = input.clone();
+            p[i] += eps;
+            let mut m = input.clone();
+            m[i] -= eps;
+            let fd = (loss(&p) - loss(&m)) / (2.0 * eps as f64);
+            assert!((fd - gi[i] as f64).abs() < 1e-3, "coord {i}: fd={fd} got={}", gi[i]);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Shape metadata for dense, row-major tensors.
+
+use crate::error::{Result, TensorError};
+
+/// Row-major tensor shape: a list of axis lengths.
+///
+/// Shapes are small (rank ≤ 4 in this codebase) and copied freely.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Builds a shape from axis lengths.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Shape(dims.into())
+    }
+
+    /// Axis lengths.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of axes.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of axis lengths; 1 for rank 0).
+    #[inline]
+    pub fn volume(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Length of axis `axis`, or an error if the axis does not exist.
+    pub fn dim(&self, axis: usize) -> Result<usize> {
+        self.0
+            .get(axis)
+            .copied()
+            .ok_or(TensorError::IndexOutOfBounds { index: axis, len: self.0.len() })
+    }
+
+    /// Row-major strides (in elements) for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Flat offset of a multi-index, checking every axis bound.
+    pub fn offset(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.0.len() {
+            return Err(TensorError::ShapeMismatch {
+                op: "offset",
+                expected: format!("rank {}", self.0.len()),
+                found: format!("rank {}", index.len()),
+            });
+        }
+        let mut off = 0;
+        let strides = self.strides();
+        for ((&i, &len), &stride) in index.iter().zip(&self.0).zip(&strides) {
+            if i >= len {
+                return Err(TensorError::IndexOutOfBounds { index: i, len });
+            }
+            off += i * stride;
+        }
+        Ok(off)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_and_rank() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.volume(), 24);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(Shape::new(Vec::new()).volume(), 1);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::from([5]).strides(), vec![1]);
+    }
+
+    #[test]
+    fn offset_checks_bounds() {
+        let s = Shape::from([2, 3]);
+        assert_eq!(s.offset(&[1, 2]).unwrap(), 5);
+        assert!(s.offset(&[2, 0]).is_err());
+        assert!(s.offset(&[0]).is_err());
+    }
+
+    #[test]
+    fn display_formats_like_a_list() {
+        assert_eq!(Shape::from([2, 3]).to_string(), "[2, 3]");
+    }
+}

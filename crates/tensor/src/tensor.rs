@@ -1,0 +1,163 @@
+//! Owned dense tensor with shape metadata.
+
+use crate::error::{Result, TensorError};
+use crate::shape::Shape;
+use crate::vecops;
+
+/// An owned, row-major dense `f32` tensor.
+///
+/// `Tensor` is the user-facing container (datasets, model inputs, examples);
+/// the inner numeric kernels in [`crate::matmul`], [`crate::conv`] and
+/// [`crate::pool`] work on raw slices for per-example speed, and `Tensor`
+/// provides checked construction and convenient element access on top.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Shape,
+}
+
+impl Tensor {
+    /// Builds a tensor from a buffer and shape, verifying that the lengths
+    /// agree.
+    pub fn from_vec(data: Vec<f32>, shape: impl Into<Shape>) -> Result<Self> {
+        let shape = shape.into();
+        if data.len() != shape.volume() {
+            return Err(TensorError::LengthMismatch { expected: shape.volume(), found: data.len() });
+        }
+        Ok(Tensor { data, shape })
+    }
+
+    /// All-zeros tensor of the given shape.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        Tensor { data: vec![0.0; shape.volume()], shape }
+    }
+
+    /// Tensor filled with `value`.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
+        let shape = shape.into();
+        Tensor { data: vec![value; shape.volume()], shape }
+    }
+
+    /// The tensor's shape.
+    #[inline]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True iff the tensor has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only view of the flat buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-index, with bound checks.
+    pub fn get(&self, index: &[usize]) -> Result<f32> {
+        Ok(self.data[self.shape.offset(index)?])
+    }
+
+    /// Sets the element at a multi-index, with bound checks.
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<()> {
+        let off = self.shape.offset(index)?;
+        self.data[off] = value;
+        Ok(())
+    }
+
+    /// Reinterprets the buffer under a new shape of equal volume.
+    pub fn reshape(self, shape: impl Into<Shape>) -> Result<Self> {
+        Tensor::from_vec(self.data, shape)
+    }
+
+    /// ℓ2 norm of the flattened tensor.
+    pub fn l2_norm(&self) -> f64 {
+        vecops::l2_norm(&self.data)
+    }
+
+    /// Element-wise in-place map.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// `self ← self + alpha · other`, shapes must match.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) -> Result<()> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                op: "axpy",
+                expected: self.shape.to_string(),
+                found: other.shape.to_string(),
+            });
+        }
+        vecops::axpy(alpha, &other.data, &mut self.data);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_checks_length() {
+        assert!(Tensor::from_vec(vec![1.0; 6], [2, 3]).is_ok());
+        assert!(Tensor::from_vec(vec![1.0; 5], [2, 3]).is_err());
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut t = Tensor::zeros([2, 3]);
+        t.set(&[1, 2], 7.0).unwrap();
+        assert_eq!(t.get(&[1, 2]).unwrap(), 7.0);
+        assert_eq!(t.get(&[0, 0]).unwrap(), 0.0);
+        assert!(t.get(&[2, 0]).is_err());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]).unwrap();
+        let r = t.reshape([4]).unwrap();
+        assert_eq!(r.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        assert!(r.clone().reshape([3]).is_err());
+    }
+
+    #[test]
+    fn axpy_requires_matching_shapes() {
+        let mut a = Tensor::full([2, 2], 1.0);
+        let b = Tensor::full([2, 2], 2.0);
+        a.axpy(0.5, &b).unwrap();
+        assert!(a.as_slice().iter().all(|&x| (x - 2.0).abs() < 1e-6));
+        let c = Tensor::zeros([4]);
+        assert!(a.axpy(1.0, &c).is_err());
+    }
+
+    #[test]
+    fn map_inplace_applies_everywhere() {
+        let mut t = Tensor::full([3], 2.0);
+        t.map_inplace(|x| x * x);
+        assert_eq!(t.as_slice(), &[4.0, 4.0, 4.0]);
+    }
+}

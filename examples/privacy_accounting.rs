@@ -1,0 +1,52 @@
+//! Privacy accounting walkthrough: how the noise multiplier σ is calibrated
+//! from a target (ε, δ), and how the paper's one-dimensional tuning rule
+//! `η = η_b·σ_b/σ` follows.
+//!
+//! ```text
+//! cargo run --release -p dpbfl --example privacy_accounting
+//! ```
+
+use dpbfl::tuning::{noise_dominates, transfer_lr};
+use dpbfl_dp::{paper_delta, RdpAccountant};
+
+fn main() {
+    // The paper's MNIST configuration: 60 000 examples over 20 honest
+    // workers → |D_i| = 3 000; b_c = 16; 8 epochs → T = 1 500.
+    let per_worker = 3000usize;
+    let batch = 16usize;
+    let epochs = 8.0;
+    let q = batch as f64 / per_worker as f64;
+    let steps = (epochs * per_worker as f64 / batch as f64).ceil() as u64;
+    let delta = paper_delta(per_worker);
+    let acc = RdpAccountant::new(q, steps);
+
+    println!("sampling rate q = {q:.5}, steps T = {steps}, δ = {delta:.3e}\n");
+    println!("{:>8} {:>8} {:>10} {:>12} {:>14}", "ε", "σ", "η=0.2σb/σ", "σ²d/b²", "noise-dom?");
+    let d = 25_450usize; // the paper's MLP dimension
+    let (base_sigma, base_lr) = {
+        let s = acc.find_noise_multiplier(2.0, delta);
+        (s, 0.2)
+    };
+    for eps in [2.0, 1.0, 0.5, 0.25, 0.125] {
+        let sigma = acc.find_noise_multiplier(eps, delta);
+        let lr = transfer_lr(base_lr, base_sigma, sigma);
+        let ratio = sigma * sigma * d as f64 / (batch * batch) as f64;
+        println!(
+            "{eps:>8} {sigma:>8.3} {lr:>10.4} {ratio:>12.1} {:>14}",
+            noise_dominates(sigma, d, batch, 10.0)
+        );
+    }
+    println!(
+        "\nThe paper reports σ_b ≈ 0.79 at ε = 2 for this configuration; our\n\
+         accountant finds σ = {base_sigma:.3}. Tuning η_b once at ε = 2 then covers\n\
+         every other privacy level — quadratic effort saved (Claim 6)."
+    );
+
+    // Round-trip check: the achieved ε for each σ.
+    println!("\nRound-trip (σ → ε at δ = {delta:.1e}):");
+    for eps in [2.0, 0.5, 0.125] {
+        let sigma = acc.find_noise_multiplier(eps, delta);
+        let (achieved, order) = acc.epsilon(sigma, delta);
+        println!("  target ε = {eps:<6} σ = {sigma:.3} → achieved ε = {achieved:.4} (optimal α = {order})");
+    }
+}

@@ -1,0 +1,111 @@
+//! The paper's Table 1 failure modes, as executable assertions: every prior
+//! defense breaks under a Byzantine majority while the two-stage protocol
+//! holds.
+
+use dpbfl::baseline::{run_sign_dp, SignDpConfig};
+use dpbfl::prelude::*;
+
+fn base(n_byz: usize) -> SimulationConfig {
+    let mut cfg = SimulationConfig::quick(SyntheticSpec::mnist_like(), ModelKind::Mlp784);
+    cfg.per_worker = 400;
+    cfg.test_count = 300;
+    cfg.n_honest = 8;
+    cfg.n_byzantine = n_byz;
+    cfg.epochs = 4.0;
+    cfg.epsilon = Some(2.0);
+    cfg.attack = if n_byz > 0 { AttackSpec::LabelFlip } else { AttackSpec::None };
+    cfg
+}
+
+#[test]
+fn classical_robust_rules_fail_at_60_percent() {
+    let reference = dpbfl::simulation::run(&base(0)).final_accuracy;
+    for (name, agg) in [
+        ("krum", AggregatorKind::Krum { f: 12 }),
+        ("coordinate-median", AggregatorKind::CoordinateMedian),
+        ("geometric-median", AggregatorKind::GeometricMedian),
+    ] {
+        let mut cfg = base(12); // 60 %
+        cfg.defense = DefenseKind::Robust(agg);
+        let r = dpbfl::simulation::run(&cfg);
+        assert!(
+            r.final_accuracy < reference - 0.3,
+            "{name} unexpectedly survived a Byzantine majority: {} vs ref {reference}",
+            r.final_accuracy
+        );
+    }
+}
+
+#[test]
+fn classical_rules_do_work_below_majority() {
+    // Sanity: the baselines are implemented correctly — coordinate median
+    // holds *below* majority (its design regime) and collapses above it.
+    // Note it still pays a DP tax relative to plain averaging: the median of
+    // n noisy uploads reduces variance less than their mean, which is
+    // exactly the paper's point about bolting robust rules onto DP ([31]).
+    let run_with_byz = |n_byz: usize| {
+        let mut cfg = base(n_byz);
+        cfg.defense = DefenseKind::Robust(AggregatorKind::CoordinateMedian);
+        dpbfl::simulation::run(&cfg).final_accuracy
+    };
+    let below = run_with_byz(2); // 20 % of 10 total
+    let above = run_with_byz(12); // 60 % of 20 total
+    assert!(below > 0.45, "coordinate median failed below majority: {below}");
+    assert!(
+        below > above + 0.2,
+        "majority should break the median: below={below} above={above}"
+    );
+}
+
+#[test]
+fn two_stage_succeeds_where_baselines_fail() {
+    let reference = dpbfl::simulation::run(&base(0)).final_accuracy;
+    let mut cfg = base(12);
+    cfg.defense = DefenseKind::TwoStage;
+    cfg.defense_cfg.gamma = 0.4;
+    let r = dpbfl::simulation::run(&cfg);
+    assert!(
+        r.final_accuracy > reference - 0.1,
+        "two-stage lost utility: {} vs ref {reference}",
+        r.final_accuracy
+    );
+}
+
+#[test]
+fn sign_dp_baseline_fails_under_majority() {
+    let mk = |n_byz: usize| SignDpConfig {
+        dataset: SyntheticSpec::mnist_like(),
+        model: ModelKind::SmallMlp { hidden: 12 },
+        per_worker: 200,
+        test_count: 300,
+        n_honest: 6,
+        n_byzantine: n_byz,
+        epochs: 4.0,
+        lr: 0.002,
+        batch_size: 16,
+        flip_prob: SignDpConfig::flip_prob_for_epsilon(1.0),
+        seed: 5,
+    };
+    let honest = run_sign_dp(&mk(0));
+    let attacked = run_sign_dp(&mk(8)); // majority
+    assert!(honest.final_accuracy > 0.35, "sign-DP should learn: {}", honest.final_accuracy);
+    assert!(
+        attacked.final_accuracy < honest.final_accuracy - 0.15,
+        "sign-DP should fail under majority: {} vs {}",
+        attacked.final_accuracy,
+        honest.final_accuracy
+    );
+}
+
+#[test]
+fn dp_clip_plus_krum_fails_at_majority() {
+    // The [30]-style combination: clipping DP-SGD + Krum.
+    let reference = dpbfl::simulation::run(&base(0)).final_accuracy;
+    let cfg = dpbfl::baseline::guerraoui_style(base(12), 1.0, AggregatorKind::Krum { f: 12 });
+    let r = dpbfl::simulation::run(&cfg);
+    assert!(
+        r.final_accuracy < reference - 0.25,
+        "[30]-style defense unexpectedly survived: {} vs ref {reference}",
+        r.final_accuracy
+    );
+}

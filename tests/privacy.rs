@@ -1,0 +1,97 @@
+//! Privacy-facing integration tests: the accountant's calibration flows
+//! through the simulation correctly and noise is actually injected.
+
+use dpbfl::prelude::*;
+use dpbfl_dp::{paper_delta, RdpAccountant};
+use dpbfl_tensor::vecops;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn simulation_sigma_matches_direct_accountant_call() {
+    let mut cfg = SimulationConfig::quick(SyntheticSpec::mnist_like(), ModelKind::Mlp784);
+    cfg.per_worker = 256;
+    cfg.test_count = 100;
+    cfg.n_honest = 4;
+    cfg.epochs = 2.0;
+    cfg.epsilon = Some(1.0);
+    let r = dpbfl::simulation::run(&cfg);
+
+    let q = 16.0 / 256.0;
+    let acc = RdpAccountant::new(q, cfg.iterations() as u64);
+    let expected = acc.find_noise_multiplier(1.0, paper_delta(256));
+    assert!(
+        (r.sigma - expected).abs() < 1e-9,
+        "simulation σ = {} vs accountant σ = {expected}",
+        r.sigma
+    );
+    assert!((r.delta - paper_delta(256)).abs() < 1e-15);
+}
+
+#[test]
+fn stronger_privacy_means_more_noise_and_smaller_lr() {
+    let run_at = |eps: f64| {
+        let mut cfg = SimulationConfig::quick(SyntheticSpec::mnist_like(), ModelKind::Mlp784);
+        cfg.per_worker = 256;
+        cfg.test_count = 100;
+        cfg.n_honest = 4;
+        cfg.epochs = 1.0;
+        cfg.epsilon = Some(eps);
+        dpbfl::simulation::run(&cfg)
+    };
+    let strong = run_at(0.25);
+    let weak = run_at(2.0);
+    assert!(strong.sigma > weak.sigma, "σ(0.25) = {} ≤ σ(2) = {}", strong.sigma, weak.sigma);
+    assert!(strong.lr < weak.lr, "lr must shrink with σ");
+}
+
+#[test]
+fn worker_uploads_carry_calibrated_noise() {
+    // A worker's upload norm must match the √(σ²d)/b_c prediction — i.e.
+    // the noise the accountant calibrated is really there.
+    use dpbfl::config::DpSgdConfig;
+    use dpbfl::worker::DpWorker;
+    use dpbfl_nn::zoo;
+
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = zoo::mlp_784(&mut rng);
+    let d = model.param_len();
+    let data = SyntheticSpec::mnist_like().generate(64, 3);
+    let sigma = 1.5;
+    let cfg = DpSgdConfig { noise_multiplier: sigma, ..Default::default() };
+    let mut w = DpWorker::new(model, data, cfg, 9);
+    let params = vec![0.0f32; d];
+    let up = w.local_step(&params);
+    let norm = vecops::l2_norm(&up);
+    let predicted = sigma * (d as f64).sqrt() / 16.0;
+    assert!(
+        (norm / predicted - 1.0).abs() < 0.1,
+        "upload norm {norm} vs noise prediction {predicted}"
+    );
+}
+
+#[test]
+fn dp_costs_utility_monotonically() {
+    // Supp. Tables 15/16 shape: Non-DP ≥ ε=2 ≥ ε=0.125 (with margin slack
+    // for run-to-run noise at this tiny scale).
+    let run_at = |eps: Option<f64>| {
+        let mut cfg = SimulationConfig::quick(SyntheticSpec::fashion_like(), ModelKind::Mlp784);
+        cfg.per_worker = 300;
+        cfg.test_count = 300;
+        cfg.n_honest = 8;
+        cfg.epochs = 3.0;
+        match eps {
+            Some(e) => cfg.epsilon = Some(e),
+            None => {
+                cfg.protocol = WorkerProtocol::Plain;
+                cfg.epsilon = None;
+            }
+        }
+        dpbfl::simulation::run(&cfg).final_accuracy
+    };
+    let non_dp = run_at(None);
+    let dp2 = run_at(Some(2.0));
+    let dp0125 = run_at(Some(0.125));
+    assert!(non_dp >= dp2 - 0.05, "non-DP {non_dp} vs ε=2 {dp2}");
+    assert!(dp2 > dp0125 + 0.05, "ε=2 {dp2} vs ε=0.125 {dp0125}");
+}
