@@ -45,5 +45,27 @@ fn bench_rounds(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_rounds);
+/// The rayon payoff: the same defended round forced onto 1 thread vs the
+/// full pool. On an N-core host the `threads/auto` row should undercut
+/// `threads/1` by ≳2× once N ≥ 4 (the per-worker local steps and the
+/// per-upload first-stage tests are both embarrassingly parallel); the two
+/// rows produce bit-identical simulation results either way, which
+/// `simulation::tests::two_stage_identical_across_thread_counts` asserts.
+fn bench_thread_scaling(c: &mut Criterion) {
+    let auto_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let cfg = tiny(12, 12, true);
+    let mut group = c.benchmark_group("fl_round_threads");
+    group.sample_size(10);
+    for (label, threads) in [("1".to_string(), 1), (format!("auto_{auto_threads}"), 0)] {
+        // build() + install() rather than build_global(): upstream rayon
+        // errors on a second build_global() call once the pool exists.
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("pool");
+        group.bench_function(BenchmarkId::new("threads", label), |b| {
+            pool.install(|| b.iter(|| std::hint::black_box(dpbfl::simulation::run(&cfg))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rounds, bench_thread_scaling);
 criterion_main!(benches);

@@ -90,11 +90,7 @@ fn main() {
     let mut rows = Vec::new();
     for (name, cfg) in variants {
         let s = run_seeds(&cfg, &scale.seeds);
-        rows.push(vec![
-            name.to_string(),
-            fmt_acc(&s),
-            format!("{:+.3}", s.mean - reference),
-        ]);
+        rows.push(vec![name.to_string(), fmt_acc(&s), format!("{:+.3}", s.mean - reference)]);
         records.push(Record { variant: name.to_string(), accuracy: s.mean, reference });
     }
     print_table(

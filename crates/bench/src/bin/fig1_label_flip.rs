@@ -39,7 +39,10 @@ fn main() {
     let scale = Scale::from_env();
     let attack_name = args.value("attack").unwrap_or("label-flip").to_string();
     let attack = parse_attack(&attack_name);
-    let datasets = args.list("datasets", if scale.full { "mnist,fashion,usps,colorectal" } else { "mnist,fashion" });
+    let datasets = args.list(
+        "datasets",
+        if scale.full { "mnist,fashion,usps,colorectal" } else { "mnist,fashion" },
+    );
     let byz_list: Vec<usize> = args
         .list("byz", if scale.full { "20,40,60" } else { "20,60" })
         .iter()
@@ -57,9 +60,8 @@ fn main() {
                 cfg.iid = iid;
                 cfg.epsilon = Some(eps);
                 // byz_pct is a percentage of the *total* worker count.
-                cfg.n_byzantine =
-                    (cfg.n_honest as f64 * byz_pct as f64 / (100.0 - byz_pct as f64)).round()
-                        as usize;
+                cfg.n_byzantine = (cfg.n_honest as f64 * byz_pct as f64 / (100.0 - byz_pct as f64))
+                    .round() as usize;
                 cfg.attack = attack.clone();
                 cfg.defense = DefenseKind::TwoStage;
                 cfg.defense_cfg.gamma = cfg.n_honest as f64 / cfg.n_total() as f64;

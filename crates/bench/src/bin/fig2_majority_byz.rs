@@ -29,7 +29,8 @@ fn main() {
         "opt-lmp" => AttackSpec::OptLmp,
         other => panic!("unknown attack {other:?}"),
     };
-    let datasets = args.list("datasets", if scale.full { "mnist,fashion,usps,colorectal" } else { "mnist" });
+    let datasets =
+        args.list("datasets", if scale.full { "mnist,fashion,usps,colorectal" } else { "mnist" });
     let byz_pct: usize = args.value("byz").unwrap_or("90").parse().expect("--byz integer");
     let iid = !args.flag("non-iid");
     let epsilons: Vec<f64> = if scale.full { EPSILONS.to_vec() } else { vec![0.125, 0.5, 2.0] };

@@ -20,7 +20,10 @@ struct Curve {
 fn main() {
     let args = Args::parse();
     let scale = Scale::from_env();
-    let datasets = args.list("datasets", if scale.full { "mnist,fashion,usps,colorectal" } else { "mnist,fashion" });
+    let datasets = args.list(
+        "datasets",
+        if scale.full { "mnist,fashion,usps,colorectal" } else { "mnist,fashion" },
+    );
 
     let mut curves = Vec::new();
     for dataset in &datasets {

@@ -20,7 +20,9 @@ fn main() {
     let dist = label_distribution(&data.labels, &parts, data.num_classes);
 
     println!("Supp. Figure 5: non-i.i.d. class ratios per worker (Algorithm 4)");
-    println!("(each cell: ratio of that class in the worker's local data; ▓ ≥ .2, ▒ ≥ .1, ░ ≥ .05)");
+    println!(
+        "(each cell: ratio of that class in the worker's local data; ▓ ≥ .2, ▒ ≥ .1, ░ ≥ .05)"
+    );
     print!("{:>9}", "worker");
     for c in 0..data.num_classes {
         print!("{c:>6}");

@@ -51,8 +51,7 @@ fn main() {
                 cfg.n_honest = if byz_pct >= 99 { 3 } else { (cfg.n_honest / 2).max(4) };
                 cfg.iid = iid;
                 cfg.epsilon = Some(eps);
-                cfg.n_byzantine = (cfg.n_honest as f64 * byz_pct as f64
-                    / (100.0 - byz_pct as f64))
+                cfg.n_byzantine = (cfg.n_honest as f64 * byz_pct as f64 / (100.0 - byz_pct as f64))
                     .round() as usize;
                 cfg.attack = attack.clone();
                 cfg.defense = DefenseKind::TwoStage;

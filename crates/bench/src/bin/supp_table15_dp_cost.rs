@@ -21,7 +21,10 @@ struct Record {
 fn main() {
     let args = Args::parse();
     let scale = Scale::from_env();
-    let datasets = args.list("datasets", if scale.full { "mnist,fashion,usps,colorectal" } else { "mnist,fashion" });
+    let datasets = args.list(
+        "datasets",
+        if scale.full { "mnist,fashion,usps,colorectal" } else { "mnist,fashion" },
+    );
     let epsilons: Vec<f64> =
         if scale.full { EPSILONS.iter().rev().cloned().collect() } else { vec![2.0, 0.5, 0.125] };
 

@@ -28,10 +28,8 @@ fn main() {
     let scale = Scale::from_env();
     let dataset = args.value("dataset").unwrap_or("fashion");
 
-    let attacks: [(&str, AttackSpec); 2] = [
-        ("a-little", AttackSpec::ALittle),
-        ("inner", AttackSpec::InnerProduct { scale: 5.0 }),
-    ];
+    let attacks: [(&str, AttackSpec); 2] =
+        [("a-little", AttackSpec::ALittle), ("inner", AttackSpec::InnerProduct { scale: 5.0 })];
 
     let mut records = Vec::new();
     let mut rows = Vec::new();

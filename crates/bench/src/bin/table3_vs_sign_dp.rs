@@ -75,12 +75,7 @@ fn main() {
         cfg.defense_cfg.gamma = cfg.n_honest as f64 / cfg.n_total() as f64;
         let s = run_seeds(&cfg, &scale.seeds);
         rows.push(vec![format!("Ours, {byz_pct}% byz, ε=0.125"), fmt_acc(&s)]);
-        records.push(Record {
-            method: "ours".into(),
-            byz_pct,
-            epsilon: 0.125,
-            accuracy: s.mean,
-        });
+        records.push(Record { method: "ours".into(), byz_pct, epsilon: 0.125, accuracy: s.mean });
     }
 
     print_table(

@@ -22,7 +22,10 @@ struct Record {
 fn main() {
     let args = Args::parse();
     let scale = Scale::from_env();
-    let datasets = args.list("datasets", if scale.full { "mnist,fashion,usps,colorectal" } else { "mnist,fashion" });
+    let datasets = args.list(
+        "datasets",
+        if scale.full { "mnist,fashion,usps,colorectal" } else { "mnist,fashion" },
+    );
     let epsilons: Vec<f64> = if scale.full { vec![0.125, 0.5, 2.0] } else { vec![0.5, 2.0] };
 
     let mut records = Vec::new();

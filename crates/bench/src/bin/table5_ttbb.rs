@@ -30,13 +30,11 @@ fn main() {
         "opt-lmp" => AttackSpec::OptLmp,
         other => panic!("unknown attack {other:?}"),
     };
-    let datasets = args.list("datasets", if scale.full { "mnist,fashion,usps,colorectal" } else { "mnist" });
+    let datasets =
+        args.list("datasets", if scale.full { "mnist,fashion,usps,colorectal" } else { "mnist" });
     let iid = !args.flag("non-iid");
-    let ttbbs: Vec<f64> = if scale.full {
-        vec![0.0, 0.2, 0.4, 0.6, 0.8]
-    } else {
-        vec![0.0, 0.4, 0.8]
-    };
+    let ttbbs: Vec<f64> =
+        if scale.full { vec![0.0, 0.2, 0.4, 0.6, 0.8] } else { vec![0.0, 0.4, 0.8] };
     let epsilons: Vec<f64> = if scale.full { vec![2.0, 0.125] } else { vec![2.0] };
 
     let mut records = Vec::new();

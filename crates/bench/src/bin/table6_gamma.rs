@@ -32,13 +32,11 @@ fn main() {
         "opt-lmp" => AttackSpec::OptLmp,
         other => panic!("unknown attack {other:?}"),
     };
-    let datasets = args.list("datasets", if scale.full { "mnist,fashion,usps,colorectal" } else { "mnist" });
+    let datasets =
+        args.list("datasets", if scale.full { "mnist,fashion,usps,colorectal" } else { "mnist" });
     let iid = !args.flag("non-iid");
-    let gammas: Vec<f64> = if scale.full {
-        vec![0.2, 0.35, 0.5, 0.65, 0.8]
-    } else {
-        vec![0.2, 0.5, 0.8]
-    };
+    let gammas: Vec<f64> =
+        if scale.full { vec![0.2, 0.35, 0.5, 0.65, 0.8] } else { vec![0.2, 0.5, 0.8] };
     let epsilons: Vec<f64> = if scale.full { vec![0.125, 2.0] } else { vec![2.0] };
 
     let mut records = Vec::new();

@@ -61,8 +61,10 @@ pub fn krum<'a>(uploads: &[&'a [f32]], f: usize) -> &'a [f32] {
     let mut best_idx = 0usize;
     let mut best_score = f64::INFINITY;
     for i in 0..n {
-        let mut dists: Vec<f64> =
-            (0..n).filter(|&j| j != i).map(|j| vecops::l2_dist_sq(uploads[i], uploads[j])).collect();
+        let mut dists: Vec<f64> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| vecops::l2_dist_sq(uploads[i], uploads[j]))
+            .collect();
         dists.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite distances"));
         let score: f64 = dists.iter().take(k.min(dists.len())).sum();
         if score < best_score {
@@ -85,11 +87,7 @@ pub fn coordinate_median(uploads: &[&[f32]]) -> Vec<f32> {
             *c = u[j];
         }
         column.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite uploads"));
-        out[j] = if n % 2 == 1 {
-            column[n / 2]
-        } else {
-            0.5 * (column[n / 2 - 1] + column[n / 2])
-        };
+        out[j] = if n % 2 == 1 { column[n / 2] } else { 0.5 * (column[n / 2 - 1] + column[n / 2]) };
     }
     out
 }
@@ -172,8 +170,7 @@ mod tests {
     fn krum_fails_under_byzantine_majority() {
         // 1 honest vs 3 colluding Byzantine: Krum picks from the majority
         // cluster — the >50 % failure mode in the paper's Table 1.
-        let ups: Vec<&[f32]> =
-            vec![&[1.0, 1.0], &[-50.0, -50.0], &[-50.1, -49.9], &[-49.9, -50.1]];
+        let ups: Vec<&[f32]> = vec![&[1.0, 1.0], &[-50.0, -50.0], &[-50.1, -49.9], &[-49.9, -50.1]];
         let chosen = krum(&ups, 1);
         assert!(chosen[0] < -40.0, "krum unexpectedly resisted a Byzantine majority");
     }

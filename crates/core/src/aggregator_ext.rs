@@ -46,10 +46,7 @@ pub fn bulyan(uploads: &[&[f32]], f: usize) -> Vec<f32> {
         column.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite uploads"));
         let median = column[column.len() / 2];
         column.sort_unstable_by(|a, b| {
-            (a - median)
-                .abs()
-                .partial_cmp(&(b - median).abs())
-                .expect("finite uploads")
+            (a - median).abs().partial_cmp(&(b - median).abs()).expect("finite uploads")
         });
         let sum: f64 = column[..beta].iter().map(|&v| v as f64).sum();
         out[j] = (sum / beta as f64) as f32;
@@ -63,8 +60,10 @@ fn krum_index(uploads: &[&[f32]], f: usize) -> usize {
     let k = n.saturating_sub(f + 2).clamp(1, n.saturating_sub(1).max(1));
     let mut best = (0usize, f64::INFINITY);
     for i in 0..n {
-        let mut dists: Vec<f64> =
-            (0..n).filter(|&j| j != i).map(|j| vecops::l2_dist_sq(uploads[i], uploads[j])).collect();
+        let mut dists: Vec<f64> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| vecops::l2_dist_sq(uploads[i], uploads[j]))
+            .collect();
         dists.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite distances"));
         let score: f64 = dists.iter().take(k.min(dists.len())).sum();
         if score < best.1 {
@@ -114,9 +113,8 @@ mod tests {
     fn bulyan_resists_minority_outliers() {
         // 7 honest near (1,1), 1 Byzantine far away; f = 1 satisfies
         // n ≥ 4f + 3.
-        let honest: Vec<Vec<f32>> = (0..7)
-            .map(|i| vec![1.0 + 0.01 * i as f32, 1.0 - 0.01 * i as f32])
-            .collect();
+        let honest: Vec<Vec<f32>> =
+            (0..7).map(|i| vec![1.0 + 0.01 * i as f32, 1.0 - 0.01 * i as f32]).collect();
         let mut ups: Vec<&[f32]> = honest.iter().map(|v| v.as_slice()).collect();
         let outlier = vec![1000.0f32, -1000.0];
         ups.push(&outlier);

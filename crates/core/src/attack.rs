@@ -23,8 +23,8 @@
 //!   honest uploads until `ttbb·T` iterations have passed, then switches to
 //!   an inner attack.
 
-use dpbfl_stats::normal::{gaussian_vector, standard_normal_quantile};
 use dpbfl_stats::moments::coordinate_moments;
+use dpbfl_stats::normal::{gaussian_vector, standard_normal_quantile};
 use dpbfl_tensor::vecops;
 use rand::Rng;
 
@@ -116,9 +116,9 @@ pub fn craft_uploads<R: Rng + ?Sized>(
     });
     match spec {
         AttackSpec::None => Vec::new(),
-        AttackSpec::Gaussian => (0..ctx.n_byzantine)
-            .map(|_| gaussian_vector(rng, ctx.noise_std, d))
-            .collect(),
+        AttackSpec::Gaussian => {
+            (0..ctx.n_byzantine).map(|_| gaussian_vector(rng, ctx.noise_std, d)).collect()
+        }
         AttackSpec::LabelFlip => {
             assert_eq!(
                 ctx.poisoned_uploads.len(),
@@ -188,8 +188,7 @@ fn a_little(ctx: &AttackContext<'_>) -> Vec<Vec<f32>> {
         let p = (honest - s) as f64 / honest as f64;
         standard_normal_quantile(p.clamp(1e-6, 1.0 - 1e-6))
     };
-    let upload: Vec<f32> =
-        mean.iter().zip(&std).map(|(&mu, &sd)| (mu - z * sd) as f32).collect();
+    let upload: Vec<f32> = mean.iter().zip(&std).map(|(&mu, &sd)| (mu - z * sd) as f32).collect();
     vec![upload; m]
 }
 
@@ -267,7 +266,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let ups = craft_uploads(&AttackSpec::ALittle, &ctx(&b, 4), &mut rng);
         assert_eq!(ups.len(), 4);
-        assert_eq!(ups[0], ups[1]); // colluding workers upload identically
+        // Colluding workers upload identically.
+        assert_eq!(ups[0], ups[1]);
         // The shift is a bounded multiple of the coordinate spread.
         let norm = vecops::l2_norm(&ups[0]);
         let noise_norm = STD * (D as f64).sqrt();
@@ -278,8 +278,7 @@ mod tests {
     fn inner_product_points_against_mean() {
         let b = benign(5, 8);
         let mut rng = StdRng::seed_from_u64(9);
-        let ups =
-            craft_uploads(&AttackSpec::InnerProduct { scale: 10.0 }, &ctx(&b, 2), &mut rng);
+        let ups = craft_uploads(&AttackSpec::InnerProduct { scale: 10.0 }, &ctx(&b, 2), &mut rng);
         let refs: Vec<&[f32]> = b.iter().map(|u| u.as_slice()).collect();
         let mean = vecops::mean(&refs).expect("non-empty");
         assert!(vecops::cosine_similarity(&ups[0], &mean) < -0.99);

@@ -13,15 +13,19 @@
 
 use crate::aggregator::AggregatorKind;
 use crate::simulation::{DefenseKind, EvalPoint, ModelKind, SimulationConfig, WorkerProtocol};
+use dpbfl_data::sample_batch;
 use dpbfl_data::{iid_partition, Dataset, SyntheticSpec};
 use dpbfl_nn::{accuracy, CrossEntropyLoss};
-use dpbfl_data::sample_batch;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Rewrites a configuration into the [30]-style baseline: clipping DP-SGD
 /// workers + a robust aggregation rule on the noisy uploads.
-pub fn guerraoui_style(mut cfg: SimulationConfig, clip: f64, rule: AggregatorKind) -> SimulationConfig {
+pub fn guerraoui_style(
+    mut cfg: SimulationConfig,
+    clip: f64,
+    rule: AggregatorKind,
+) -> SimulationConfig {
     cfg.protocol = WorkerProtocol::ClippedDp { clip };
     cfg.defense = DefenseKind::Robust(rule);
     cfg
@@ -88,8 +92,7 @@ pub fn run_sign_dp(cfg: &SignDpConfig) -> SignDpResult {
     let loss_fn = CrossEntropyLoss;
 
     let datasets: Vec<Dataset> = parts.iter().map(|p| train.subset(p)).collect();
-    let iterations =
-        ((cfg.epochs * cfg.per_worker as f64) / cfg.batch_size as f64).ceil() as usize;
+    let iterations = ((cfg.epochs * cfg.per_worker as f64) / cfg.batch_size as f64).ceil() as usize;
     let eval_every = (cfg.per_worker / cfg.batch_size).max(1);
     let mut history = Vec::new();
     let mut grad = vec![0.0f32; d];
@@ -121,7 +124,13 @@ pub fn run_sign_dp(cfg: &SignDpConfig) -> SignDpResult {
         }
         // Majority-vote descent step.
         for (p, &v) in params.iter_mut().zip(&votes) {
-            let step = if v > 0 { 1.0 } else if v < 0 { -1.0 } else { 0.0 };
+            let step = if v > 0 {
+                1.0
+            } else if v < 0 {
+                -1.0
+            } else {
+                0.0
+            };
             *p -= (cfg.lr as f32) * step;
         }
 
@@ -136,10 +145,7 @@ pub fn run_sign_dp(cfg: &SignDpConfig) -> SignDpResult {
         }
     }
 
-    SignDpResult {
-        final_accuracy: history.last().map(|p| p.accuracy).unwrap_or(0.0),
-        history,
-    }
+    SignDpResult { final_accuracy: history.last().map(|p| p.accuracy).unwrap_or(0.0), history }
 }
 
 #[cfg(test)]
@@ -165,7 +171,9 @@ mod tests {
     #[test]
     fn flip_prob_formula() {
         // ε₀ = 0 would be p = 1/2; ε₀ → ∞ gives p → 0.
-        assert!((SignDpConfig::flip_prob_for_epsilon(1.0) - 1.0 / (1f64.exp() + 1.0)).abs() < 1e-12);
+        assert!(
+            (SignDpConfig::flip_prob_for_epsilon(1.0) - 1.0 / (1f64.exp() + 1.0)).abs() < 1e-12
+        );
         assert!(SignDpConfig::flip_prob_for_epsilon(8.0) < 0.001);
     }
 
@@ -191,10 +199,8 @@ mod tests {
 
     #[test]
     fn guerraoui_preset_sets_protocol_and_defense() {
-        let base = SimulationConfig::quick(
-            SyntheticSpec::mnist_like(),
-            ModelKind::SmallMlp { hidden: 8 },
-        );
+        let base =
+            SimulationConfig::quick(SyntheticSpec::mnist_like(), ModelKind::SmallMlp { hidden: 8 });
         let cfg = guerraoui_style(base, 1.0, AggregatorKind::Krum { f: 2 });
         assert_eq!(cfg.protocol, WorkerProtocol::ClippedDp { clip: 1.0 });
         assert!(matches!(cfg.defense, DefenseKind::Robust(AggregatorKind::Krum { f: 2 })));

@@ -66,12 +66,17 @@ impl FirstStage {
     }
 
     /// Runs both tests on an upload.
+    ///
+    /// This is the server's per-upload hot path (the simulation fans it out
+    /// under rayon, one upload per task), so the cheap tests are fused and
+    /// ordered: one pass over the `d` coordinates yields both finiteness
+    /// and `‖g‖²`, and the KS test — which must sort all `d` coordinates —
+    /// only runs on uploads that already passed the norm gate.
     pub fn check(&self, upload: &[f32]) -> FirstStageVerdict {
         assert_eq!(upload.len(), self.dimension, "upload has wrong dimension");
-        if !vecops::all_finite(upload) {
+        let Some(norm_sq) = finite_norm_sq(upload) else {
             return FirstStageVerdict::NonFinite;
-        }
-        let norm_sq = vecops::l2_norm_sq(upload);
+        };
         if norm_sq < self.norm_lo || norm_sq > self.norm_hi {
             return FirstStageVerdict::NormOutOfRange;
         }
@@ -91,6 +96,17 @@ impl FirstStage {
         }
         verdict
     }
+}
+
+/// `‖v‖²` in one pass, or `None` if any coordinate is NaN/±∞.
+///
+/// The accumulator is `f64`, so a non-finite coordinate propagates into the
+/// sum; checking the *sum* once replaces a separate `all_finite` scan.
+/// (An all-finite `f32` slice cannot overflow an `f64` accumulator:
+/// `d · f32::MAX² < f64::MAX` for any realistic `d`.)
+fn finite_norm_sq(v: &[f32]) -> Option<f64> {
+    let norm_sq = vecops::l2_norm_sq(v);
+    norm_sq.is_finite().then_some(norm_sq)
 }
 
 /// The norm-test interval on `‖g‖²`:
@@ -217,8 +233,7 @@ mod tests {
         let s = stage();
         let norm_target = STD * (D as f64).sqrt();
         let per = (norm_target / (D as f64).sqrt()) as f32;
-        let v: Vec<f32> =
-            (0..D).map(|i| if i % 2 == 0 { per } else { -per }).collect();
+        let v: Vec<f32> = (0..D).map(|i| if i % 2 == 0 { per } else { -per }).collect();
         assert_eq!(s.check(&v), FirstStageVerdict::KsRejected);
     }
 

@@ -198,7 +198,8 @@ mod tests {
         let uploads = vec![unit(d, 4.0), unit(d, 2.0), unit(d, 1.0), unit(d, -5.0)];
         let mut stage = SecondStage::new(4, 0.5);
         let res = stage.select(&uploads, &server);
-        assert!((res.threshold - 3.0).abs() < 1e-12); // mean of {4, 2}
+        // The threshold is the mean of {4, 2}.
+        assert!((res.threshold - 3.0).abs() < 1e-12);
         // Only scores ≥ 3 accumulate: worker 0 only.
         assert_eq!(stage.accumulated_scores(), &[4.0, 0.0, 0.0, 0.0]);
     }
@@ -259,12 +260,8 @@ mod tests {
         let d = 4;
         let server = unit(d, 1.0);
         let uploads = vec![unit(d, 3.0), unit(d, 1.0), unit(d, -1.0), unit(d, -2.0)];
-        let mut stage = SecondStage::with_rules(
-            4,
-            0.5,
-            ScoringRule::InnerProduct,
-            WeightScheme::Proportional,
-        );
+        let mut stage =
+            SecondStage::with_rules(4, 0.5, ScoringRule::InnerProduct, WeightScheme::Proportional);
         let res = stage.select(&uploads, &server);
         assert_eq!(res.selected, vec![0, 1]);
         // Weights proportional to 3 and… 1 was suppressed (below μ̂ = 2), so

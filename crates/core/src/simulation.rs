@@ -8,8 +8,8 @@
 //! The *Reference Accuracy* of the paper (§6.1) is this same simulation with
 //! zero Byzantine workers and [`DefenseKind::NoDefense`].
 
-use crate::attack::{craft_uploads, AttackContext, AttackSpec};
 use crate::aggregator::AggregatorKind;
+use crate::attack::{craft_uploads, AttackContext, AttackSpec};
 use crate::config::{DefenseConfig, DpSgdConfig, StepNormalization};
 use crate::first_stage::FirstStage;
 use crate::second_stage::SecondStage;
@@ -22,6 +22,7 @@ use dpbfl_nn::{accuracy, zoo, CrossEntropyLoss, Sequential};
 use dpbfl_tensor::vecops;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Which network architecture the run trains.
@@ -414,29 +415,15 @@ impl TwoStageState {
         n_total: usize,
     ) -> Vec<f32> {
         // First stage: test-and-zero every upload. The KS test sorts all d
-        // coordinates per upload, so the checks run in parallel. The ablation
+        // coordinates per upload, so the per-upload checks fan out under
+        // rayon; `FirstStage` is stateless per upload, so the verdicts are
+        // independent of evaluation order and thread count. The ablation
         // flag can disable this stage to measure its contribution.
         let verdicts: Vec<bool> = if !cfg.defense_cfg.first_stage_enabled {
             vec![true; uploads.len()]
         } else {
             let first = &self.first;
-            let n = uploads.len();
-            let threads =
-                std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n);
-            let chunk = n.div_ceil(threads);
-            let mut accepted = vec![true; n];
-            std::thread::scope(|scope| {
-                for (u_chunk, a_chunk) in
-                    uploads.chunks_mut(chunk).zip(accepted.chunks_mut(chunk))
-                {
-                    scope.spawn(move || {
-                        for (u, a) in u_chunk.iter_mut().zip(a_chunk.iter_mut()) {
-                            *a = first.filter(u).is_accepted();
-                        }
-                    });
-                }
-            });
-            accepted
+            uploads.par_iter_mut().map(|u| first.filter(u).is_accepted()).collect()
         };
         for (i, &ok) in verdicts.iter().enumerate() {
             if !ok {
@@ -498,40 +485,30 @@ fn resolve_sigma(cfg: &SimulationConfig) -> (f64, f64) {
 
 /// Deterministic per-worker RNG seed.
 fn worker_seed(master: u64, index: usize) -> u64 {
-    master
-        .wrapping_mul(0x100000001b3)
-        .wrapping_add(index as u64)
-        .wrapping_mul(0x9e3779b97f4a7c15)
+    master.wrapping_mul(0x100000001b3).wrapping_add(index as u64).wrapping_mul(0x9e3779b97f4a7c15)
 }
 
-/// Computes all workers' uploads for this round in parallel.
+/// Computes all workers' uploads for this round under rayon.
+///
+/// Determinism contract: every worker owns an [`StdRng`] stream derived
+/// from the master seed by [`worker_seed`], and a worker's step touches
+/// only its own state, so the set of uploads — and therefore the whole
+/// run — is bit-identical at every thread count. Order stability comes
+/// from `collect` preserving input order.
 fn parallel_uploads(
     workers: &mut [DpWorker],
     params: &[f32],
     protocol: WorkerProtocol,
 ) -> Vec<Vec<f32>> {
-    if workers.is_empty() {
-        return Vec::new();
-    }
-    let n = workers.len();
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n);
-    let chunk = n.div_ceil(threads);
-    let mut outputs: Vec<Vec<f32>> = vec![Vec::new(); n];
-    std::thread::scope(|scope| {
-        for (w_chunk, o_chunk) in workers.chunks_mut(chunk).zip(outputs.chunks_mut(chunk)) {
-            scope.spawn(move || {
-                for (w, o) in w_chunk.iter_mut().zip(o_chunk.iter_mut()) {
-                    *o = match protocol {
-                        // Plain is Algorithm 1 with σ = 0: the worker's
-                        // noise multiplier is already zero for such runs.
-                        WorkerProtocol::PaperDp | WorkerProtocol::Plain => w.local_step(params),
-                        WorkerProtocol::ClippedDp { clip } => w.clipped_dp_step(params, clip),
-                    };
-                }
-            });
-        }
-    });
-    outputs
+    workers
+        .par_iter_mut()
+        .map(|w| match protocol {
+            // Plain is Algorithm 1 with σ = 0: the worker's noise
+            // multiplier is already zero for such runs.
+            WorkerProtocol::PaperDp | WorkerProtocol::Plain => w.local_step(params),
+            WorkerProtocol::ClippedDp { clip } => w.clipped_dp_step(params, clip),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -539,10 +516,8 @@ mod tests {
     use super::*;
 
     fn quick_cfg() -> SimulationConfig {
-        let mut cfg = SimulationConfig::quick(
-            SyntheticSpec::mnist_like(),
-            ModelKind::SmallMlp { hidden: 8 },
-        );
+        let mut cfg =
+            SimulationConfig::quick(SyntheticSpec::mnist_like(), ModelKind::SmallMlp { hidden: 8 });
         cfg.per_worker = 128;
         cfg.test_count = 200;
         cfg.n_honest = 4;
@@ -595,6 +570,37 @@ mod tests {
         assert_eq!(cfg.iterations(), (128.0f64 / 16.0).ceil() as usize);
         let r = run(&cfg);
         assert_eq!(r.iterations, cfg.iterations());
+    }
+
+    #[test]
+    fn two_stage_identical_across_thread_counts() {
+        // The acceptance property of the rayon port: per-worker RNG streams
+        // are derived from the master seed, so a defended run under attack
+        // is bit-identical whether the pool has 1 thread or many.
+        let mut cfg = quick_cfg();
+        cfg.n_byzantine = 2;
+        cfg.attack = AttackSpec::LabelFlip;
+        cfg.defense = DefenseKind::TwoStage;
+        cfg.defense_cfg.gamma = 0.5;
+        // build() + install() rather than build_global(): upstream rayon
+        // errors on a second build_global() call, and another test may have
+        // already initialized the global pool.
+        let run_with_threads = |threads: usize| {
+            let pool =
+                rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("local pool");
+            pool.install(|| run(&cfg))
+        };
+        let single = run_with_threads(1);
+        let multi = run_with_threads(4);
+        assert_eq!(single.final_accuracy.to_bits(), multi.final_accuracy.to_bits());
+        assert_eq!(single.history.len(), multi.history.len());
+        for (a, b) in single.history.iter().zip(&multi.history) {
+            assert_eq!(a.accuracy.to_bits(), b.accuracy.to_bits(), "iteration {}", a.iteration);
+        }
+        assert_eq!(
+            single.defense_stats.first_stage_rejected_byzantine,
+            multi.defense_stats.first_stage_rejected_byzantine
+        );
     }
 
     #[test]

@@ -56,10 +56,7 @@ mod tests {
         let m_star = m_bound(star, f0, t, l, sigma, d, b_c);
         for &factor in &[0.25, 0.5, 2.0, 4.0] {
             let m = m_bound(star * factor, f0, t, l, sigma, d, b_c);
-            assert!(
-                m >= m_star * 0.999,
-                "η*·{factor} gives M={m} < M(η*)={m_star}"
-            );
+            assert!(m >= m_star * 0.999, "η*·{factor} gives M={m} < M(η*)={m_star}");
         }
     }
 

@@ -35,7 +35,18 @@ pub struct DpWorker {
     loss_fn: CrossEntropyLoss,
     /// Scratch per-example gradient buffer.
     grad_buf: Vec<f32>,
+    /// Scratch f64 accumulator for the normalized-momentum sum, reused
+    /// across iterations so the rayon hot loop allocates only the returned
+    /// upload.
+    sum_buf: Vec<f64>,
 }
+
+/// The simulation fans workers out with rayon, which requires `Send`; this
+/// fails to compile if a future field (an `Rc`, a raw pointer) breaks that.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<DpWorker>();
+};
 
 impl DpWorker {
     /// Builds a worker over `data` with its own deterministic RNG stream.
@@ -56,6 +67,7 @@ impl DpWorker {
             cfg,
             loss_fn: CrossEntropyLoss,
             grad_buf: vec![0.0f32; d],
+            sum_buf: vec![0.0f64; d],
         }
     }
 
@@ -91,12 +103,12 @@ impl DpWorker {
         }
 
         // Line 10: sum of normalized slots + Gaussian noise, scaled by 1/b_c.
-        let mut upload = vec![0.0f64; d];
+        self.sum_buf.fill(0.0);
         for slot in &self.momentum {
             let norm = vecops::l2_norm(slot);
             if norm > 0.0 {
                 let inv = 1.0 / norm;
-                for (u, &m) in upload.iter_mut().zip(slot) {
+                for (u, &m) in self.sum_buf.iter_mut().zip(slot) {
                     *u += m as f64 * inv;
                 }
             }
@@ -104,7 +116,7 @@ impl DpWorker {
         let sigma = self.cfg.noise_multiplier;
         let inv_bc = 1.0 / b_c as f64;
         let mut out = vec![0.0f32; d];
-        for (o, &u) in out.iter_mut().zip(&upload) {
+        for (o, &u) in out.iter_mut().zip(&self.sum_buf) {
             let noise = standard_normal_sample(&mut self.rng) * sigma;
             *o = ((u + noise) * inv_bc) as f32;
         }
@@ -138,23 +150,23 @@ impl DpWorker {
         let d = self.model.param_len();
         let b_c = self.cfg.batch_size;
         let batch = sample_batch(&mut self.rng, self.data.len(), b_c);
-        let mut sum = vec![0.0f64; d];
+        self.sum_buf.fill(0.0);
         for &idx in &batch {
             let x = self.data.example(idx);
             let y = self.data.label(idx);
             self.model.example_gradient(&self.loss_fn, x, y, &mut self.grad_buf);
             vecops::clip(&mut self.grad_buf, clip_norm);
-            for (s, &g) in sum.iter_mut().zip(&self.grad_buf) {
+            for (s, &g) in self.sum_buf.iter_mut().zip(&self.grad_buf) {
                 *s += g as f64;
             }
         }
         let noise_std = self.cfg.noise_multiplier * clip_norm;
         let inv_bc = 1.0 / b_c as f64;
-        sum.iter()
-            .map(|&s| {
-                ((s + standard_normal_sample(&mut self.rng) * noise_std) * inv_bc) as f32
-            })
-            .collect()
+        let mut out = vec![0.0f32; d];
+        for (o, &s) in out.iter_mut().zip(&self.sum_buf) {
+            *o = ((s + standard_normal_sample(&mut self.rng) * noise_std) * inv_bc) as f32;
+        }
+        out
     }
 }
 
@@ -216,11 +228,8 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(0);
             let model = zoo::mlp(&mut rng, 784, 8, 10);
             let data = SyntheticSpec::mnist_like().generate(64, 5);
-            let cfg = DpSgdConfig {
-                noise_multiplier: 0.5,
-                momentum_reset: reset,
-                ..Default::default()
-            };
+            let cfg =
+                DpSgdConfig { noise_multiplier: 0.5, momentum_reset: reset, ..Default::default() };
             DpWorker::new(model, data, cfg, 3)
         };
         let params = vec![0.0f32; 784 * 8 + 8 + 8 * 10 + 10];

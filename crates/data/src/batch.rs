@@ -54,7 +54,7 @@ mod tests {
     #[test]
     fn coverage_is_roughly_uniform() {
         let mut rng = StdRng::seed_from_u64(2);
-        let mut counts = vec![0usize; 20];
+        let mut counts = [0usize; 20];
         let reps = 4000;
         for _ in 0..reps {
             for i in sample_batch(&mut rng, 20, 4) {

@@ -57,7 +57,8 @@ pub fn non_iid_partition<R: Rng + ?Sized>(
         let mut acc = 0.0f64;
         for (w, &frac) in v.iter().enumerate() {
             acc += frac;
-            let end = if w + 1 == n_workers { m } else { ((acc * m as f64).round() as usize).min(m) };
+            let end =
+                if w + 1 == n_workers { m } else { ((acc * m as f64).round() as usize).min(m) };
             piles[w].extend_from_slice(&class_indices[start..end]);
             start = end;
         }
@@ -148,10 +149,8 @@ mod tests {
         let labels = labels_balanced(2000, 10);
         let parts = non_iid_partition(&mut rng, &labels, 10, 20);
         let dist = label_distribution(&labels, &parts, 10);
-        let max_dev = dist
-            .iter()
-            .flat_map(|row| row.iter().map(|&r| (r - 0.1).abs()))
-            .fold(0.0f64, f64::max);
+        let max_dev =
+            dist.iter().flat_map(|row| row.iter().map(|&r| (r - 0.1).abs())).fold(0.0f64, f64::max);
         assert!(max_dev > 0.05, "non-iid partition looks iid (max deviation {max_dev})");
     }
 

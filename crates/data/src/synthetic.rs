@@ -229,8 +229,10 @@ pub fn bilinear_upsample(src: &[f32], sh: usize, sw: usize, dst: &mut [f32], dh:
             let b = src[y0 * sw + x1];
             let c = src[y1 * sw + x0];
             let d = src[y1 * sw + x1];
-            dst[y * dw + x] =
-                a * (1.0 - ty) * (1.0 - tx) + b * (1.0 - ty) * tx + c * ty * (1.0 - tx) + d * ty * tx;
+            dst[y * dw + x] = a * (1.0 - ty) * (1.0 - tx)
+                + b * (1.0 - ty) * tx
+                + c * ty * (1.0 - tx)
+                + d * ty * tx;
         }
     }
 }

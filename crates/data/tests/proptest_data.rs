@@ -1,9 +1,7 @@
 //! Property-based tests for the data substrate: partitions must be exact
 //! covers, poisoning must be structure-preserving, sampling must be sane.
 
-use dpbfl_data::{
-    flip_labels, iid_partition, non_iid_partition, sample_batch, Dataset,
-};
+use dpbfl_data::{flip_labels, iid_partition, non_iid_partition, sample_batch, Dataset};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

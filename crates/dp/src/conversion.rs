@@ -16,7 +16,12 @@ pub enum ConversionRule {
 ///
 /// `orders[i]` must pair with `rdp[i]`; entries with non-finite RDP are
 /// skipped. Returns `(f64::INFINITY, 0.0)` when no order yields a finite ε.
-pub fn rdp_to_approx_dp(orders: &[f64], rdp: &[f64], delta: f64, rule: ConversionRule) -> (f64, f64) {
+pub fn rdp_to_approx_dp(
+    orders: &[f64],
+    rdp: &[f64],
+    delta: f64,
+    rule: ConversionRule,
+) -> (f64, f64) {
     assert_eq!(orders.len(), rdp.len(), "orders and rdp must align");
     assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1), got {delta}");
     let mut best = (f64::INFINITY, 0.0);

@@ -34,8 +34,8 @@ pub mod residual;
 pub mod sequential;
 pub mod zoo;
 
+pub use checkpoint::Checkpoint;
 pub use layer::{AnyLayer, Layer};
 pub use loss::CrossEntropyLoss;
 pub use metrics::{accuracy, argmax};
-pub use checkpoint::Checkpoint;
 pub use sequential::Sequential;

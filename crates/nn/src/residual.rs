@@ -117,8 +117,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut lin = Linear::new(&mut rng, 3, 3);
         // Make the body the identity map.
-        let params: Vec<f32> =
-            vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0];
+        let params: Vec<f32> = vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0];
         lin.read_params(&params);
         let mut r = Residual::new(vec![lin.into()]);
         let y = r.forward(&[1.0, 2.0, 3.0]);

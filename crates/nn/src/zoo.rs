@@ -26,9 +26,24 @@ use rand::Rng;
 /// affine-free GroupNorm, adaptive 4×4 pooling, then a 256→32→10 head.
 /// Exactly `d = 21 802` parameters.
 pub fn mnist_cnn<R: Rng + ?Sized>(rng: &mut R) -> Sequential {
-    let g1 = ConvGeometry { in_channels: 1, out_channels: 16, in_h: 28, in_w: 28, kernel: 5, stride: 1 };
-    let g2 = ConvGeometry { in_channels: 16, out_channels: 16, in_h: 24, in_w: 24, kernel: 5, stride: 1 };
-    let g3 = ConvGeometry { in_channels: 16, out_channels: 16, in_h: 20, in_w: 20, kernel: 5, stride: 1 };
+    let g1 =
+        ConvGeometry { in_channels: 1, out_channels: 16, in_h: 28, in_w: 28, kernel: 5, stride: 1 };
+    let g2 = ConvGeometry {
+        in_channels: 16,
+        out_channels: 16,
+        in_h: 24,
+        in_w: 24,
+        kernel: 5,
+        stride: 1,
+    };
+    let g3 = ConvGeometry {
+        in_channels: 16,
+        out_channels: 16,
+        in_h: 20,
+        in_w: 20,
+        kernel: 5,
+        stride: 1,
+    };
     Sequential::new(vec![
         Conv2d::new(rng, g1).into(),
         Elu::new(16 * 24 * 24).into(),
@@ -58,7 +73,12 @@ pub fn mlp_784<R: Rng + ?Sized>(rng: &mut R) -> Sequential {
 
 /// Generic two-layer MLP classifier (`in → hidden → classes` with ELU),
 /// used for reduced-scale experiments and examples.
-pub fn mlp<R: Rng + ?Sized>(rng: &mut R, input: usize, hidden: usize, classes: usize) -> Sequential {
+pub fn mlp<R: Rng + ?Sized>(
+    rng: &mut R,
+    input: usize,
+    hidden: usize,
+    classes: usize,
+) -> Sequential {
     Sequential::new(vec![
         Linear::new(rng, input, hidden).into(),
         Elu::new(hidden).into(),
@@ -69,9 +89,24 @@ pub fn mlp<R: Rng + ?Sized>(rng: &mut R, input: usize, hidden: usize, classes: u
 /// Colorectal-like residual CNN over 32×32×3 inputs, 8 classes: two 5×5 conv
 /// blocks, a residual block of 1×1 convolutions, pooling, and a 256→64→8 head.
 pub fn colorectal_cnn<R: Rng + ?Sized>(rng: &mut R) -> Sequential {
-    let g1 = ConvGeometry { in_channels: 3, out_channels: 16, in_h: 32, in_w: 32, kernel: 5, stride: 1 };
-    let g2 = ConvGeometry { in_channels: 16, out_channels: 16, in_h: 28, in_w: 28, kernel: 5, stride: 1 };
-    let gr = ConvGeometry { in_channels: 16, out_channels: 16, in_h: 24, in_w: 24, kernel: 1, stride: 1 };
+    let g1 =
+        ConvGeometry { in_channels: 3, out_channels: 16, in_h: 32, in_w: 32, kernel: 5, stride: 1 };
+    let g2 = ConvGeometry {
+        in_channels: 16,
+        out_channels: 16,
+        in_h: 28,
+        in_w: 28,
+        kernel: 5,
+        stride: 1,
+    };
+    let gr = ConvGeometry {
+        in_channels: 16,
+        out_channels: 16,
+        in_h: 24,
+        in_w: 24,
+        kernel: 1,
+        stride: 1,
+    };
     let res_body: Vec<AnyLayer> = vec![
         Conv2d::new(rng, gr).into(),
         Elu::new(16 * 24 * 24).into(),

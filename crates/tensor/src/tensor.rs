@@ -22,7 +22,10 @@ impl Tensor {
     pub fn from_vec(data: Vec<f32>, shape: impl Into<Shape>) -> Result<Self> {
         let shape = shape.into();
         if data.len() != shape.volume() {
-            return Err(TensorError::LengthMismatch { expected: shape.volume(), found: data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                found: data.len(),
+            });
         }
         Ok(Tensor { data, shape })
     }

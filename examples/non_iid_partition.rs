@@ -6,7 +6,7 @@
 //! ```
 
 use dpbfl::prelude::*;
-use dpbfl_data::{label_distribution, non_iid_partition, iid_partition};
+use dpbfl_data::{iid_partition, label_distribution, non_iid_partition};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -34,10 +34,7 @@ fn main() {
     for point in &result.history {
         println!("  epoch {:>4.1}: accuracy {:.3}", point.epoch, point.accuracy);
     }
-    println!(
-        "final accuracy under 60% Byzantine label-flip: {:.3}",
-        result.final_accuracy
-    );
+    println!("final accuracy under 60% Byzantine label-flip: {:.3}", result.final_accuracy);
     println!(
         "defense: {} / {} selections were Byzantine; first stage zeroed {} Byzantine uploads",
         result.defense_stats.byzantine_selected,

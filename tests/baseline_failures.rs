@@ -51,10 +51,7 @@ fn classical_rules_do_work_below_majority() {
     let below = run_with_byz(2); // 20 % of 10 total
     let above = run_with_byz(12); // 60 % of 20 total
     assert!(below > 0.45, "coordinate median failed below majority: {below}");
-    assert!(
-        below > above + 0.2,
-        "majority should break the median: below={below} above={above}"
-    );
+    assert!(below > above + 0.2, "majority should break the median: below={below} above={above}");
 }
 
 #[test]

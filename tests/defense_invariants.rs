@@ -104,12 +104,7 @@ fn gaussian_attack_passes_first_stage_by_construction() {
 #[test]
 fn malformed_uploads_are_always_zeroed() {
     let s = stage();
-    for bad in [
-        vec![f32::NAN; D],
-        vec![f32::INFINITY; D],
-        vec![f32::MAX; D],
-        vec![0.0f32; D],
-    ] {
+    for bad in [vec![f32::NAN; D], vec![f32::INFINITY; D], vec![f32::MAX; D], vec![0.0f32; D]] {
         let mut u = bad;
         let verdict = s.filter(&mut u);
         assert!(!verdict.is_accepted());
@@ -157,8 +152,5 @@ fn noise_uploads_cannot_outscore_aligned_uploads() {
             byz_selected += sel.selected.iter().filter(|&&i| i >= 3).count();
         }
     }
-    assert!(
-        byz_selected <= 10,
-        "noise uploads selected {byz_selected} times after warm-up"
-    );
+    assert!(byz_selected <= 10, "noise uploads selected {byz_selected} times after warm-up");
 }

@@ -87,10 +87,7 @@ fn runs_are_deterministic_across_thread_schedules() {
     let a = dpbfl::simulation::run(&cfg);
     let b = dpbfl::simulation::run(&cfg);
     assert_eq!(a.final_accuracy, b.final_accuracy);
-    assert_eq!(
-        a.defense_stats.byzantine_selected,
-        b.defense_stats.byzantine_selected
-    );
+    assert_eq!(a.defense_stats.byzantine_selected, b.defense_stats.byzantine_selected);
     let epochs_a: Vec<_> = a.history.iter().map(|p| p.accuracy.to_bits()).collect();
     let epochs_b: Vec<_> = b.history.iter().map(|p| p.accuracy.to_bits()).collect();
     assert_eq!(epochs_a, epochs_b, "full trajectories must match bit-for-bit");

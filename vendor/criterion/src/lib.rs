@@ -1,0 +1,209 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Supports the subset the `crates/bench` suite uses: `criterion_group!`,
+//! `criterion_main!`, [`Criterion::benchmark_group`],
+//! `group.sample_size(..)`, `group.bench_function(BenchmarkId::new(..), ..)`
+//! and `Bencher::iter`. Timing is honest but simple: per sample, one timed
+//! batch of iterations; the median/min/max over samples is reported.
+//!
+//! CLI compatibility: `cargo bench` passes `--bench`, which is ignored;
+//! `cargo bench -- --test` runs every benchmark exactly once and reports
+//! `ok` — the CI smoke mode that keeps benches compiling and panic-free.
+//! A benchmark-name substring filter may be passed as a bare argument.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function_name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`, like upstream.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { function_name: function_name.into(), parameter: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { function_name: name.to_owned(), parameter: String::new() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.parameter.is_empty() {
+            write!(f, "{}", self.function_name)
+        } else {
+            write!(f, "{}/{}", self.function_name, self.parameter)
+        }
+    }
+}
+
+/// Drives one benchmark's measurement loop.
+pub struct Bencher {
+    /// Iterations per sample.
+    iters: u64,
+    /// Total time spent in the measured closure.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` for the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The harness configuration and entry point.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { test_mode: false, filter: None, default_sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Builds the harness from `std::env::args` (used by `criterion_main!`).
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => c.test_mode = true,
+                s if s.starts_with("--") => {} // --bench and friends: ignored
+                s => c.filter = Some(s.to_owned()),
+            }
+        }
+        c
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        self.run_one("", sample_size, id.into(), f);
+        self
+    }
+
+    fn run_one<F>(&mut self, group: &str, sample_size: usize, id: BenchmarkId, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_name = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+        if let Some(filter) = &self.filter {
+            if !full_name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.test_mode {
+            print!("Testing {full_name} ... ");
+            let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+            f(&mut b);
+            println!("ok");
+            return;
+        }
+        // Warm-up (also calibrates nothing — one honest pass).
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        let mut samples: Vec<Duration> = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size {
+            let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+            f(&mut b);
+            samples.push(b.elapsed);
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let lo = samples.first().copied().unwrap_or_default();
+        let hi = samples.last().copied().unwrap_or_default();
+        println!(
+            "{full_name:<50} time: [{} {} {}]",
+            fmt_duration(lo),
+            fmt_duration(median),
+            fmt_duration(hi)
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// A named group sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = self.name.clone();
+        let sample_size = self.sample_size.unwrap_or(self.criterion.default_sample_size);
+        self.criterion.run_one(&name, sample_size, id.into(), f);
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a group function running each listed benchmark fn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $group(&mut criterion); )+
+        }
+    };
+}

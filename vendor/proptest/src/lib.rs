@@ -1,0 +1,151 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Covers what this workspace's property tests use: the `proptest!` macro
+//! with an optional `#![proptest_config(..)]` header, numeric range
+//! strategies (`1usize..500`, `-10.0f32..10.0`, `0u64..=99`),
+//! `prop::collection::vec(strategy, size)` (nestable), `prop_assert!`,
+//! `prop_assert_eq!` and `prop_assert_ne!`.
+//!
+//! Differences from upstream, deliberately accepted for an offline stub:
+//! no shrinking (a failing case panics with its case index so it can be
+//! replayed — generation is fully deterministic), and no persistence files.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// The `prop::` namespace (`prop::collection::vec(..)`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Skips the current case when the assumption does not hold. The body runs
+/// inside a closure per case, so an early `return` abandons just this case;
+/// unlike upstream, skipped cases are not replaced with fresh ones.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Like `assert!`, inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Like `assert_eq!`, inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Like `assert_ne!`, inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares deterministic property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn holds(n in 1usize..100, x in -1.0f64..1.0) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr;
+     $( $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::case_rng(stringify!($name), __case);
+                    $( let $arg =
+                        $crate::strategy::Strategy::generate(&($strat), &mut __rng); )+
+                    let __run = || -> () { $body };
+                    if let Err(panic) = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(__run),
+                    ) {
+                        eprintln!(
+                            "proptest case {}/{} of `{}` failed (deterministic; \
+                             re-run reproduces it)",
+                            __case + 1,
+                            __config.cases,
+                            stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(n in 3usize..10, x in -2.0f64..2.0, s in 0u64..=5) {
+            prop_assert!((3..10).contains(&n));
+            prop_assert!((-2.0..2.0).contains(&x));
+            prop_assert!(s <= 5);
+        }
+
+        #[test]
+        fn vec_strategy_sizes_and_nesting(
+            v in prop::collection::vec(0usize..7, 2..6),
+            m in prop::collection::vec(prop::collection::vec(-1.0f32..1.0, 4..5), 1..4),
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 7));
+            prop_assert!((1..4).contains(&m.len()));
+            prop_assert!(m.iter().all(|row| row.len() == 4));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(0usize..1000, 5..9);
+        let mut a = crate::test_runner::case_rng("det", 3);
+        let mut b = crate::test_runner::case_rng("det", 3);
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        let mut c = crate::test_runner::case_rng("det", 4);
+        assert_ne!(strat.generate(&mut a), strat.generate(&mut c));
+    }
+}

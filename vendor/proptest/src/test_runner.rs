@@ -1,0 +1,38 @@
+//! Runner configuration and deterministic per-case RNG derivation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for one `proptest!` block.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Overrides the case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases — smaller than upstream's 256; this stub has no failure
+    /// persistence, so CI keeps the per-property budget modest instead.
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic RNG for `(test name, case index)`: FNV-1a over the name
+/// mixed with the case index, fed to `StdRng::seed_from_u64`. No ambient
+/// entropy — every run regenerates identical cases.
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    StdRng::seed_from_u64(h ^ (u64::from(case).wrapping_mul(0x9e3779b97f4a7c15)))
+}

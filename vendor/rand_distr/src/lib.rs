@@ -1,0 +1,92 @@
+//! Offline stand-in for the `rand_distr` crate: just [`Distribution`],
+//! [`StandardNormal`] and [`Normal`].
+//!
+//! The statistics crate (`dpbfl-stats`) ships its own higher-level Gaussian
+//! tooling; this stub exists so code written against the canonical
+//! `rand_distr` API compiles unchanged in the offline workspace.
+
+use rand::Rng;
+
+/// Types that can be sampled given a generator.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// `N(0, 1)` via the Marsaglia polar method (one value per call; the
+/// antithetic twin is discarded to keep the stream stateless).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        loop {
+            let u: f64 = rng.gen_range(-1.0..1.0);
+            let v: f64 = rng.gen_range(-1.0..1.0);
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+}
+
+/// `N(mean, std_dev²)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+/// Invalid `Normal` parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NormalError;
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "standard deviation must be finite and non-negative")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+impl Normal {
+    /// Builds the distribution; errors on a negative or non-finite std.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if !std_dev.is_finite() || std_dev < 0.0 || !mean.is_finite() {
+            return Err(NormalError);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * StandardNormal.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_are_roughly_right() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = Normal::new(3.0, 2.0).unwrap();
+        let samples: Vec<f64> = (0..20_000).map(|_| n.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
+        assert!((mean - 3.0).abs() < 0.06, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+    }
+}

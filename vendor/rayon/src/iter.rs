@@ -1,0 +1,255 @@
+//! The parallel-iterator subset: eager, chunk-per-thread, order-stable.
+
+use crate::current_num_threads;
+
+/// Splits `items` into one contiguous chunk per thread, applies `f` to every
+/// item, and returns the results in input order.
+fn execute<I, U, F>(items: Vec<I>, f: F) -> Vec<U>
+where
+    I: Send,
+    U: Send,
+    F: Fn(I) -> U + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n).max(1);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(threads);
+    let mut items = items;
+    // Peel chunks off the back so each drain is O(chunk), then restore order.
+    while !items.is_empty() {
+        let at = items.len().saturating_sub(chunk_len);
+        chunks.push(items.split_off(at));
+    }
+    chunks.reverse();
+    let f = &f;
+    let mut results: Vec<Vec<U>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
+    });
+    let mut out = Vec::with_capacity(n);
+    for r in &mut results {
+        out.append(r);
+    }
+    out
+}
+
+/// An eager parallel iterator (subset of `rayon::iter::ParallelIterator`).
+pub trait ParallelIterator: Sized {
+    /// Item type.
+    type Item: Send;
+
+    /// Runs `f` over every item in parallel, returning ordered results.
+    fn drive<U, F>(self, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Sync;
+
+    /// Maps each item through `f`.
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Applies `f` to every item for its side effects.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let _ = self.drive(f);
+    }
+
+    /// Collects the items into `C` (input order preserved).
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_ordered_vec(self.drive(|item| item))
+    }
+
+    /// Sums the items.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        self.drive(|item| item).into_iter().sum()
+    }
+}
+
+/// Map adapter.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, U, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    U: Send,
+    F: Fn(B::Item) -> U + Sync,
+{
+    type Item = U;
+
+    fn drive<V, G>(self, g: G) -> Vec<V>
+    where
+        V: Send,
+        G: Fn(U) -> V + Sync,
+    {
+        let f = self.f;
+        self.base.drive(move |item| g(f(item)))
+    }
+}
+
+/// Collection types a parallel iterator can finish into.
+pub trait FromParallelIterator<T> {
+    /// Builds the collection from already-ordered items.
+    fn from_ordered_vec(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// A base iterator over an owned list of items.
+pub struct VecParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+
+    fn drive<U, F>(self, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        execute(self.items, f)
+    }
+}
+
+/// Types convertible into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// The iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type.
+    type Item: Send;
+
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = VecParIter<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> Self::Iter {
+        VecParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a [T] {
+    type Iter = VecParIter<&'a T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> Self::Iter {
+        VecParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a Vec<T> {
+    type Iter = VecParIter<&'a T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> Self::Iter {
+        self.as_slice().into_par_iter()
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelIterator for &'a mut [T] {
+    type Iter = VecParIter<&'a mut T>;
+    type Item = &'a mut T;
+
+    fn into_par_iter(self) -> Self::Iter {
+        VecParIter { items: self.iter_mut().collect() }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelIterator for &'a mut Vec<T> {
+    type Iter = VecParIter<&'a mut T>;
+    type Item = &'a mut T;
+
+    fn into_par_iter(self) -> Self::Iter {
+        self.as_mut_slice().into_par_iter()
+    }
+}
+
+macro_rules! range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Iter = VecParIter<$t>;
+            type Item = $t;
+
+            fn into_par_iter(self) -> Self::Iter {
+                VecParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+range_par_iter!(usize, u32, u64, i32, i64);
+
+/// `par_iter()` sugar (subset of `rayon::iter::IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'data> {
+    /// The iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type.
+    type Item: Send + 'data;
+
+    /// Parallel iterator over `&self`.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
+where
+    &'data I: IntoParallelIterator,
+{
+    type Iter = <&'data I as IntoParallelIterator>::Iter;
+    type Item = <&'data I as IntoParallelIterator>::Item;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// `par_iter_mut()` sugar (subset of `rayon::iter::IntoParallelRefMutIterator`).
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type.
+    type Item: Send + 'data;
+
+    /// Parallel iterator over `&mut self`.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, I: 'data + ?Sized> IntoParallelRefMutIterator<'data> for I
+where
+    &'data mut I: IntoParallelIterator,
+{
+    type Iter = <&'data mut I as IntoParallelIterator>::Iter;
+    type Item = <&'data mut I as IntoParallelIterator>::Item;
+
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}

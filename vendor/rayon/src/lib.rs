@@ -1,0 +1,192 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the slice/range parallel-iterator subset this workspace uses
+//! (`par_iter`, `par_iter_mut`, `into_par_iter`, `map`, `for_each`,
+//! `collect`) on top of `std::thread::scope`. Work is split into one
+//! contiguous chunk per thread and results are concatenated in input order,
+//! so `collect` is **order-stable**: for a pure per-item closure the output
+//! is identical at every thread count. That property is what the simulation
+//! leans on for bit-reproducibility (see `dpbfl::simulation`).
+//!
+//! The thread count comes from, in priority order: a [`ThreadPool::install`]
+//! scope on the calling thread, [`ThreadPoolBuilder::build_global`], the
+//! `RAYON_NUM_THREADS` environment variable, then
+//! [`std::thread::available_parallelism`]. The determinism tests and the
+//! single-thread bench baseline pin the count with the upstream-compatible
+//! `ThreadPoolBuilder::build()` + `install()` pair. Unlike upstream,
+//! `build_global` may be called repeatedly (later calls override) — kept
+//! lenient because there are no real pool threads to rebuild.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod iter;
+
+/// Everything user code normally imports.
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
+    };
+}
+
+/// 0 = unresolved; otherwise the pinned thread count.
+static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Per-thread override installed by [`ThreadPool::install`]; 0 = none.
+    static INSTALL_OVERRIDE: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// The number of threads parallel iterators will fan out to.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALL_OVERRIDE.with(|c| c.get());
+    if installed != 0 {
+        return installed;
+    }
+    let n = NUM_THREADS.load(Ordering::Relaxed);
+    if n != 0 {
+        return n;
+    }
+    let resolved = auto_num_threads();
+    NUM_THREADS.store(resolved, Ordering::Relaxed);
+    resolved
+}
+
+/// `RAYON_NUM_THREADS` or the machine's available parallelism.
+fn auto_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1))
+}
+
+/// Global pool configuration (subset of `rayon::ThreadPoolBuilder`).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with the default (auto) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pins the thread count (0 = auto).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Applies the configuration globally. Contrary to upstream this may be
+    /// called any number of times; later calls override earlier ones. Code
+    /// that must stay source-compatible with the real rayon (where a second
+    /// call errors) should use [`ThreadPoolBuilder::build`] +
+    /// [`ThreadPool::install`] instead.
+    pub fn build_global(self) -> Result<(), std::convert::Infallible> {
+        if self.num_threads == 0 {
+            NUM_THREADS.store(0, Ordering::Relaxed);
+            let _ = current_num_threads();
+        } else {
+            NUM_THREADS.store(self.num_threads, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Builds a standalone pool handle (upstream-compatible; may be called
+    /// any number of times in both implementations).
+    pub fn build(self) -> Result<ThreadPool, std::convert::Infallible> {
+        let num_threads = if self.num_threads == 0 { auto_num_threads() } else { self.num_threads };
+        Ok(ThreadPool { num_threads })
+    }
+}
+
+/// A pool handle (subset of `rayon::ThreadPool`).
+///
+/// Unlike upstream there are no dedicated pool threads; [`install`]
+/// pins the fan-out width via a thread-local for the duration of the
+/// closure, which runs on the calling thread. That makes `install` safe
+/// under concurrent use from multiple threads (each only affects itself),
+/// matching the isolation the real per-pool threads provide.
+///
+/// [`install`]: ThreadPool::install
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// This pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `op` with this pool's thread count; restores the previous
+    /// context afterwards (also on panic).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALL_OVERRIDE.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(INSTALL_OVERRIDE.with(|c| c.replace(self.num_threads)));
+        op()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn build_global_overrides_and_resets() {
+        ThreadPoolBuilder::new().num_threads(3).build_global().unwrap();
+        assert_eq!(current_num_threads(), 3);
+        ThreadPoolBuilder::new().num_threads(1).build_global().unwrap();
+        assert_eq!(current_num_threads(), 1);
+    }
+
+    #[test]
+    fn map_collect_preserves_order_at_any_thread_count() {
+        let input: Vec<u64> = (0..97).collect();
+        let expect: Vec<u64> = input.iter().map(|x| x * x).collect();
+        for threads in [1usize, 2, 5, 64] {
+            ThreadPoolBuilder::new().num_threads(threads).build_global().unwrap();
+            let got: Vec<u64> = input.par_iter().map(|&x| x * x).collect();
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+        ThreadPoolBuilder::new().num_threads(1).build_global().unwrap();
+    }
+
+    #[test]
+    fn install_pins_and_restores_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 2);
+        let before = current_num_threads();
+        let (inside, result) = pool.install(|| {
+            let got: Vec<usize> = (0..10usize).into_par_iter().map(|i| i * 3).collect();
+            (current_num_threads(), got)
+        });
+        assert_eq!(inside, 2);
+        assert_eq!(result, (0..10).map(|i| i * 3).collect::<Vec<_>>());
+        assert_eq!(current_num_threads(), before, "install leaked its override");
+        // May be called repeatedly, like upstream.
+        let again = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        assert_eq!(again.install(current_num_threads), 5);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_every_element() {
+        let mut v = vec![1i32; 50];
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert!(v.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn range_into_par_iter_works() {
+        let squares: Vec<usize> = (0..20usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, (0..20).map(|i| i * i).collect::<Vec<_>>());
+    }
+}

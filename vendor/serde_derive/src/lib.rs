@@ -1,0 +1,297 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored serde
+//! stub.
+//!
+//! No `syn`/`quote` (offline build): the input token stream is parsed by
+//! hand and the generated impl is emitted as a string. Supported shapes —
+//! the only ones this workspace declares:
+//!
+//! * structs with named fields;
+//! * enums whose variants are unit or have named fields.
+//!
+//! Generics, tuple structs/variants and `#[serde(...)]` attributes are
+//! rejected with a `compile_error!` naming the limitation, so a future
+//! refactor hits a clear message instead of silent misbehaviour.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: just its name (types are never needed — generated code
+/// relies on inference through the trait calls).
+struct Field {
+    name: String,
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    /// `None` for unit variants, `Some(fields)` for named-field variants.
+    fields: Option<Vec<Field>>,
+}
+
+/// The parsed derive input.
+enum Input {
+    Struct { name: String, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("compile_error tokens")
+}
+
+/// Skips attributes (`#[...]`, including doc comments) and visibility
+/// (`pub`, `pub(...)`) starting at `i`; returns the new position.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1; // the attribute group
+                if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Splits a brace-group body into top-level comma-separated chunks.
+fn split_commas(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    for t in tokens {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            _ => cur.push(t),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Parses `name: Type` chunks into fields.
+fn parse_fields(body: Vec<TokenTree>) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    for chunk in split_commas(body) {
+        let i = skip_attrs_and_vis(&chunk, 0);
+        match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => {
+                let name = id.to_string();
+                match chunk.get(i + 1) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => fields.push(Field { name }),
+                    _ => return Err(format!("field `{name}`: expected `name: Type`")),
+                }
+            }
+            _ => return Err("tuple structs are not supported by the vendored serde derive".into()),
+        }
+    }
+    Ok(fields)
+}
+
+/// Parses the variants of an enum body.
+fn parse_variants(body: Vec<TokenTree>) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for chunk in split_commas(body) {
+        let i = skip_attrs_and_vis(&chunk, 0);
+        let name = match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => return Err("malformed enum variant".into()),
+        };
+        let fields = match chunk.get(i + 1) {
+            None => None,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Some(parse_fields(g.stream().into_iter().collect())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "variant `{name}`: tuple variants are not supported by the vendored serde derive"
+                ));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => None, // discriminant
+            Some(other) => return Err(format!("variant `{name}`: unexpected token `{other}`")),
+        };
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" || id.to_string() == "enum" => {
+            id.to_string()
+        }
+        _ => return Err("expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected type name".into()),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err("generic types are not supported by the vendored serde derive".into());
+        }
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            g.stream().into_iter().collect::<Vec<_>>()
+        }
+        _ => return Err("expected a braced body (unit/tuple structs unsupported)".into()),
+    };
+    if kind == "struct" {
+        Ok(Input::Struct { name, fields: parse_fields(body)? })
+    } else {
+        Ok(Input::Enum { name, variants: parse_variants(body)? })
+    }
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match parsed {
+        Input::Struct { name, fields } => {
+            let body = obj_literal("self.", &fields);
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in &variants {
+                let vname = &v.name;
+                match &v.fields {
+                    None => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),\n"
+                    )),
+                    Some(fields) => {
+                        let bindings: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let inner = obj_literal("", fields);
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Obj(vec![(\
+                                 \"{vname}\".to_string(), {inner})]),\n",
+                            bindings.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// `Value::Obj(vec![("f", to_value(&<prefix>f)), ...])`.
+fn obj_literal(prefix: &str, fields: &[Field]) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!("(\"{0}\".to_string(), ::serde::Serialize::to_value(&{prefix}{0}))", f.name)
+        })
+        .collect();
+    format!("::serde::Value::Obj(vec![{}])", entries.join(", "))
+}
+
+/// `field: Deserialize::from_value(src.get("field") ...)?` lines.
+fn field_initializers(ty: &str, src: &str, fields: &[Field]) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{0}: ::serde::Deserialize::from_value({src}.get(\"{0}\")\
+                     .unwrap_or(&::serde::Value::Null))\
+                     .map_err(|e| ::serde::Error::msg(\
+                         format!(\"{ty}.{0}: {{}}\", e.0)))?,\n",
+                f.name
+            )
+        })
+        .collect()
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match parsed {
+        Input::Struct { name, fields } => {
+            let inits = field_initializers(&name, "value", &fields);
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         if !matches!(value, ::serde::Value::Obj(_)) {{\n\
+                             return Err(::serde::Error::msg(\"{name}: expected object\"));\n\
+                         }}\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in &variants {
+                let vname = &v.name;
+                match &v.fields {
+                    None => {
+                        unit_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"));
+                        data_arms.push_str(&format!(
+                            "if value.get(\"{vname}\").is_some() {{ return Ok({name}::{vname}); }}\n"
+                        ));
+                    }
+                    Some(fields) => {
+                        let inits =
+                            field_initializers(&format!("{name}::{vname}"), "inner", fields);
+                        data_arms.push_str(&format!(
+                            "if let Some(inner) = value.get(\"{vname}\") {{\n\
+                                 return Ok({name}::{vname} {{ {inits} }});\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         if let ::serde::Value::Str(s) = value {{\n\
+                             return match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => Err(::serde::Error::msg(\
+                                     format!(\"{name}: unknown variant {{other:?}}\"))),\n\
+                             }};\n\
+                         }}\n\
+                         {data_arms}\n\
+                         Err(::serde::Error::msg(\"{name}: expected variant string or object\"))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
