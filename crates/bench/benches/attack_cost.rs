@@ -25,6 +25,7 @@ fn bench_attacks(c: &mut Criterion) {
             b.iter(|| {
                 let ctx = AttackContext {
                     benign_uploads: &benign,
+                    d,
                     n_byzantine: 15,
                     noise_std: 0.05,
                     round: 0,

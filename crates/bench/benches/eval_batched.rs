@@ -1,0 +1,69 @@
+//! Batched vs per-example evaluation forward passes — the payoff of the
+//! batched inference subsystem on the server's eval path (`nn::accuracy`),
+//! measured for every zoo architecture.
+//!
+//! The batched path is bit-identical to the per-example path (asserted in
+//! `crates/nn/tests/batched_parity.rs` and sanity-checked here), so the whole
+//! difference is mechanical: one GEMM / im2col pass per layer per batch
+//! instead of per-layer allocation + dispatch per example.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpbfl_nn::{accuracy, zoo, Sequential};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Deterministic pseudo-random features.
+fn fill(count: usize, len: usize, salt: u32) -> Vec<f32> {
+    (0..count * len)
+        .map(|i| {
+            let h = (i as u32).wrapping_mul(2654435761).wrapping_add(salt);
+            ((h % 1000) as f32 / 1000.0) - 0.5
+        })
+        .collect()
+}
+
+/// The pre-batching implementation of `accuracy`, kept as the baseline.
+fn accuracy_per_example(model: &mut Sequential, features: &[f32], labels: &[usize]) -> f64 {
+    let example_len = model.input_len();
+    let mut correct = 0usize;
+    for (i, &label) in labels.iter().enumerate() {
+        let x = &features[i * example_len..(i + 1) * example_len];
+        if model.predict(x) == label {
+            correct += 1;
+        }
+    }
+    correct as f64 / labels.len() as f64
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval_batched");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(1);
+    let count = 128usize;
+
+    let models: Vec<(&str, Sequential)> = vec![
+        ("mlp_784", zoo::mlp_784(&mut rng)),
+        ("mnist_cnn", zoo::mnist_cnn(&mut rng)),
+        ("colorectal_cnn", zoo::colorectal_cnn(&mut rng)),
+    ];
+    for (name, mut model) in models {
+        let features = fill(count, model.input_len(), 5);
+        let labels: Vec<usize> = (0..count).map(|i| (i * 3) % model.output_len()).collect();
+        // The two paths must agree exactly before we time them.
+        assert_eq!(
+            accuracy(&mut model, &features, &labels).to_bits(),
+            accuracy_per_example(&mut model, &features, &labels).to_bits(),
+            "{name}: batched accuracy diverged from per-example"
+        );
+        group.bench_function(BenchmarkId::new("per_example", name), |b| {
+            b.iter(|| std::hint::black_box(accuracy_per_example(&mut model, &features, &labels)))
+        });
+        group.bench_function(BenchmarkId::new("batched", name), |b| {
+            b.iter(|| std::hint::black_box(accuracy(&mut model, &features, &labels)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Server-side defense cost scaling with the cohort size `n` — the question
+//! "what does a round cost the server once worker counts grow past 10³?"
+//! (ROADMAP "Parallelism next steps").
+//!
+//! Two stages dominate: the per-upload first-stage tests (KS sort, O(d log d)
+//! each) and the second-stage scoring, now one n×d matrix–vector product
+//! against `g_s` instead of n serial dots. The scoring rows run at
+//! n ∈ {10, 100, 1000} with the paper's MLP dimension d = 25 450; the
+//! KS-dominated first stage is capped at n ≤ 100 to keep the smoke run fast
+//! (it scales linearly in n by construction — one independent test per
+//! upload).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpbfl::first_stage::FirstStage;
+use dpbfl::second_stage::SecondStage;
+use dpbfl_stats::normal::gaussian_vector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const D: usize = 25_450;
+const NOISE_STD: f64 = 0.05;
+
+fn uploads(n: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| gaussian_vector(&mut rng, NOISE_STD, D)).collect()
+}
+
+fn bench_second_stage_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fl_round_workers");
+    group.sample_size(10);
+    let server_grad = gaussian_vector(&mut StdRng::seed_from_u64(7), NOISE_STD, D);
+
+    for n in [10usize, 100, 1000] {
+        let ups = uploads(n, n as u64);
+        let mut stage = SecondStage::new(n, 0.5);
+        group.bench_function(BenchmarkId::new("second_stage_select", n), |b| {
+            b.iter(|| std::hint::black_box(stage.select(&ups, &server_grad)))
+        });
+    }
+
+    for n in [10usize, 100] {
+        let ups = uploads(n, 1000 + n as u64);
+        let first = FirstStage::new(NOISE_STD, D, 0.05, 3.0);
+        group.bench_function(BenchmarkId::new("first_stage_check", n), |b| {
+            b.iter(|| {
+                for u in &ups {
+                    std::hint::black_box(first.check(u));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_second_stage_scaling);
+criterion_main!(benches);

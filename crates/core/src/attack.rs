@@ -86,6 +86,10 @@ impl AttackSpec {
 pub struct AttackContext<'a> {
     /// The honest workers' uploads this round.
     pub benign_uploads: &'a [Vec<f32>],
+    /// Upload dimensionality `d`, carried explicitly so crafting works even
+    /// when there is no benign or poisoned upload to infer it from (the
+    /// 100 %-Byzantine cohorts of the extreme-majority grids).
+    pub d: usize,
     /// Number of Byzantine uploads to produce.
     pub n_byzantine: usize,
     /// Effective per-coordinate DP noise std `σ' = σ/b_c` (protocol public).
@@ -103,6 +107,11 @@ pub struct AttackContext<'a> {
 ///
 /// Returns `n_byzantine` vectors. For [`AttackSpec::LabelFlip`] the poisoned
 /// workers' protocol uploads are passed through unchanged.
+///
+/// Fully-Byzantine cohorts (`benign_uploads` empty) are valid input: the
+/// statistics-based attacks (OptLMP, A-Little, inner-product, the adaptive
+/// honest phase) have no honest uploads to leverage, so they degrade to their
+/// best first-stage-passing strategy — pure DP-shaped Gaussian noise.
 pub fn craft_uploads<R: Rng + ?Sized>(
     spec: &AttackSpec,
     ctx: &AttackContext<'_>,
@@ -111,14 +120,14 @@ pub fn craft_uploads<R: Rng + ?Sized>(
     if ctx.n_byzantine == 0 {
         return Vec::new();
     }
-    let d = ctx.benign_uploads.first().map(|u| u.len()).unwrap_or_else(|| {
-        ctx.poisoned_uploads.first().map(|u| u.len()).expect("no uploads to infer dimension from")
-    });
+    let d = ctx.d;
+    debug_assert!(
+        ctx.benign_uploads.iter().chain(ctx.poisoned_uploads).all(|u| u.len() == d),
+        "upload dimension disagrees with ctx.d"
+    );
     match spec {
         AttackSpec::None => Vec::new(),
-        AttackSpec::Gaussian => {
-            (0..ctx.n_byzantine).map(|_| gaussian_vector(rng, ctx.noise_std, d)).collect()
-        }
+        AttackSpec::Gaussian => noise_uploads(ctx, rng),
         AttackSpec::LabelFlip => {
             assert_eq!(
                 ctx.poisoned_uploads.len(),
@@ -127,9 +136,24 @@ pub fn craft_uploads<R: Rng + ?Sized>(
             );
             ctx.poisoned_uploads.to_vec()
         }
-        AttackSpec::OptLmp => opt_lmp(ctx),
-        AttackSpec::ALittle => a_little(ctx),
+        AttackSpec::OptLmp => {
+            if ctx.benign_uploads.is_empty() {
+                noise_uploads(ctx, rng)
+            } else {
+                opt_lmp(ctx)
+            }
+        }
+        AttackSpec::ALittle => {
+            if ctx.benign_uploads.is_empty() {
+                noise_uploads(ctx, rng)
+            } else {
+                a_little(ctx)
+            }
+        }
         AttackSpec::InnerProduct { scale } => {
+            if ctx.benign_uploads.is_empty() {
+                return noise_uploads(ctx, rng);
+            }
             let refs: Vec<&[f32]> = ctx.benign_uploads.iter().map(|u| u.as_slice()).collect();
             let mut mean = vecops::mean(&refs).expect("inner-product attack needs benign uploads");
             vecops::scale(&mut mean, -(*scale as f32));
@@ -137,6 +161,10 @@ pub fn craft_uploads<R: Rng + ?Sized>(
         }
         AttackSpec::Adaptive { ttbb, inner } => {
             if (ctx.round as f64) < ttbb * ctx.total_rounds as f64 {
+                if ctx.benign_uploads.is_empty() {
+                    // Nothing to copy: blend in as protocol-shaped noise.
+                    return noise_uploads(ctx, rng);
+                }
                 // Honest phase: copy uploads of random honest workers.
                 (0..ctx.n_byzantine)
                     .map(|_| {
@@ -149,6 +177,13 @@ pub fn craft_uploads<R: Rng + ?Sized>(
             }
         }
     }
+}
+
+/// `n_byzantine` pure `N(0, σ'²I)` uploads — the Gaussian attack, and the
+/// fallback every statistics-based attack degrades to when the cohort has no
+/// honest uploads to exploit.
+fn noise_uploads<R: Rng + ?Sized>(ctx: &AttackContext<'_>, rng: &mut R) -> Vec<Vec<f32>> {
+    (0..ctx.n_byzantine).map(|_| gaussian_vector(rng, ctx.noise_std, ctx.d)).collect()
 }
 
 /// Eq. 8–10: every Byzantine upload is `−((1+λ)/Mₙ)·Σ_j g_{B_j}` with
@@ -209,6 +244,7 @@ mod tests {
     fn ctx<'a>(benign: &'a [Vec<f32>], n_byz: usize) -> AttackContext<'a> {
         AttackContext {
             benign_uploads: benign,
+            d: D,
             n_byzantine: n_byz,
             noise_std: STD,
             round: 0,
@@ -306,6 +342,61 @@ mod tests {
         let b = benign(3, 12);
         let mut rng = StdRng::seed_from_u64(13);
         assert!(craft_uploads(&AttackSpec::Gaussian, &ctx(&b, 0), &mut rng).is_empty());
+    }
+
+    #[test]
+    fn fully_byzantine_cohort_never_panics() {
+        // Regression: with `n_honest = 0` the old code panicked inferring the
+        // dimension (Gaussian) or calling `gen_range(0..0)` (the adaptive
+        // honest phase). Every statistics-based attack must instead fall back
+        // to d-dimensional protocol-shaped noise.
+        let empty: Vec<Vec<f32>> = Vec::new();
+        let specs = [
+            AttackSpec::Gaussian,
+            AttackSpec::OptLmp,
+            AttackSpec::ALittle,
+            AttackSpec::InnerProduct { scale: 5.0 },
+            AttackSpec::Adaptive { ttbb: 0.9, inner: Box::new(AttackSpec::OptLmp) },
+        ];
+        for spec in specs {
+            let mut rng = StdRng::seed_from_u64(21);
+            let ups = craft_uploads(&spec, &ctx(&empty, 4), &mut rng);
+            assert_eq!(ups.len(), 4, "{}", spec.name());
+            for u in &ups {
+                assert_eq!(u.len(), D, "{}", spec.name());
+                assert!(u.iter().all(|v| v.is_finite()), "{}", spec.name());
+                // The fallback is genuine noise at the protocol's σ', so it
+                // would pass the first-stage norm test.
+                let norm_sq = vecops::l2_norm_sq(u);
+                let expected = STD * STD * D as f64;
+                assert!((norm_sq / expected - 1.0).abs() < 0.2, "{}: {norm_sq}", spec.name());
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_post_turn_label_flip_still_uses_poisoned_uploads() {
+        // The 100%-Byzantine label-flip path: no benign uploads, but the
+        // poisoned workers' own protocol uploads are present and must pass
+        // through after the turn.
+        let poisoned = benign(3, 30); // stand-in protocol uploads
+        let spec = AttackSpec::Adaptive { ttbb: 0.5, inner: Box::new(AttackSpec::LabelFlip) };
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut late = AttackContext {
+            benign_uploads: &[],
+            d: D,
+            n_byzantine: 3,
+            noise_std: STD,
+            round: 60,
+            total_rounds: 100,
+            poisoned_uploads: &poisoned,
+        };
+        assert_eq!(craft_uploads(&spec, &late, &mut rng), poisoned);
+        // Before the turn, with nothing to copy: noise, not a panic.
+        late.round = 10;
+        let early = craft_uploads(&spec, &late, &mut rng);
+        assert_eq!(early.len(), 3);
+        assert!(!poisoned.contains(&early[0]));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! scores **accumulate** across rounds, and the uploads with the top `⌈γn⌉`
 //! accumulated scores are selected with **binary weights**.
 
+use dpbfl_tensor::matmul::matvec_rows_f64;
 use dpbfl_tensor::vecops;
 use serde::{Deserialize, Serialize};
 
@@ -63,6 +64,9 @@ pub struct SecondStage {
     gamma: f64,
     scoring: ScoringRule,
     weighting: WeightScheme,
+    /// Scratch for the packed `n×d` upload matrix, reused across rounds so
+    /// the scoring GEMV allocates nothing in steady state.
+    packed: Vec<f32>,
 }
 
 impl SecondStage {
@@ -81,7 +85,7 @@ impl SecondStage {
     ) -> Self {
         assert!(n_workers > 0, "need at least one worker");
         assert!(gamma > 0.0 && gamma <= 1.0, "γ must be in (0, 1], got {gamma}");
-        SecondStage { scores: vec![0.0; n_workers], gamma, scoring, weighting }
+        SecondStage { scores: vec![0.0; n_workers], gamma, scoring, weighting, packed: Vec::new() }
     }
 
     /// Number of uploads selected per round, `⌈γn⌉`.
@@ -96,38 +100,64 @@ impl SecondStage {
 
     /// Runs one round of Algorithm 3 lines 5–14 on the (already
     /// first-stage-filtered) uploads and the server gradient `g_s`.
+    ///
+    /// Crash-proof against adversarial uploads: score ordering uses
+    /// [`f64::total_cmp`] and non-finite round scores are mapped to 0 (the
+    /// suppression value) before thresholding, so a NaN/∞ upload reaching
+    /// this stage — possible when the first stage is ablated away — can
+    /// neither panic the sort, win selection, nor poison the accumulator.
     pub fn select(&mut self, uploads: &[Vec<f32>], server_grad: &[f32]) -> SelectionResult {
         assert_eq!(uploads.len(), self.scores.len(), "upload count changed mid-training");
         let n = uploads.len();
+        let d = server_grad.len();
         let keep = self.select_count();
 
-        // Lines 6–8: score each upload against the server gradient.
-        let mut round_scores: Vec<f64> = uploads
-            .iter()
-            .map(|g| match self.scoring {
-                ScoringRule::InnerProduct => vecops::dot(g, server_grad),
-                ScoringRule::Cosine => vecops::cosine_similarity(g, server_grad),
-            })
-            .collect();
+        // Lines 6–8: score each upload against the server gradient — one
+        // matrix–vector product of the packed n×d upload matrix against g_s
+        // instead of n pointer-chasing dots. `matvec_rows_f64` reproduces
+        // `vecops::dot`'s f64 accumulation order exactly, so scores are
+        // bit-identical to the serial loop.
+        self.packed.clear();
+        self.packed.reserve(n * d);
+        for g in uploads {
+            assert_eq!(g.len(), d, "upload/server-gradient dimension mismatch");
+            self.packed.extend_from_slice(g);
+        }
+        let mut round_scores = vec![0.0f64; n];
+        matvec_rows_f64(&self.packed, server_grad, &mut round_scores, n, d);
+        if self.scoring == ScoringRule::Cosine {
+            let nb = vecops::l2_norm(server_grad);
+            for (r, g) in round_scores.iter_mut().zip(uploads) {
+                let na = vecops::l2_norm(g);
+                *r = if na == 0.0 || nb == 0.0 { 0.0 } else { *r / (na * nb) };
+            }
+        }
+        for r in round_scores.iter_mut() {
+            if !r.is_finite() {
+                *r = 0.0;
+            }
+        }
 
         // Line 9: μ̂ = mean of the top ⌈γn⌉ scores this round.
         let mut sorted = round_scores.clone();
-        sorted.sort_unstable_by(|a, b| b.partial_cmp(a).expect("scores are finite"));
+        sorted.sort_unstable_by(|a, b| b.total_cmp(a));
         let threshold = sorted[..keep].iter().sum::<f64>() / keep as f64;
 
-        // Lines 10–13: suppress below-threshold scores, accumulate the rest.
+        // Lines 10–13: suppress below-threshold (and, as hardening, negative)
+        // scores, accumulate the rest — so accumulated scores are
+        // non-negative and non-decreasing by construction.
         for (s, r) in self.scores.iter_mut().zip(round_scores.iter_mut()) {
-            if *r < threshold {
+            if *r < threshold || *r <= 0.0 {
                 *r = 0.0;
             }
             *s += *r;
         }
 
-        // Line 14: top ⌈γn⌉ accumulated scores form the selected set.
+        // Line 14: top ⌈γn⌉ accumulated scores form the selected set. The
+        // stable sort breaks ties by worker index, keeping selection
+        // deterministic.
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| {
-            self.scores[b].partial_cmp(&self.scores[a]).expect("scores are finite")
-        });
+        order.sort_by(|&a, &b| self.scores[b].total_cmp(&self.scores[a]));
         let mut selected = order[..keep].to_vec();
         selected.sort_unstable();
 
@@ -269,6 +299,52 @@ mod tests {
         assert!(res.weights[0] > res.weights[1]);
         let total: f64 = res.weights.iter().sum();
         assert!((total - 2.0).abs() < 1e-9, "weights should sum to |selected|");
+    }
+
+    #[test]
+    fn nan_uploads_are_suppressed_not_fatal() {
+        // Regression: with the first stage ablated away, a NaN upload reaches
+        // the scorer; `partial_cmp(..).expect("scores are finite")` used to
+        // panic here. NaN scores must instead map to 0 (suppressed).
+        let d = 4;
+        let server = unit(d, 1.0);
+        let mut nan_upload = unit(d, 1.0);
+        nan_upload[1] = f32::NAN;
+        let uploads = vec![unit(d, 2.0), nan_upload, vec![f32::INFINITY; d], unit(d, 2.0)];
+        let mut stage = SecondStage::new(4, 0.5);
+        let res = stage.select(&uploads, &server);
+        // The poisoned uploads score 0 and can neither be selected over the
+        // finite aligned uploads nor contaminate the accumulator.
+        assert_eq!(res.selected, vec![0, 3]);
+        assert!(res.round_scores.iter().all(|s| s.is_finite()));
+        assert!(stage.accumulated_scores().iter().all(|s| s.is_finite()));
+        assert_eq!(stage.accumulated_scores()[1], 0.0);
+        assert_eq!(stage.accumulated_scores()[2], 0.0);
+    }
+
+    #[test]
+    fn nan_server_gradient_suppresses_every_score() {
+        // A non-finite auxiliary gradient poisons every inner product; all
+        // scores collapse to 0 and selection falls back to index order
+        // instead of panicking.
+        let d = 3;
+        let uploads = vec![unit(d, 1.0), unit(d, 2.0)];
+        let mut stage = SecondStage::new(2, 0.5);
+        let res = stage.select(&uploads, &[f32::NAN, 0.0, 0.0]);
+        assert_eq!(res.selected.len(), 1);
+        assert!(stage.accumulated_scores().iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn negative_round_scores_never_accumulate() {
+        // Hardening: even when the whole round is negative (threshold below
+        // zero), accumulated scores stay non-negative and monotone.
+        let d = 4;
+        let server = unit(d, 1.0);
+        let uploads = vec![unit(d, -1.0), unit(d, -3.0)];
+        let mut stage = SecondStage::new(2, 0.5);
+        stage.select(&uploads, &server);
+        assert_eq!(stage.accumulated_scores(), &[0.0, 0.0]);
     }
 
     #[test]

@@ -336,6 +336,7 @@ pub fn run(cfg: &SimulationConfig) -> RunResult {
         // The omniscient adversary crafts its uploads.
         let ctx = AttackContext {
             benign_uploads: &benign,
+            d,
             n_byzantine: cfg.n_byzantine,
             noise_std: dp.effective_noise_std(),
             round: t,
@@ -368,9 +369,9 @@ pub fn run(cfg: &SimulationConfig) -> RunResult {
                     fltrust_state.as_mut().expect("fltrust state always built");
                 model.set_params(&params);
                 let loss_fn = CrossEntropyLoss;
-                let examples: Vec<(&[f32], usize)> =
-                    (0..aux.len()).map(|i| (aux.example(i), aux.label(i))).collect();
-                model.batch_gradient(&loss_fn, &examples, grad_buf);
+                // Trust gradient in one batched forward/backward: the aux
+                // dataset's features are already the packed matrix.
+                model.batch_gradient_packed(&loss_fn, &aux.features, &aux.labels, grad_buf);
                 let refs: Vec<&[f32]> = uploads.iter().map(|u| u.as_slice()).collect();
                 let g = crate::aggregator_ext::fltrust(&refs, grad_buf);
                 vecops::axpy(-(lr as f32), &g, &mut params);
@@ -435,12 +436,18 @@ impl TwoStageState {
             }
         }
 
-        // Server's clean gradient from auxiliary data (Algorithm 3 line 4).
+        // Server's clean gradient from auxiliary data (Algorithm 3 line 4),
+        // as one batched forward/backward over the aux dataset's already
+        // packed feature matrix — no per-round packing, no per-example
+        // dispatch.
         self.server_model.set_params(params);
         let loss_fn = CrossEntropyLoss;
-        let examples: Vec<(&[f32], usize)> =
-            (0..self.aux.len()).map(|i| (self.aux.example(i), self.aux.label(i))).collect();
-        self.server_model.batch_gradient(&loss_fn, &examples, &mut self.grad_buf);
+        self.server_model.batch_gradient_packed(
+            &loss_fn,
+            &self.aux.features,
+            &self.aux.labels,
+            &mut self.grad_buf,
+        );
 
         // Second stage: score, threshold, accumulate, select.
         let selection = self.second.select(uploads, &self.grad_buf);
@@ -601,6 +608,45 @@ mod tests {
             single.defense_stats.first_stage_rejected_byzantine,
             multi.defense_stats.first_stage_rejected_byzantine
         );
+    }
+
+    #[test]
+    fn first_stage_ablation_survives_nan_uploads() {
+        // Regression: the design-choice ablation disables the first stage, so
+        // a non-finite Byzantine upload reaches the second-stage scorer —
+        // which used to panic on `partial_cmp(..).expect("scores are
+        // finite")`. An `InnerProduct` attack with a NaN scale manufactures
+        // exactly such uploads.
+        let mut cfg = quick_cfg();
+        cfg.n_byzantine = 2;
+        cfg.attack = AttackSpec::InnerProduct { scale: f64::NAN };
+        cfg.defense = DefenseKind::TwoStage;
+        cfg.defense_cfg.first_stage_enabled = false;
+        let r = run(&cfg);
+        assert!(r.final_accuracy.is_finite());
+        assert!(!r.history.is_empty());
+        // The NaN uploads score 0; honest workers (lower indices win ties)
+        // keep every selection slot.
+        assert_eq!(r.defense_stats.byzantine_selected, 0);
+    }
+
+    #[test]
+    fn fully_byzantine_cohort_runs_to_completion() {
+        // The supp_fig_extreme_byz config space pushed to its limit: zero
+        // honest workers. `craft_uploads` used to panic inferring the upload
+        // dimension, and the adaptive honest phase on `gen_range(0..0)`.
+        let mut cfg = quick_cfg();
+        cfg.n_honest = 0;
+        cfg.n_byzantine = 5;
+        cfg.attack = AttackSpec::Adaptive { ttbb: 0.5, inner: Box::new(AttackSpec::LabelFlip) };
+        cfg.defense = DefenseKind::TwoStage;
+        cfg.defense_cfg.gamma = 0.2;
+        let r = run(&cfg);
+        assert!(r.final_accuracy.is_finite());
+        assert_eq!(r.iterations, cfg.iterations());
+        // Every selection is necessarily Byzantine — the stat must say so.
+        assert_eq!(r.defense_stats.byzantine_selected, r.defense_stats.total_selected);
+        assert!(r.defense_stats.total_selected > 0);
     }
 
     #[test]

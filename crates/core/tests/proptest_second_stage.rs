@@ -1,0 +1,143 @@
+//! Property-based invariants of the second-stage selector under arbitrary —
+//! including adversarial — inputs.
+//!
+//! The selector sits behind the first stage in the paper's protocol, but the
+//! design-choice ablation removes that shield, so `select` must uphold its
+//! invariants against *anything*: NaN/∞ coordinates, all-zero uploads, γ at
+//! both ends of its domain.
+
+use dpbfl::second_stage::{ScoringRule, SecondStage, WeightScheme};
+use proptest::prelude::*;
+
+/// n uploads of dimension d in a tame range.
+fn upload_set(n: std::ops::Range<usize>, d: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
+    prop::collection::vec(prop::collection::vec(-10.0f32..10.0, d..d + 1), n)
+}
+
+/// Poisons uploads in place according to per-upload op codes:
+/// 0 = leave, 1 = NaN coordinate, 2 = +∞ coordinate, 3 = −∞ coordinate,
+/// 4 = all zero.
+fn poison(uploads: &mut [Vec<f32>], ops: &[usize]) {
+    for (u, &op) in uploads.iter_mut().zip(ops) {
+        match op {
+            1 => u[0] = f32::NAN,
+            2 => u[0] = f32::INFINITY,
+            3 => {
+                let last = u.len() - 1;
+                u[last] = f32::NEG_INFINITY;
+            }
+            4 => u.fill(0.0),
+            _ => {}
+        }
+    }
+}
+
+/// γ from an index so both domain bounds are exercised alongside interior
+/// values (the vendored proptest has no inclusive float ranges).
+fn gamma_from(idx: usize, interior: f64) -> f64 {
+    match idx {
+        0 => f64::MIN_POSITIVE, // lower bound: γ → 0⁺ still selects ⌈γn⌉ ≥ 1
+        1 => 1.0,               // upper bound: everyone selected
+        _ => interior,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn selection_count_and_weights_hold_under_adversarial_inputs(
+        mut uploads in upload_set(1..9, 6),
+        ops in prop::collection::vec(0usize..5, 9),
+        gamma_idx in 0usize..4,
+        gamma_raw in 0.05f64..1.0,
+        weighting_idx in 0usize..2,
+        server_op in 0usize..5,
+    ) {
+        let n = uploads.len();
+        poison(&mut uploads, &ops);
+        let mut server = vec![1.0f32; 6];
+        poison(std::slice::from_mut(&mut server), &[server_op]);
+
+        let gamma = gamma_from(gamma_idx, gamma_raw);
+        let weighting =
+            if weighting_idx == 0 { WeightScheme::Binary } else { WeightScheme::Proportional };
+        let mut stage =
+            SecondStage::with_rules(n, gamma, ScoringRule::InnerProduct, weighting);
+        let expected = ((gamma * n as f64).ceil() as usize).clamp(1, n);
+        prop_assert_eq!(stage.select_count(), expected);
+
+        for _round in 0..3 {
+            // Must not panic, whatever the uploads look like.
+            let res = stage.select(&uploads, &server);
+
+            // |selected| = ⌈γn⌉, indices valid, sorted, unique.
+            prop_assert_eq!(res.selected.len(), expected);
+            prop_assert!(res.selected.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(res.selected.iter().all(|&i| i < n));
+
+            // Weights: zero off-selection, Σ = |selected| under both schemes.
+            prop_assert_eq!(res.weights.len(), n);
+            for (i, &w) in res.weights.iter().enumerate() {
+                if !res.selected.contains(&i) {
+                    prop_assert!(w == 0.0, "off-selection weight {w} at {i}");
+                } else {
+                    prop_assert!(w.is_finite() && w >= 0.0, "bad weight {w} at {i}");
+                }
+            }
+            let total: f64 = res.weights.iter().sum();
+            prop_assert!(
+                (total - expected as f64).abs() < 1e-9,
+                "weights sum to {total}, want {expected}"
+            );
+
+            // Round scores were sanitized before use.
+            prop_assert!(res.round_scores.iter().all(|s| s.is_finite()));
+            prop_assert!(res.threshold.is_finite());
+        }
+    }
+
+    #[test]
+    fn accumulated_scores_are_nonnegative_and_monotone(
+        mut uploads in upload_set(2..8, 5),
+        ops in prop::collection::vec(0usize..5, 8),
+        gamma in 0.05f64..1.0,
+        rounds in 1usize..6,
+    ) {
+        let n = uploads.len();
+        poison(&mut uploads, &ops);
+        let server = vec![0.5f32; 5];
+        let mut stage = SecondStage::new(n, gamma);
+        let mut prev = stage.accumulated_scores().to_vec();
+        prop_assert!(prev.iter().all(|&s| s == 0.0));
+        for _ in 0..rounds {
+            stage.select(&uploads, &server);
+            let now = stage.accumulated_scores().to_vec();
+            for (w, (&before, &after)) in prev.iter().zip(&now).enumerate() {
+                prop_assert!(after.is_finite(), "worker {w} score {after}");
+                prop_assert!(after >= 0.0, "worker {w} score {after} negative");
+                prop_assert!(after >= before, "worker {w} score decreased");
+            }
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn cosine_rule_upholds_the_same_invariants(
+        mut uploads in upload_set(2..7, 4),
+        ops in prop::collection::vec(0usize..5, 7),
+        gamma in 0.1f64..1.0,
+    ) {
+        let n = uploads.len();
+        poison(&mut uploads, &ops);
+        let server = vec![1.0f32, -1.0, 0.5, 0.0];
+        let mut stage =
+            SecondStage::with_rules(n, gamma, ScoringRule::Cosine, WeightScheme::Binary);
+        let res = stage.select(&uploads, &server);
+        let expected = ((gamma * n as f64).ceil() as usize).clamp(1, n);
+        prop_assert_eq!(res.selected.len(), expected);
+        // Finite cosine scores live in [-1, 1]; sanitized ones are 0.
+        prop_assert!(res.round_scores.iter().all(|s| s.abs() <= 1.0 + 1e-12));
+        prop_assert!(stage.accumulated_scores().iter().all(|&s| (0.0..=1.0 * 6.0).contains(&s)));
+    }
+}

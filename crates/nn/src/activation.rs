@@ -20,7 +20,17 @@ impl Elu {
 
 impl Layer for Elu {
     fn forward(&mut self, input: &[f32]) -> Vec<f32> {
-        assert_eq!(input.len(), self.len, "Elu: bad input length");
+        // Element-wise: one example is a batch of one, same bits.
+        self.forward_batch(input, 1)
+    }
+
+    fn backward(&mut self, grad_output: &[f32]) -> Vec<f32> {
+        self.backward_batch(grad_output, 1)
+    }
+
+    fn forward_batch(&mut self, input: &[f32], batch: usize) -> Vec<f32> {
+        assert_eq!(input.len(), batch * self.len, "Elu: bad input length");
+        // Element-wise, so the batch is one flat vectorized pass.
         self.cached_sign.clear();
         let out: Vec<f32> = input
             .iter()
@@ -39,9 +49,9 @@ impl Layer for Elu {
         out
     }
 
-    fn backward(&mut self, grad_output: &[f32]) -> Vec<f32> {
-        assert_eq!(grad_output.len(), self.len, "Elu: bad grad length");
-        assert_eq!(self.cached_output.len(), self.len, "backward before forward");
+    fn backward_batch(&mut self, grad_output: &[f32], batch: usize) -> Vec<f32> {
+        assert_eq!(grad_output.len(), batch * self.len, "Elu: bad grad length");
+        assert_eq!(self.cached_output.len(), batch * self.len, "backward before forward");
         // d/dx = 1 for x > 0, else y + α (since y = α(eˣ−1) ⇒ α eˣ = y + α).
         grad_output
             .iter()
@@ -82,7 +92,16 @@ impl Relu {
 
 impl Layer for Relu {
     fn forward(&mut self, input: &[f32]) -> Vec<f32> {
-        assert_eq!(input.len(), self.len, "Relu: bad input length");
+        // Element-wise: one example is a batch of one, same bits.
+        self.forward_batch(input, 1)
+    }
+
+    fn backward(&mut self, grad_output: &[f32]) -> Vec<f32> {
+        self.backward_batch(grad_output, 1)
+    }
+
+    fn forward_batch(&mut self, input: &[f32], batch: usize) -> Vec<f32> {
+        assert_eq!(input.len(), batch * self.len, "Relu: bad input length");
         self.cached_sign.clear();
         input
             .iter()
@@ -98,9 +117,9 @@ impl Layer for Relu {
             .collect()
     }
 
-    fn backward(&mut self, grad_output: &[f32]) -> Vec<f32> {
-        assert_eq!(grad_output.len(), self.len, "Relu: bad grad length");
-        assert_eq!(self.cached_sign.len(), self.len, "backward before forward");
+    fn backward_batch(&mut self, grad_output: &[f32], batch: usize) -> Vec<f32> {
+        assert_eq!(grad_output.len(), batch * self.len, "Relu: bad grad length");
+        assert_eq!(self.cached_sign.len(), batch * self.len, "backward before forward");
         grad_output
             .iter()
             .zip(&self.cached_sign)

@@ -3,7 +3,8 @@
 use crate::init::kaiming_uniform;
 use crate::layer::Layer;
 use dpbfl_tensor::conv::{
-    conv2d_backward_input, conv2d_backward_params, conv2d_forward, ConvGeometry,
+    conv2d_backward_input, conv2d_backward_params, conv2d_forward, conv2d_forward_batch,
+    ConvGeometry,
 };
 use rand::Rng;
 
@@ -64,6 +65,42 @@ impl Layer for Conv2d {
         );
         let mut grad_in = vec![0.0f32; self.geom.input_len()];
         conv2d_backward_input(&self.geom, &self.weight, grad_output, &mut grad_in);
+        grad_in
+    }
+
+    fn forward_batch(&mut self, input: &[f32], batch: usize) -> Vec<f32> {
+        assert_eq!(input.len(), batch * self.geom.input_len(), "Conv2d: bad batch input length");
+        self.cached_input.clear();
+        self.cached_input.extend_from_slice(input);
+        let mut out = vec![0.0f32; batch * self.geom.output_len()];
+        conv2d_forward_batch(&self.geom, input, &self.weight, &self.bias, &mut out, batch);
+        out
+    }
+
+    fn backward_batch(&mut self, grad_output: &[f32], batch: usize) -> Vec<f32> {
+        let (in_len, out_len) = (self.geom.input_len(), self.geom.output_len());
+        assert_eq!(grad_output.len(), batch * out_len, "Conv2d: bad batch grad length");
+        assert_eq!(
+            self.cached_input.len(),
+            batch * in_len,
+            "Conv2d: backward_batch before forward_batch"
+        );
+        let mut grad_in = vec![0.0f32; batch * in_len];
+        for bi in 0..batch {
+            conv2d_backward_params(
+                &self.geom,
+                &self.cached_input[bi * in_len..(bi + 1) * in_len],
+                &grad_output[bi * out_len..(bi + 1) * out_len],
+                &mut self.grad_weight,
+                &mut self.grad_bias,
+            );
+            conv2d_backward_input(
+                &self.geom,
+                &self.weight,
+                &grad_output[bi * out_len..(bi + 1) * out_len],
+                &mut grad_in[bi * in_len..(bi + 1) * in_len],
+            );
+        }
         grad_in
     }
 

@@ -24,6 +24,24 @@ pub trait Layer {
     /// to the input.
     fn backward(&mut self, grad_output: &[f32]) -> Vec<f32>;
 
+    /// Batched forward over `batch` examples packed back to back in `input`
+    /// (`batch · input_len()` values); returns `batch · output_len()` values
+    /// and caches what [`Layer::backward_batch`] needs.
+    ///
+    /// Contract: per-example outputs are **bit-identical** to calling
+    /// [`Layer::forward`] once per example — every output scalar is the same
+    /// `f32`/`f64` accumulation in the same order, just over batch-contiguous
+    /// buffers. This is what lets batched evaluation and server-side
+    /// gradients ride the determinism contract unchanged.
+    fn forward_batch(&mut self, input: &[f32], batch: usize) -> Vec<f32>;
+
+    /// Batched backward matching the most recent [`Layer::forward_batch`]:
+    /// accumulates parameter gradients (each gradient scalar receives its
+    /// per-example contributions in ascending example order — bit-identical
+    /// to sequential per-example [`Layer::backward`] calls) and returns the
+    /// packed per-example input gradients.
+    fn backward_batch(&mut self, grad_output: &[f32], batch: usize) -> Vec<f32>;
+
     /// Number of trainable parameters.
     fn param_len(&self) -> usize;
 
@@ -86,6 +104,12 @@ impl Layer for AnyLayer {
     }
     fn backward(&mut self, grad_output: &[f32]) -> Vec<f32> {
         delegate!(self, backward, grad_output)
+    }
+    fn forward_batch(&mut self, input: &[f32], batch: usize) -> Vec<f32> {
+        delegate!(self, forward_batch, input, batch)
+    }
+    fn backward_batch(&mut self, grad_output: &[f32], batch: usize) -> Vec<f32> {
+        delegate!(self, backward_batch, grad_output, batch)
     }
     fn param_len(&self) -> usize {
         delegate!(self, param_len)

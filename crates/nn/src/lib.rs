@@ -2,8 +2,13 @@
 //!
 //! Neural-network substrate with **per-example gradients** — the capability
 //! DP-SGD requires and the reason the paper's reference implementation needs
-//! functorch-style machinery on top of PyTorch. Here the whole stack processes
-//! one example at a time, so per-example gradients are the native operation.
+//! functorch-style machinery on top of PyTorch. The worker-side training path
+//! processes one example at a time, so per-example gradients are the native
+//! operation; the server-side paths (evaluation, auxiliary gradients) ride
+//! the **batched inference subsystem** — `forward_batch`/`backward_batch` on
+//! every layer, GEMM-backed for dense layers and im2col-backed for
+//! convolutions — whose outputs are bit-identical to the per-example path by
+//! construction (guarded by `tests/batched_parity.rs`).
 //!
 //! * [`layer`] — the [`Layer`](layer::Layer) trait and the closed
 //!   [`AnyLayer`](layer::AnyLayer) set (models are plain `Clone` values: every

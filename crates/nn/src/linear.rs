@@ -2,7 +2,7 @@
 
 use crate::init::kaiming_uniform;
 use crate::layer::Layer;
-use dpbfl_tensor::matmul::{ger, matvec, matvec_transposed};
+use dpbfl_tensor::matmul::{gemm, gemm_nt, gemm_tn_accumulate, ger, matvec, matvec_transposed};
 use rand::Rng;
 
 /// `y = W x + b` with `W: [out × in]` row-major.
@@ -71,6 +71,50 @@ impl Layer for Linear {
         }
         let mut grad_in = vec![0.0f32; self.in_dim];
         matvec_transposed(&self.weight, grad_output, &mut grad_in, self.out_dim, self.in_dim);
+        grad_in
+    }
+
+    fn forward_batch(&mut self, input: &[f32], batch: usize) -> Vec<f32> {
+        assert_eq!(input.len(), batch * self.in_dim, "Linear: bad batch input length");
+        self.cached_input.clear();
+        self.cached_input.extend_from_slice(input);
+        let mut out = vec![0.0f32; batch * self.out_dim];
+        // One X·Wᵀ GEMM; adding the bias after the dot is the same
+        // `bias + ⟨w_o, x⟩` sum as the per-example path (f32 addition is
+        // commutative bit-for-bit).
+        gemm_nt(input, &self.weight, &mut out, batch, self.in_dim, self.out_dim);
+        for row in out.chunks_exact_mut(self.out_dim) {
+            for (o, &b) in row.iter_mut().zip(&self.bias) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    fn backward_batch(&mut self, grad_output: &[f32], batch: usize) -> Vec<f32> {
+        assert_eq!(grad_output.len(), batch * self.out_dim, "Linear: bad batch grad length");
+        assert_eq!(
+            self.cached_input.len(),
+            batch * self.in_dim,
+            "Linear: backward_batch before forward_batch"
+        );
+        // dW += dYᵀ X (per-scalar accumulation in example order, like
+        // sequential `ger` calls), db += column sums of dY, dX = dY · W.
+        gemm_tn_accumulate(
+            grad_output,
+            &self.cached_input,
+            &mut self.grad_weight,
+            batch,
+            self.out_dim,
+            self.in_dim,
+        );
+        for row in grad_output.chunks_exact(self.out_dim) {
+            for (gb, &g) in self.grad_bias.iter_mut().zip(row) {
+                *gb += g;
+            }
+        }
+        let mut grad_in = vec![0.0f32; batch * self.in_dim];
+        gemm(grad_output, &self.weight, &mut grad_in, batch, self.out_dim, self.in_dim);
         grad_in
     }
 

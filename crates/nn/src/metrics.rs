@@ -16,8 +16,18 @@ pub fn argmax(v: &[f32]) -> usize {
     best
 }
 
+/// Examples per batched forward pass during evaluation: large enough to
+/// amortize per-layer dispatch and buffer allocation, small enough to bound
+/// the cached-activation memory of the conv models (which hold every
+/// intermediate feature map for the batch).
+const EVAL_BATCH: usize = 64;
+
 /// Classification accuracy of `model` over `(features, labels)` where
 /// `features` holds examples of length `example_len` back to back.
+///
+/// Runs in [`EVAL_BATCH`]-sized batched forward passes; per-example logits
+/// (and therefore the returned accuracy) are bit-identical to evaluating one
+/// example at a time.
 pub fn accuracy(model: &mut Sequential, features: &[f32], labels: &[usize]) -> f64 {
     let example_len = model.input_len();
     assert_eq!(features.len(), labels.len() * example_len, "features/labels disagree");
@@ -25,11 +35,11 @@ pub fn accuracy(model: &mut Sequential, features: &[f32], labels: &[usize]) -> f
         return 0.0;
     }
     let mut correct = 0usize;
-    for (i, &label) in labels.iter().enumerate() {
-        let x = &features[i * example_len..(i + 1) * example_len];
-        if model.predict(x) == label {
-            correct += 1;
-        }
+    for (chunk_i, label_chunk) in labels.chunks(EVAL_BATCH).enumerate() {
+        let start = chunk_i * EVAL_BATCH * example_len;
+        let xs = &features[start..start + label_chunk.len() * example_len];
+        let preds = model.predict_batch(xs, label_chunk.len());
+        correct += preds.iter().zip(label_chunk).filter(|(p, l)| p == l).count();
     }
     correct as f64 / labels.len() as f64
 }

@@ -41,6 +41,54 @@ impl GroupNorm {
     }
 }
 
+/// Normalizes one example's `[C, H, W]` block into `out`, appending one
+/// `1/√(var+eps)` per group to `inv_stds`. Shared by the per-example and the
+/// batched forward so the two paths are bit-identical by construction.
+fn normalize_example(
+    groups: usize,
+    gsize: usize,
+    eps: f32,
+    input: &[f32],
+    out: &mut [f32],
+    inv_stds: &mut Vec<f32>,
+) {
+    for g in 0..groups {
+        let chunk = &input[g * gsize..(g + 1) * gsize];
+        let mean = chunk.iter().map(|&x| x as f64).sum::<f64>() / gsize as f64;
+        let var = chunk.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / gsize as f64;
+        let inv_std = 1.0 / (var + eps as f64).sqrt();
+        inv_stds.push(inv_std as f32);
+        let out_chunk = &mut out[g * gsize..(g + 1) * gsize];
+        for (o, &x) in out_chunk.iter_mut().zip(chunk) {
+            *o = ((x as f64 - mean) * inv_std) as f32;
+        }
+    }
+}
+
+/// `dx = inv_std · (dy − mean(dy) − y · mean(dy ⊙ y))` for one example, given
+/// its cached normalized output `norm` and per-group `inv_stds`.
+fn backward_example(
+    groups: usize,
+    gsize: usize,
+    norm: &[f32],
+    inv_stds: &[f32],
+    grad_output: &[f32],
+    grad_in: &mut [f32],
+) {
+    for g in 0..groups {
+        let y = &norm[g * gsize..(g + 1) * gsize];
+        let dy = &grad_output[g * gsize..(g + 1) * gsize];
+        let inv_std = inv_stds[g] as f64;
+        let mean_dy = dy.iter().map(|&v| v as f64).sum::<f64>() / gsize as f64;
+        let mean_dy_y =
+            dy.iter().zip(y).map(|(&d, &v)| d as f64 * v as f64).sum::<f64>() / gsize as f64;
+        let gi = &mut grad_in[g * gsize..(g + 1) * gsize];
+        for ((o, &d), &v) in gi.iter_mut().zip(dy).zip(y) {
+            *o = (inv_std * (d as f64 - mean_dy - v as f64 * mean_dy_y)) as f32;
+        }
+    }
+}
+
 impl Layer for GroupNorm {
     fn forward(&mut self, input: &[f32]) -> Vec<f32> {
         let n = self.channels * self.spatial;
@@ -48,17 +96,7 @@ impl Layer for GroupNorm {
         let gsize = self.group_size();
         let mut out = vec![0.0f32; n];
         self.cached_inv_std.clear();
-        for g in 0..self.groups {
-            let chunk = &input[g * gsize..(g + 1) * gsize];
-            let mean = chunk.iter().map(|&x| x as f64).sum::<f64>() / gsize as f64;
-            let var = chunk.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / gsize as f64;
-            let inv_std = 1.0 / (var + self.eps as f64).sqrt();
-            self.cached_inv_std.push(inv_std as f32);
-            let out_chunk = &mut out[g * gsize..(g + 1) * gsize];
-            for (o, &x) in out_chunk.iter_mut().zip(chunk) {
-                *o = ((x as f64 - mean) * inv_std) as f32;
-            }
-        }
+        normalize_example(self.groups, gsize, self.eps, input, &mut out, &mut self.cached_inv_std);
         self.cached_norm.clear();
         self.cached_norm.extend_from_slice(&out);
         out
@@ -68,20 +106,57 @@ impl Layer for GroupNorm {
         let n = self.channels * self.spatial;
         assert_eq!(grad_output.len(), n, "GroupNorm: bad grad length");
         assert_eq!(self.cached_norm.len(), n, "backward before forward");
-        let gsize = self.group_size();
         let mut grad_in = vec![0.0f32; n];
-        // dx = inv_std · (dy − mean(dy) − y · mean(dy ⊙ y))
-        for g in 0..self.groups {
-            let y = &self.cached_norm[g * gsize..(g + 1) * gsize];
-            let dy = &grad_output[g * gsize..(g + 1) * gsize];
-            let inv_std = self.cached_inv_std[g] as f64;
-            let mean_dy = dy.iter().map(|&v| v as f64).sum::<f64>() / gsize as f64;
-            let mean_dy_y =
-                dy.iter().zip(y).map(|(&d, &v)| d as f64 * v as f64).sum::<f64>() / gsize as f64;
-            let gi = &mut grad_in[g * gsize..(g + 1) * gsize];
-            for ((o, &d), &v) in gi.iter_mut().zip(dy).zip(y) {
-                *o = (inv_std * (d as f64 - mean_dy - v as f64 * mean_dy_y)) as f32;
-            }
+        backward_example(
+            self.groups,
+            self.group_size(),
+            &self.cached_norm,
+            &self.cached_inv_std,
+            grad_output,
+            &mut grad_in,
+        );
+        grad_in
+    }
+
+    fn forward_batch(&mut self, input: &[f32], batch: usize) -> Vec<f32> {
+        let n = self.channels * self.spatial;
+        assert_eq!(input.len(), batch * n, "GroupNorm: bad batch input length");
+        let gsize = self.group_size();
+        let mut out = vec![0.0f32; batch * n];
+        self.cached_inv_std.clear();
+        for bi in 0..batch {
+            normalize_example(
+                self.groups,
+                gsize,
+                self.eps,
+                &input[bi * n..(bi + 1) * n],
+                &mut out[bi * n..(bi + 1) * n],
+                &mut self.cached_inv_std,
+            );
+        }
+        self.cached_norm.clear();
+        self.cached_norm.extend_from_slice(&out);
+        out
+    }
+
+    fn backward_batch(&mut self, grad_output: &[f32], batch: usize) -> Vec<f32> {
+        let n = self.channels * self.spatial;
+        assert_eq!(grad_output.len(), batch * n, "GroupNorm: bad batch grad length");
+        assert_eq!(
+            self.cached_norm.len(),
+            batch * n,
+            "GroupNorm: backward_batch before forward_batch"
+        );
+        let mut grad_in = vec![0.0f32; batch * n];
+        for bi in 0..batch {
+            backward_example(
+                self.groups,
+                self.group_size(),
+                &self.cached_norm[bi * n..(bi + 1) * n],
+                &self.cached_inv_std[bi * self.groups..(bi + 1) * self.groups],
+                &grad_output[bi * n..(bi + 1) * n],
+                &mut grad_in[bi * n..(bi + 1) * n],
+            );
         }
         grad_in
     }

@@ -51,6 +51,44 @@ impl Layer for AdaptiveAvgPool2d {
         grad_in
     }
 
+    fn forward_batch(&mut self, input: &[f32], batch: usize) -> Vec<f32> {
+        let (in_len, out_len) = (self.input_len(), self.output_len());
+        assert_eq!(input.len(), batch * in_len, "Pool: bad batch input length");
+        // Pooling is stateless and linear: one kernel call per example into a
+        // shared output buffer, bit-identical to `forward` by construction.
+        let mut out = vec![0.0f32; batch * out_len];
+        for bi in 0..batch {
+            adaptive_avg_pool2d_forward(
+                self.channels,
+                self.in_h,
+                self.in_w,
+                self.out_h,
+                self.out_w,
+                &input[bi * in_len..(bi + 1) * in_len],
+                &mut out[bi * out_len..(bi + 1) * out_len],
+            );
+        }
+        out
+    }
+
+    fn backward_batch(&mut self, grad_output: &[f32], batch: usize) -> Vec<f32> {
+        let (in_len, out_len) = (self.input_len(), self.output_len());
+        assert_eq!(grad_output.len(), batch * out_len, "Pool: bad batch grad length");
+        let mut grad_in = vec![0.0f32; batch * in_len];
+        for bi in 0..batch {
+            adaptive_avg_pool2d_backward(
+                self.channels,
+                self.in_h,
+                self.in_w,
+                self.out_h,
+                self.out_w,
+                &grad_output[bi * out_len..(bi + 1) * out_len],
+                &mut grad_in[bi * in_len..(bi + 1) * in_len],
+            );
+        }
+        grad_in
+    }
+
     fn param_len(&self) -> usize {
         0
     }

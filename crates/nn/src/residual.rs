@@ -59,6 +59,30 @@ impl Layer for Residual {
         g
     }
 
+    fn forward_batch(&mut self, input: &[f32], batch: usize) -> Vec<f32> {
+        assert_eq!(input.len(), batch * self.len, "Residual: bad batch input length");
+        let mut h = input.to_vec();
+        for layer in &mut self.body {
+            h = layer.forward_batch(&h, batch);
+        }
+        for (hv, &xv) in h.iter_mut().zip(input) {
+            *hv += xv;
+        }
+        h
+    }
+
+    fn backward_batch(&mut self, grad_output: &[f32], batch: usize) -> Vec<f32> {
+        assert_eq!(grad_output.len(), batch * self.len, "Residual: bad batch grad length");
+        let mut g = grad_output.to_vec();
+        for layer in self.body.iter_mut().rev() {
+            g = layer.backward_batch(&g, batch);
+        }
+        for (gv, &ov) in g.iter_mut().zip(grad_output) {
+            *gv += ov;
+        }
+        g
+    }
+
     fn param_len(&self) -> usize {
         self.body.iter().map(|l| l.param_len()).sum()
     }

@@ -69,6 +69,41 @@ impl Sequential {
         g
     }
 
+    /// Batched forward over `batch` examples packed back to back in `inputs`.
+    ///
+    /// Per-example logits are **bit-identical** to calling
+    /// [`Sequential::forward`] once per example (every layer's batched kernel
+    /// preserves the per-output accumulation order), so batched evaluation
+    /// cannot perturb the determinism contract.
+    pub fn forward_batch(&mut self, inputs: &[f32], batch: usize) -> Vec<f32> {
+        assert_eq!(inputs.len(), batch * self.input_len(), "bad batched input length");
+        let mut h = self.layers[0].forward_batch(inputs, batch);
+        for layer in &mut self.layers[1..] {
+            h = layer.forward_batch(&h, batch);
+        }
+        h
+    }
+
+    /// Batched backward matching the most recent [`Sequential::forward_batch`]:
+    /// accumulates parameter gradients (bit-identical to sequential
+    /// per-example backward passes) and returns the packed input gradients.
+    pub fn backward_batch(&mut self, grad_output: &[f32], batch: usize) -> Vec<f32> {
+        assert_eq!(grad_output.len(), batch * self.output_len(), "bad batched gradient length");
+        let mut g = grad_output.to_vec();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward_batch(&g, batch);
+        }
+        g
+    }
+
+    /// Class predictions (per-row argmax of the batched logits) for `batch`
+    /// packed examples.
+    pub fn predict_batch(&mut self, inputs: &[f32], batch: usize) -> Vec<usize> {
+        let k = self.output_len();
+        let logits = self.forward_batch(inputs, batch);
+        logits.chunks_exact(k).map(crate::metrics::argmax).collect()
+    }
+
     /// Flattened copy of all parameters.
     pub fn params(&self) -> Vec<f32> {
         let mut out = vec![0.0f32; self.param_len];
@@ -140,6 +175,10 @@ impl Sequential {
     /// Average gradient over a labelled batch (used by the server on its
     /// auxiliary data, Algorithm 3 line 4: `g_s ← ∇f(D_p; w)`), written into
     /// `grad_out`. Returns the mean loss.
+    ///
+    /// Packs the examples and delegates to
+    /// [`Sequential::batch_gradient_packed`]; callers that already hold a
+    /// packed feature matrix (the server does) should call that directly.
     pub fn batch_gradient(
         &mut self,
         loss_fn: &CrossEntropyLoss,
@@ -147,20 +186,52 @@ impl Sequential {
         grad_out: &mut [f32],
     ) -> f64 {
         assert!(!examples.is_empty(), "batch_gradient needs at least one example");
-        self.zero_grads();
-        let mut total_loss = 0.0f64;
+        let in_len = self.input_len();
+        let mut xs = Vec::with_capacity(examples.len() * in_len);
+        let mut labels = Vec::with_capacity(examples.len());
         for &(x, label) in examples {
-            let logits = self.forward(x);
-            let (loss, grad_logits) = loss_fn.loss_and_grad(&logits, label);
-            total_loss += loss;
-            self.backward(&grad_logits);
+            assert_eq!(x.len(), in_len, "bad example length");
+            xs.extend_from_slice(x);
+            labels.push(label);
         }
+        self.batch_gradient_packed(loss_fn, &xs, &labels, grad_out)
+    }
+
+    /// Average gradient over a packed labelled batch (`xs` holds the examples
+    /// back to back): one batched forward, per-example softmax-cross-entropy
+    /// gradients, one batched backward.
+    ///
+    /// Bit-identical to the per-example loop it replaced: the batched logits
+    /// match per-example `forward` exactly, and every parameter-gradient
+    /// scalar accumulates its per-example contributions in the same
+    /// (ascending example) order.
+    pub fn batch_gradient_packed(
+        &mut self,
+        loss_fn: &CrossEntropyLoss,
+        xs: &[f32],
+        labels: &[usize],
+        grad_out: &mut [f32],
+    ) -> f64 {
+        let batch = labels.len();
+        assert!(batch > 0, "batch_gradient needs at least one example");
+        assert_eq!(xs.len(), batch * self.input_len(), "features/labels disagree");
+        self.zero_grads();
+        let logits = self.forward_batch(xs, batch);
+        let k = self.output_len();
+        let mut grad_logits = vec![0.0f32; batch * k];
+        let mut total_loss = 0.0f64;
+        for (bi, &label) in labels.iter().enumerate() {
+            let (loss, g) = loss_fn.loss_and_grad(&logits[bi * k..(bi + 1) * k], label);
+            total_loss += loss;
+            grad_logits[bi * k..(bi + 1) * k].copy_from_slice(&g);
+        }
+        self.backward_batch(&grad_logits, batch);
         self.write_grads_into(grad_out);
-        let inv = 1.0 / examples.len() as f32;
+        let inv = 1.0 / batch as f32;
         for g in grad_out.iter_mut() {
             *g *= inv;
         }
-        total_loss / examples.len() as f64
+        total_loss / batch as f64
     }
 
     /// Class prediction (argmax of logits) for one example.

@@ -1,11 +1,12 @@
-//! Direct 2-D convolution kernels (single example, channels-first layout).
+//! 2-D convolution kernels (channels-first layout).
 //!
 //! The paper's networks use 5×5 valid convolutions with stride 1 (MNIST net,
 //! Table 7) and a residual CNN for Colorectal. These kernels implement general
 //! stride/valid convolution with forward, input-gradient, and kernel-gradient
-//! passes, on `[C, H, W]` row-major buffers. Per-example processing (no batch
-//! axis) is deliberate: DP-SGD needs per-example gradients anyway, so the whole
-//! `nn` stack runs one example at a time.
+//! passes, on `[C, H, W]` row-major buffers. The direct per-example kernels
+//! serve DP-SGD's per-example gradients; [`conv2d_forward_batch`] adds an
+//! im2col + GEMM path for server-side batched inference that is bit-identical
+//! to the direct kernel example by example.
 
 /// Geometry of a 2-D convolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +59,87 @@ impl ConvGeometry {
     fn check(&self) {
         assert!(self.kernel <= self.in_h && self.kernel <= self.in_w, "kernel larger than input");
         assert!(self.stride >= 1, "stride must be at least 1");
+    }
+
+    /// Rows of the im2col matrix, `C_in · K²`.
+    #[inline]
+    pub fn col_rows(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+
+    /// Columns of the im2col matrix, `H_out · W_out`.
+    #[inline]
+    pub fn col_cols(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+}
+
+/// Materializes the im2col matrix of one example: row `(c, ky, kx)` holds the
+/// input value each kernel tap sees at every output position `(y, x)`, so the
+/// valid convolution becomes one GEMM of the `C_out × C_in·K²` weight matrix
+/// against this `C_in·K² × H_out·W_out` matrix.
+pub fn im2col(geom: &ConvGeometry, input: &[f32], col: &mut [f32]) {
+    geom.check();
+    debug_assert_eq!(input.len(), geom.input_len());
+    debug_assert_eq!(col.len(), geom.col_rows() * geom.col_cols());
+
+    let (oh, ow, k, s) = (geom.out_h(), geom.out_w(), geom.kernel, geom.stride);
+    let (ih, iw) = (geom.in_h, geom.in_w);
+    let cols = oh * ow;
+    let mut r = 0usize;
+    for c in 0..geom.in_channels {
+        let in_plane = &input[c * ih * iw..(c + 1) * ih * iw];
+        for ky in 0..k {
+            for kx in 0..k {
+                let dst = &mut col[r * cols..(r + 1) * cols];
+                for y in 0..oh {
+                    let in_row = &in_plane[(y * s + ky) * iw + kx..];
+                    let dst_row = &mut dst[y * ow..(y + 1) * ow];
+                    for (x, dv) in dst_row.iter_mut().enumerate() {
+                        *dv = in_row[x * s];
+                    }
+                }
+                r += 1;
+            }
+        }
+    }
+}
+
+/// Batched forward valid convolution over `batch` examples packed back to back
+/// in `input`, via im2col + GEMM into `output` (`batch · output_len()`).
+///
+/// Bit-identical to [`conv2d_forward`] per example: the GEMM walks the shared
+/// `(c, ky, kx)` dimension in the same ascending order with the same
+/// zero-weight skip as the direct kernel, and the im2col matrix holds exactly
+/// the input values the direct kernel reads — so every output scalar is the
+/// same `f32` sum in the same order.
+pub fn conv2d_forward_batch(
+    geom: &ConvGeometry,
+    input: &[f32],
+    weight: &[f32],
+    bias: &[f32],
+    output: &mut [f32],
+    batch: usize,
+) {
+    geom.check();
+    let in_len = geom.input_len();
+    let out_len = geom.output_len();
+    debug_assert_eq!(input.len(), batch * in_len);
+    debug_assert_eq!(weight.len(), geom.kernel_len());
+    debug_assert_eq!(bias.len(), geom.out_channels);
+    debug_assert_eq!(output.len(), batch * out_len);
+
+    let rows = geom.col_rows();
+    let cols = geom.col_cols();
+    let mut col = vec![0.0f32; rows * cols];
+    for bi in 0..batch {
+        let x = &input[bi * in_len..(bi + 1) * in_len];
+        let out = &mut output[bi * out_len..(bi + 1) * out_len];
+        im2col(geom, x, &mut col);
+        for (o, &b) in bias.iter().enumerate() {
+            out[o * cols..(o + 1) * cols].fill(b);
+        }
+        crate::matmul::gemm_accumulate(weight, &col, out, geom.out_channels, rows, cols);
     }
 }
 
@@ -239,6 +321,53 @@ mod tests {
         let mut out = [0.0f32; 4];
         conv2d_forward(&geom, &input, &weight, &bias, &mut out);
         assert_eq!(out, [0.0, 2.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn batched_forward_matches_direct_bitwise() {
+        // Multi-channel, stride-2 geometry with pseudo-random data, over a
+        // 3-example batch.
+        let geom = ConvGeometry {
+            in_channels: 2,
+            out_channels: 3,
+            in_h: 6,
+            in_w: 5,
+            kernel: 3,
+            stride: 2,
+        };
+        let fill = |n: usize, salt: u32| -> Vec<f32> {
+            (0..n)
+                .map(|i| {
+                    let h = (i as u32).wrapping_mul(2654435761).wrapping_add(salt);
+                    ((h % 1000) as f32 / 1000.0) - 0.5
+                })
+                .collect()
+        };
+        let batch = 3;
+        let input = fill(batch * geom.input_len(), 1);
+        let mut weight = fill(geom.kernel_len(), 2);
+        weight[4] = 0.0; // exercise the zero-weight skip in both kernels
+        let bias = fill(geom.out_channels, 3);
+
+        let mut batched = vec![0.0f32; batch * geom.output_len()];
+        conv2d_forward_batch(&geom, &input, &weight, &bias, &mut batched, batch);
+        for bi in 0..batch {
+            let mut direct = vec![0.0f32; geom.output_len()];
+            conv2d_forward(
+                &geom,
+                &input[bi * geom.input_len()..(bi + 1) * geom.input_len()],
+                &weight,
+                &bias,
+                &mut direct,
+            );
+            for (j, (&a, &b)) in batched[bi * geom.output_len()..(bi + 1) * geom.output_len()]
+                .iter()
+                .zip(&direct)
+                .enumerate()
+            {
+                assert_eq!(a.to_bits(), b.to_bits(), "example {bi} output {j}");
+            }
+        }
     }
 
     /// Finite-difference check of both backward passes on a random-ish setup.

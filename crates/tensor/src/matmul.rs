@@ -75,6 +75,98 @@ pub fn matvec_transposed(a: &[f32], x: &[f32], y: &mut [f32], m: usize, n: usize
     }
 }
 
+/// `c ← a · bᵀ` where `a` is `m×k`, `b` is `n×k` (both row-major), `c` is
+/// `m×n`.
+///
+/// The batched-inference workhorse: with `a` holding `m` examples and `b` a
+/// dense layer's `out×in` weight matrix, `c` holds the layer outputs for the
+/// whole batch. Every output scalar is a single ascending-index dot of two
+/// contiguous rows — the exact accumulation order of [`matvec`] applied row
+/// by row (IEEE-754 multiplication is commutative bit-for-bit), so batched
+/// logits are bit-identical to the per-example path by construction. The
+/// loop is 4-way unrolled over `b` rows for ILP; unrolling changes which
+/// scalars are in flight, never the order within one accumulator.
+pub fn gemm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        let mut j = 0;
+        while j + 4 <= n {
+            let b0 = &b[j * k..(j + 1) * k];
+            let b1 = &b[(j + 1) * k..(j + 2) * k];
+            let b2 = &b[(j + 2) * k..(j + 3) * k];
+            let b3 = &b[(j + 3) * k..(j + 4) * k];
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for (p, &av) in a_row.iter().enumerate() {
+                s0 += b0[p] * av;
+                s1 += b1[p] * av;
+                s2 += b2[p] * av;
+                s3 += b3[p] * av;
+            }
+            c_row[j] = s0;
+            c_row[j + 1] = s1;
+            c_row[j + 2] = s2;
+            c_row[j + 3] = s3;
+            j += 4;
+        }
+        while j < n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut s = 0.0f32;
+            for (&bv, &av) in b_row.iter().zip(a_row) {
+                s += bv * av;
+            }
+            c_row[j] = s;
+            j += 1;
+        }
+    }
+}
+
+/// `c ← c + aᵀ · b` where `a` is `k×m`, `b` is `k×n`, `c` is `m×n`.
+///
+/// The batched weight-gradient update: with `a` the batch's output gradients
+/// (`batch×out`) and `b` the cached inputs (`batch×in`), this accumulates
+/// `dW += Σ_p dy_p ⊗ x_p`. Every `c` scalar receives its per-example
+/// contributions in ascending example order with the same zero-coefficient
+/// skip as [`ger`], so it is bit-identical to `batch` sequential `ger` calls.
+pub fn gemm_tn_accumulate(a: &[f32], b: &[f32], c: &mut [f32], k: usize, m: usize, n: usize) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for p in 0..k {
+            let coef = a[p * m + i];
+            if coef == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += coef * bv;
+            }
+        }
+    }
+}
+
+/// `y[i] ← Σ_j a[i·n + j] · x[j]` accumulated in `f64` — one matrix–vector
+/// product of a packed `m×n` `f32` matrix against `x`, replacing `m` serial
+/// `vecops::dot` calls over scattered row allocations.
+///
+/// Each output is produced by the identical ascending `f64` accumulation as
+/// `vecops::dot(row, x)`, so scores computed through this kernel are
+/// bit-identical to the per-row path.
+pub fn matvec_rows_f64(a: &[f32], x: &[f32], y: &mut [f64], m: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * n);
+    debug_assert_eq!(x.len(), n);
+    debug_assert_eq!(y.len(), m);
+    for (i, yi) in y.iter_mut().enumerate() {
+        let row = &a[i * n..(i + 1) * n];
+        *yi = row.iter().zip(x).map(|(&r, &xv)| (r as f64) * (xv as f64)).sum();
+    }
+}
+
 /// Rank-1 update `A ← A + alpha · x yᵀ` where `A` is `m×n`, `x` has length `m`,
 /// `y` has length `n`.
 ///
@@ -140,6 +232,57 @@ mod tests {
         let mut yt = [0.0f32; 3];
         matvec_transposed(&a, &xt, &mut yt, 2, 3);
         assert_eq!(yt, [5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn gemm_nt_matches_per_row_matvec_bitwise() {
+        // 3 examples × 7 inputs against a 5×7 "weight" matrix, awkward sizes
+        // so both the unrolled quad and the remainder path run.
+        let (m, k, n) = (3usize, 7usize, 5usize);
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 37 % 19) as f32 - 9.0) * 0.13).collect();
+        let b: Vec<f32> = (0..n * k).map(|i| ((i * 53 % 23) as f32 - 11.0) * 0.07).collect();
+        let mut c = vec![0.0f32; m * n];
+        gemm_nt(&a, &b, &mut c, m, k, n);
+        for i in 0..m {
+            let mut y = vec![0.0f32; n];
+            matvec(&b, &a[i * k..(i + 1) * k], &mut y, n, k);
+            for j in 0..n {
+                assert_eq!(c[i * n + j].to_bits(), y[j].to_bits(), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_tn_matches_sequential_ger_bitwise() {
+        // dW += Σ_p dy_p ⊗ x_p over 4 "examples", with a zero coefficient to
+        // exercise the skip path.
+        let (k, m, n) = (4usize, 3usize, 5usize);
+        let mut a: Vec<f32> = (0..k * m).map(|i| ((i * 31 % 13) as f32 - 6.0) * 0.21).collect();
+        a[m + 1] = 0.0;
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 41 % 17) as f32 - 8.0) * 0.11).collect();
+        let mut c = vec![0.5f32; m * n];
+        let mut c_ref = c.clone();
+        gemm_tn_accumulate(&a, &b, &mut c, k, m, n);
+        for p in 0..k {
+            ger(1.0, &a[p * m..(p + 1) * m], &b[p * n..(p + 1) * n], &mut c_ref, m, n);
+        }
+        for (x, y) in c.iter().zip(&c_ref) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn matvec_rows_f64_matches_serial_dots() {
+        let (m, n) = (4usize, 9usize);
+        let a: Vec<f32> = (0..m * n).map(|i| ((i * 29 % 31) as f32 - 15.0) * 0.033).collect();
+        let x: Vec<f32> = (0..n).map(|i| ((i * 7 % 5) as f32 - 2.0) * 0.4).collect();
+        let mut y = vec![0.0f64; m];
+        matvec_rows_f64(&a, &x, &mut y, m, n);
+        for i in 0..m {
+            let want: f64 =
+                a[i * n..(i + 1) * n].iter().zip(&x).map(|(&r, &v)| (r as f64) * (v as f64)).sum();
+            assert_eq!(y[i].to_bits(), want.to_bits(), "row {i}");
+        }
     }
 
     #[test]

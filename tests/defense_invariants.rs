@@ -25,6 +25,7 @@ fn benign(n: usize, seed: u64) -> Vec<Vec<f32>> {
 fn ctx<'a>(b: &'a [Vec<f32>], n_byz: usize) -> AttackContext<'a> {
     AttackContext {
         benign_uploads: b,
+        d: D,
         n_byzantine: n_byz,
         noise_std: NOISE_STD,
         round: 50,
