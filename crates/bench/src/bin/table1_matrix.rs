@@ -70,7 +70,7 @@ fn main() {
         cfg.protocol = WorkerProtocol::Plain;
         cfg.epsilon = None;
         cfg.dp.noise_multiplier = 0.0;
-        cfg.defense = DefenseKind::Robust(agg);
+        cfg.defense = DefenseKind::Robust { rule: agg };
         let s = run_seeds(&cfg, &scale.seeds);
         push(name, false, s.mean);
     }

@@ -6,9 +6,10 @@
 //! (no robustness at all).
 
 use dpbfl_tensor::vecops;
+use serde::{Deserialize, Serialize};
 
 /// Which aggregation rule to run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum AggregatorKind {
     /// Plain arithmetic mean (FedAvg).
     Mean,
@@ -36,6 +37,18 @@ pub enum AggregatorKind {
 }
 
 impl AggregatorKind {
+    /// Short name for reports.
+    pub fn name(&self) -> String {
+        match *self {
+            AggregatorKind::Mean => "mean".into(),
+            AggregatorKind::Krum { f } => format!("krum(f={f})"),
+            AggregatorKind::CoordinateMedian => "coord-median".into(),
+            AggregatorKind::TrimmedMean { trim } => format!("trimmed-mean({trim})"),
+            AggregatorKind::GeometricMedian => "geo-median".into(),
+            AggregatorKind::Bulyan { f } => format!("bulyan(f={f})"),
+        }
+    }
+
     /// Runs the rule over `uploads` (all the same length).
     pub fn aggregate(&self, uploads: &[Vec<f32>]) -> Vec<f32> {
         assert!(!uploads.is_empty(), "cannot aggregate zero uploads");

@@ -27,9 +27,10 @@ use dpbfl_stats::moments::coordinate_moments;
 use dpbfl_stats::normal::{gaussian_vector, standard_normal_quantile};
 use dpbfl_tensor::vecops;
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 /// Which Byzantine attack the adversary mounts.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum AttackSpec {
     /// No Byzantine workers.
     None,

@@ -27,7 +27,7 @@ pub fn guerraoui_style(
     rule: AggregatorKind,
 ) -> SimulationConfig {
     cfg.protocol = WorkerProtocol::ClippedDp { clip };
-    cfg.defense = DefenseKind::Robust(rule);
+    cfg.defense = DefenseKind::Robust { rule };
     cfg
 }
 
@@ -203,6 +203,6 @@ mod tests {
             SimulationConfig::quick(SyntheticSpec::mnist_like(), ModelKind::SmallMlp { hidden: 8 });
         let cfg = guerraoui_style(base, 1.0, AggregatorKind::Krum { f: 2 });
         assert_eq!(cfg.protocol, WorkerProtocol::ClippedDp { clip: 1.0 });
-        assert!(matches!(cfg.defense, DefenseKind::Robust(AggregatorKind::Krum { f: 2 })));
+        assert!(matches!(cfg.defense, DefenseKind::Robust { rule: AggregatorKind::Krum { f: 2 } }));
     }
 }

@@ -69,7 +69,8 @@ pub mod prelude {
     pub use crate::first_stage::{FirstStage, FirstStageVerdict};
     pub use crate::second_stage::{ScoringRule, SecondStage, WeightScheme};
     pub use crate::simulation::{
-        run, DefenseKind, EvalPoint, ModelKind, RunResult, SimulationConfig, WorkerProtocol,
+        prepare, run, run_prepared, DefenseKind, EvalPoint, ModelKind, PreparedRun, RunResult,
+        RunSummary, SimulationConfig, WorkerProtocol,
     };
     pub use crate::worker::DpWorker;
     pub use dpbfl_data::SyntheticSpec;

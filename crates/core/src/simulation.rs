@@ -79,7 +79,7 @@ pub enum WorkerProtocol {
 }
 
 /// Which server-side defense runs.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum DefenseKind {
     /// Plain averaging of every upload (Reference Accuracy / undefended).
     NoDefense,
@@ -87,14 +87,33 @@ pub enum DefenseKind {
     TwoStage,
     /// A classical robust aggregator applied to the uploads (the paper's
     /// "off-the-shelf robust rule on top of DP" comparison).
-    Robust(AggregatorKind),
+    Robust {
+        /// The aggregation rule the server applies.
+        rule: AggregatorKind,
+    },
     /// FLTrust [Cao et al. 2020]: cosine-trust weighting against the server's
     /// auxiliary gradient (the prior auxiliary-data defense in Table 1).
     FlTrust,
 }
 
+impl DefenseKind {
+    /// Short name for reports.
+    pub fn name(&self) -> String {
+        match self {
+            DefenseKind::NoDefense => "none".into(),
+            DefenseKind::TwoStage => "two-stage".into(),
+            DefenseKind::Robust { rule } => rule.name(),
+            DefenseKind::FlTrust => "fltrust".into(),
+        }
+    }
+}
+
 /// Full experiment configuration.
-#[derive(Debug, Clone)]
+///
+/// Serializes to/from JSON (the `dpbfl-harness` scenario format embeds it
+/// verbatim), so a cell of an experiment grid is reproducible from its
+/// serialized config alone.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimulationConfig {
     /// Synthetic dataset family.
     pub dataset: SyntheticSpec,
@@ -219,17 +238,109 @@ pub struct RunResult {
     pub delta: f64,
 }
 
-/// Runs one full experiment.
-pub fn run(cfg: &SimulationConfig) -> RunResult {
+impl RunResult {
+    /// The stable, serializable summary of this run (what experiment sinks
+    /// persist).
+    pub fn summary(&self) -> RunSummary {
+        RunSummary {
+            final_accuracy: self.final_accuracy,
+            sigma: self.sigma,
+            lr: self.lr,
+            iterations: self.iterations,
+            delta: self.delta,
+            defense_stats: self.defense_stats.clone(),
+            history: self.history.clone(),
+        }
+    }
+}
+
+/// Serializable summary of a [`RunResult`].
+///
+/// This is the on-disk contract of the `dpbfl-harness` JSONL sink: field
+/// names and meanings are stable, so archived grid results stay readable as
+/// the in-memory [`RunResult`] evolves.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Final test accuracy in [0, 1].
+    pub final_accuracy: f64,
+    /// Noise multiplier σ actually used.
+    pub sigma: f64,
+    /// Learning rate actually used.
+    pub lr: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// δ used by the accountant (0 for non-private runs).
+    pub delta: f64,
+    /// Defense bookkeeping (zeros when no defense ran).
+    pub defense_stats: DefenseStats,
+    /// Per-evaluation accuracy trajectory.
+    pub history: Vec<EvalPoint>,
+}
+
+/// The deterministic data-preparation product of a run: everything derived
+/// from the dataset spec and seed *before* any training happens.
+///
+/// Splitting this out of [`run`] lets grid runners share one preparation
+/// across every cell with the same data inputs (same dataset spec, seed,
+/// worker/test counts, distribution and auxiliary pool size) instead of
+/// re-synthesizing and re-partitioning the dataset per cell. [`run`] itself
+/// is `run_prepared(cfg, &prepare(cfg))`, so sharing is bit-identical to
+/// standalone runs by construction.
+#[derive(Debug, Clone)]
+pub struct PreparedRun {
+    /// Pooled training data for all data-holding workers.
+    train: Dataset,
+    /// Per-worker index partition of `train`.
+    parts: Vec<Vec<usize>>,
+    /// Held-out test set.
+    test: Dataset,
+    /// Validation pool the server draws auxiliary samples from.
+    validation: Dataset,
+    /// Master RNG state *after* the partition draws; [`run_prepared`]
+    /// resumes this stream (auxiliary sampling draws from it), so hoisting
+    /// the preparation does not shift any downstream RNG stream.
+    master: StdRng,
+    /// Number of workers holding data (`n_honest`, plus `n_byzantine` when
+    /// the attack needs poisoned local datasets).
+    n_data_workers: usize,
+}
+
+impl PreparedRun {
+    /// Canonical cache key: two configs with equal keys produce bit-identical
+    /// [`PreparedRun`]s. Everything [`prepare`] reads is in the key.
+    pub fn cache_key(cfg: &SimulationConfig) -> String {
+        let needs_poisoned = cfg.attack.needs_poisoned_workers();
+        let n_data_workers = cfg.n_honest + if needs_poisoned { cfg.n_byzantine } else { 0 };
+        let key = PrepKey {
+            dataset: cfg.dataset.clone(),
+            seed: cfg.seed,
+            per_worker: cfg.per_worker,
+            test_count: cfg.test_count,
+            iid: cfg.iid,
+            n_data_workers,
+            aux_per_class: cfg.defense_cfg.aux_per_class,
+        };
+        serde_json::to_string(&key).expect("prep key serializes")
+    }
+}
+
+/// The exact inputs [`prepare`] consumes, in serialized form (the content
+/// behind [`PreparedRun::cache_key`]).
+#[derive(Debug, Clone, Serialize)]
+struct PrepKey {
+    dataset: SyntheticSpec,
+    seed: u64,
+    per_worker: usize,
+    test_count: usize,
+    iid: bool,
+    n_data_workers: usize,
+    aux_per_class: usize,
+}
+
+/// Synthesizes and partitions the run's data (the expensive, model-free
+/// prefix of [`run`]).
+pub fn prepare(cfg: &SimulationConfig) -> PreparedRun {
     let mut master = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9e3779b97f4a7c15));
-
-    // ---- privacy calibration -------------------------------------------
-    let (sigma, delta) = resolve_sigma(cfg);
-    let mut dp = cfg.dp.clone();
-    dp.noise_multiplier = sigma;
-    let lr = if sigma > 0.0 { cfg.base_lr * cfg.base_sigma / sigma } else { cfg.base_lr };
-
-    // ---- data -----------------------------------------------------------
     let needs_poisoned = cfg.attack.needs_poisoned_workers();
     let n_data_workers = cfg.n_honest + if needs_poisoned { cfg.n_byzantine } else { 0 };
     let train = cfg.dataset.generate(n_data_workers * cfg.per_worker, cfg.seed);
@@ -243,6 +354,36 @@ pub fn run(cfg: &SimulationConfig) -> RunResult {
         (cfg.defense_cfg.aux_per_class * cfg.dataset.num_classes * 20).max(200),
         cfg.seed.wrapping_add(0xa0c),
     );
+    PreparedRun { train, parts, test, validation, master, n_data_workers }
+}
+
+/// Runs one full experiment.
+pub fn run(cfg: &SimulationConfig) -> RunResult {
+    run_prepared(cfg, &prepare(cfg))
+}
+
+/// Runs one full experiment on already-prepared data.
+///
+/// `prep` must come from [`prepare`] on a config with the same
+/// [`PreparedRun::cache_key`] as `cfg` (enforced by assertion on the worker
+/// count); cells of a grid sharing a key may share one `prep`.
+pub fn run_prepared(cfg: &SimulationConfig, prep: &PreparedRun) -> RunResult {
+    // ---- privacy calibration -------------------------------------------
+    let (sigma, delta) = resolve_sigma(cfg);
+    let mut dp = cfg.dp.clone();
+    dp.noise_multiplier = sigma;
+    let lr = if sigma > 0.0 { cfg.base_lr * cfg.base_sigma / sigma } else { cfg.base_lr };
+
+    // ---- data (prepared) -------------------------------------------------
+    let needs_poisoned = cfg.attack.needs_poisoned_workers();
+    let n_data_workers = cfg.n_honest + if needs_poisoned { cfg.n_byzantine } else { 0 };
+    assert_eq!(n_data_workers, prep.n_data_workers, "prepared data does not match config");
+    let train = &prep.train;
+    let parts = &prep.parts;
+    let test = &prep.test;
+    let validation = &prep.validation;
+    // Resume the master stream exactly where `prepare` left it.
+    let mut master = prep.master.clone();
 
     // ---- model and workers ----------------------------------------------
     let mut init_rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0x4d0de1));
@@ -277,7 +418,7 @@ pub fn run(cfg: &SimulationConfig) -> RunResult {
     let n_total = cfg.n_total();
     let mut fltrust_state = match &cfg.defense {
         DefenseKind::FlTrust => {
-            let aux = sample_auxiliary(&mut master, &validation, cfg.defense_cfg.aux_per_class);
+            let aux = sample_auxiliary(&mut master, validation, cfg.defense_cfg.aux_per_class);
             Some((aux, server_model.clone(), vec![0.0f32; d]))
         }
         _ => None,
@@ -355,8 +496,8 @@ pub fn run(cfg: &SimulationConfig) -> RunResult {
                 let g = vecops::mean(&refs).expect("at least one worker");
                 vecops::axpy(-(lr as f32), &g, &mut params);
             }
-            (DefenseKind::Robust(kind), _) => {
-                let g = kind.aggregate(&uploads);
+            (DefenseKind::Robust { rule }, _) => {
+                let g = rule.aggregate(&uploads);
                 vecops::axpy(-(lr as f32), &g, &mut params);
             }
             (DefenseKind::TwoStage, Some(state)) => {
@@ -474,8 +615,9 @@ impl TwoStageState {
 }
 
 /// σ and δ for the run: either derived from the ε target via the accountant,
-/// or taken from the config.
-fn resolve_sigma(cfg: &SimulationConfig) -> (f64, f64) {
+/// or taken from the config. Public so experiment harnesses and examples can
+/// report the calibration a config resolves to without running it.
+pub fn resolve_sigma(cfg: &SimulationConfig) -> (f64, f64) {
     match cfg.protocol {
         WorkerProtocol::Plain => (0.0, 0.0),
         _ => match cfg.epsilon {
@@ -490,8 +632,12 @@ fn resolve_sigma(cfg: &SimulationConfig) -> (f64, f64) {
     }
 }
 
-/// Deterministic per-worker RNG seed.
-fn worker_seed(master: u64, index: usize) -> u64 {
+/// Deterministic per-worker RNG seed (the PR-1 determinism contract).
+///
+/// Public because the same derivation scheme seeds other index-addressed
+/// streams: `dpbfl-harness` derives per-cell seeds for experiment grids from
+/// the grid's master seed and the cell index the same way.
+pub fn worker_seed(master: u64, index: usize) -> u64 {
     master.wrapping_mul(0x100000001b3).wrapping_add(index as u64).wrapping_mul(0x9e3779b97f4a7c15)
 }
 

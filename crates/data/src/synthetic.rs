@@ -21,9 +21,14 @@
 use crate::dataset::Dataset;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 /// Configuration of a synthetic image dataset family.
-#[derive(Debug, Clone)]
+///
+/// Serializes to/from JSON so experiment-grid specs (`dpbfl-harness`) can
+/// carry a full dataset description — either one of the named families from
+/// [`SyntheticSpec::by_name`] or a fully custom parameterization.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SyntheticSpec {
     /// Dataset name.
     pub name: String,
@@ -134,6 +139,25 @@ impl SyntheticSpec {
             invert: true,
             ..Self::mnist_like()
         }
+    }
+
+    /// Looks up a named builtin family (`"mnist-like"`, `"fashion-like"`,
+    /// `"usps-like"`, `"colorectal-like"`, `"kmnist-like"`) — the names the
+    /// constructors stamp into [`SyntheticSpec::name`].
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "mnist-like" => Some(Self::mnist_like()),
+            "fashion-like" => Some(Self::fashion_like()),
+            "usps-like" => Some(Self::usps_like()),
+            "colorectal-like" => Some(Self::colorectal_like()),
+            "kmnist-like" => Some(Self::kmnist_like()),
+            _ => None,
+        }
+    }
+
+    /// The names [`SyntheticSpec::by_name`] accepts.
+    pub fn family_names() -> &'static [&'static str] {
+        &["mnist-like", "fashion-like", "usps-like", "colorectal-like", "kmnist-like"]
     }
 
     /// Floats per example.
@@ -265,6 +289,15 @@ mod tests {
             assert_eq!(d.num_classes, classes, "{}", spec.name);
             assert!(d.features.iter().all(|&v| (0.0..=1.0).contains(&v)));
         }
+    }
+
+    #[test]
+    fn by_name_covers_every_family() {
+        for name in SyntheticSpec::family_names() {
+            let spec = SyntheticSpec::by_name(name).expect("known family");
+            assert_eq!(&spec.name, name);
+        }
+        assert!(SyntheticSpec::by_name("cifar-like").is_none());
     }
 
     #[test]

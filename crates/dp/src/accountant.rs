@@ -89,6 +89,20 @@ pub fn paper_delta(dataset_size: usize) -> f64 {
     1.0 / (dataset_size as f64).powf(1.1)
 }
 
+/// ε achieved by `steps` iterations of subsampled Gaussian noise at rate `q`
+/// with noise multiplier `sigma` and failure probability `delta`.
+///
+/// One-call convenience for report generators (`dpbfl-harness` annotates
+/// every grid cell with the privacy it actually bought): builds the default
+/// accountant and returns only the ε. Non-private runs (`sigma == 0`) have
+/// no finite guarantee, reported as `f64::INFINITY`.
+pub fn achieved_epsilon(q: f64, steps: u64, sigma: f64, delta: f64) -> f64 {
+    if sigma <= 0.0 {
+        return f64::INFINITY;
+    }
+    RdpAccountant::new(q, steps).epsilon(sigma, delta).0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,6 +194,14 @@ mod tests {
         let s2 = acc.find_noise_multiplier(0.5, delta);
         let ratio = s2 / s1;
         assert!((1.1..=2.2).contains(&ratio), "ratio={ratio}");
+    }
+
+    #[test]
+    fn achieved_epsilon_matches_accountant_and_handles_non_private() {
+        let acc = RdpAccountant::new(0.01, 1000);
+        let (eps, _) = acc.epsilon(1.1, 1e-5);
+        assert_eq!(achieved_epsilon(0.01, 1000, 1.1, 1e-5), eps);
+        assert!(achieved_epsilon(0.01, 1000, 0.0, 1e-5).is_infinite());
     }
 
     #[test]

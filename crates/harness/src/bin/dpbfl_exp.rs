@@ -1,0 +1,270 @@
+//! `dpbfl-exp` — the experiment-grid CLI.
+//!
+//! ```text
+//! dpbfl-exp list
+//! dpbfl-exp show <scenario|file.json>
+//! dpbfl-exp validate <file.json>
+//! dpbfl-exp run <scenario|file.json> [--threads N|auto] [--out DIR] [--resume] [--quiet]
+//! dpbfl-exp report <scenario|file.json> [--out DIR]
+//! ```
+//!
+//! A scenario argument is first resolved against the built-in registry
+//! (`dpbfl-exp list`), then as a JSON spec file path.
+
+use dpbfl_harness::runner::{self, RunOptions};
+use dpbfl_harness::{registry, report, sink, ScenarioSpec};
+use std::path::{Path, PathBuf};
+
+fn main() {
+    std::process::exit(real_main());
+}
+
+const USAGE: &str = "dpbfl-exp — dpbfl experiment grids
+
+USAGE:
+    dpbfl-exp list
+    dpbfl-exp show <scenario|file.json>
+    dpbfl-exp validate <file.json>
+    dpbfl-exp run <scenario|file.json> [--threads N|auto] [--out DIR] [--resume] [--quiet]
+    dpbfl-exp report <scenario|file.json> [--out DIR]
+
+A scenario grid expands into cells (cartesian product of the spec's sweep
+axes); `run` executes them in parallel — bit-identical at any thread
+count — and writes results.jsonl, report.md, report.csv and
+BENCH_harness.json under OUT/<scenario>/ (OUT defaults to target/harness).
+With --resume, cells whose content key already sits in results.jsonl are
+skipped.";
+
+fn real_main() -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().map(String::as_str) else {
+        eprintln!("{USAGE}");
+        return 2;
+    };
+    match command {
+        "list" => list(),
+        "show" => with_scenario(&args, |spec| match serde_json::to_string_pretty(&spec) {
+            Ok(json) => {
+                println!("{json}");
+                0
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                1
+            }
+        }),
+        "validate" => validate(&args),
+        "run" => run(&args),
+        "report" => regenerate_report(&args),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            0
+        }
+        other => {
+            eprintln!("error: unknown command `{other}`\n\n{USAGE}");
+            2
+        }
+    }
+}
+
+fn list() -> i32 {
+    println!("{:<24} {:>6}  title", "scenario", "cells");
+    for name in registry::names() {
+        let spec = registry::get(name).expect("registered");
+        println!("{name:<24} {:>6}  {}", spec.n_cells(), spec.title);
+    }
+    println!("\nrun one with: dpbfl-exp run <scenario>");
+    0
+}
+
+/// Resolves a scenario argument: registry name first, then spec file path.
+fn resolve(arg: &str) -> Result<ScenarioSpec, String> {
+    if let Some(spec) = registry::get(arg) {
+        return Ok(spec);
+    }
+    let path = Path::new(arg);
+    if path.exists() {
+        return ScenarioSpec::load(path);
+    }
+    Err(format!("`{arg}` is neither a built-in scenario (see `dpbfl-exp list`) nor a spec file"))
+}
+
+fn with_scenario(args: &[String], f: impl FnOnce(ScenarioSpec) -> i32) -> i32 {
+    let Some(arg) = args.get(1) else {
+        eprintln!("error: missing <scenario> argument\n\n{USAGE}");
+        return 2;
+    };
+    match resolve(arg) {
+        Ok(spec) => f(spec),
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+fn validate(args: &[String]) -> i32 {
+    let Some(arg) = args.get(1) else {
+        eprintln!("error: missing <file.json> argument\n\n{USAGE}");
+        return 2;
+    };
+    let spec = match ScenarioSpec::load(Path::new(arg)) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let problems = spec.validate();
+    if !problems.is_empty() {
+        eprintln!("error: `{}` has {} problem(s):", spec.name, problems.len());
+        for problem in &problems {
+            eprintln!("  - {problem}");
+        }
+        return 1;
+    }
+    println!("ok: `{}` expands to {} cells", spec.name, spec.n_cells());
+    0
+}
+
+/// Parses the flags shared by `run` and `report`.
+struct Flags {
+    threads: Option<usize>,
+    out_dir: PathBuf,
+    resume: bool,
+    quiet: bool,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags {
+        threads: None,
+        out_dir: PathBuf::from("target/harness"),
+        resume: false,
+        quiet: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                let value = args.get(i + 1).ok_or_else(|| "--threads needs a value".to_string())?;
+                flags.threads = runner::parse_threads(value)?;
+                i += 2;
+            }
+            "--out" => {
+                let value = args.get(i + 1).ok_or_else(|| "--out needs a value".to_string())?;
+                flags.out_dir = PathBuf::from(value);
+                i += 2;
+            }
+            "--resume" => {
+                flags.resume = true;
+                i += 1;
+            }
+            "--quiet" => {
+                flags.quiet = true;
+                i += 1;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(flags)
+}
+
+fn run(args: &[String]) -> i32 {
+    let flags = match parse_flags(args.get(2..).unwrap_or(&[])) {
+        Ok(flags) => flags,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return 2;
+        }
+    };
+    with_scenario(args, |spec| {
+        let opts = RunOptions {
+            threads: flags.threads,
+            out_dir: flags.out_dir,
+            resume: flags.resume,
+            quiet: flags.quiet,
+        };
+        match runner::run_grid(&spec, &opts) {
+            Ok(outcome) => {
+                if !flags.quiet {
+                    println!("{}", report::markdown(&spec, &outcome.records));
+                }
+                println!(
+                    "ran {} cells, skipped {} (resume), {} ms",
+                    outcome.ran, outcome.skipped, outcome.wall_ms
+                );
+                println!("results: {}", outcome.jsonl_path.display());
+                println!("reports: {}", outcome.scenario_dir.join("report.md").display());
+                0
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                1
+            }
+        }
+    })
+}
+
+fn regenerate_report(args: &[String]) -> i32 {
+    let flags = match parse_flags(args.get(2..).unwrap_or(&[])) {
+        Ok(flags) => flags,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return 2;
+        }
+    };
+    with_scenario(args, |spec| {
+        let scenario_dir = flags.out_dir.join(runner::slug(&spec.name));
+        let jsonl_path = scenario_dir.join("results.jsonl");
+        let records = match sink::load_records(&jsonl_path) {
+            Ok(records) => records,
+            Err(e) => {
+                eprintln!("error: {e} (run the scenario first?)");
+                return 1;
+            }
+        };
+        // Keep only records belonging to the current grid, in cell order,
+        // re-deriving provenance (index, axes, config) from the *current*
+        // expansion — stored indices may predate a spec edit (the content
+        // key guarantees the config itself is unchanged).
+        let cells = spec.cells();
+        let by_key: std::collections::HashMap<&str, &dpbfl_harness::CellRecord> =
+            records.iter().map(|r| (r.key.as_str(), r)).collect();
+        let mut current = Vec::new();
+        for cell in &cells {
+            match by_key.get(cell.key.as_str()) {
+                Some(record) => current.push(dpbfl_harness::CellRecord {
+                    scenario: spec.name.clone(),
+                    cell: cell.index,
+                    key: cell.key.clone(),
+                    axes: cell.axes.clone(),
+                    config: cell.config.clone(),
+                    summary: record.summary.clone(),
+                }),
+                None => {
+                    eprintln!(
+                        "error: cell {} ({}) missing from {} — run with --resume to fill it",
+                        cell.index,
+                        cell.key,
+                        jsonl_path.display()
+                    );
+                    return 1;
+                }
+            }
+        }
+        let md = report::markdown(&spec, &current);
+        let md_path = scenario_dir.join("report.md");
+        if let Err(e) = std::fs::write(&md_path, &md) {
+            eprintln!("error: {}: {e}", md_path.display());
+            return 1;
+        }
+        let csv_path = scenario_dir.join("report.csv");
+        if let Err(e) = std::fs::write(&csv_path, report::csv(&current)) {
+            eprintln!("error: {}: {e}", csv_path.display());
+            return 1;
+        }
+        println!("{md}");
+        println!("reports regenerated under {}", scenario_dir.display());
+        0
+    })
+}

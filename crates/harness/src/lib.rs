@@ -1,0 +1,34 @@
+//! # dpbfl-harness — declarative experiment grids for `dpbfl`
+//!
+//! The paper's evidence is not one run but *grids* — attack × defense ×
+//! Byzantine-fraction × ε sweeps (§6, Tables 2–4). This crate turns the
+//! simulation core into an experiment platform:
+//!
+//! * [`spec`] — the serde-backed [`spec::ScenarioSpec`]/[`spec::GridSpec`]
+//!   JSON format: any `SimulationConfig` plus sweep axes, cartesian-expanded
+//!   into content-keyed cells.
+//! * [`registry`] — named built-in scenarios reproducing the paper's
+//!   headline tables (`dpbfl-exp run paper/attack_showdown` works out of
+//!   the box).
+//! * [`runner`] — the deterministic parallel grid runner: per-cell seeds
+//!   derived `worker_seed`-style from the master seed, results
+//!   bit-identical at any thread count and to standalone
+//!   `simulation::run` calls; unique data preparations are built once and
+//!   shared across cells.
+//! * [`sink`] — the JSONL result sink whose content-hashed cell keys back
+//!   `--resume` (finished cells are never recomputed).
+//! * [`report`] — markdown + CSV paper-style tables and the
+//!   machine-readable `BENCH_harness.json` summary.
+//!
+//! The `dpbfl-exp` binary is the CLI over all of it; the repo's
+//! `examples/` are thin pretty-printing wrappers over [`registry`].
+
+pub mod registry;
+pub mod report;
+pub mod runner;
+pub mod sink;
+pub mod spec;
+
+pub use runner::{run_grid, run_scenario_in_memory, GridOutcome, RunOptions};
+pub use sink::CellRecord;
+pub use spec::{Cell, GridSpec, ScenarioSpec, SeedPolicy};

@@ -1,0 +1,381 @@
+//! Report generation: paper-style markdown tables, flat CSV, and the
+//! machine-readable `BENCH_harness.json` summary.
+
+use crate::runner::GridOutcome;
+use crate::sink::CellRecord;
+use crate::spec::ScenarioSpec;
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// The flat per-cell markdown table plus, when the grid sweeps exactly two
+/// axes, a paper-style rows × columns accuracy pivot.
+pub fn markdown(spec: &ScenarioSpec, records: &[CellRecord]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {}\n\n", spec.title));
+    if !spec.notes.is_empty() {
+        out.push_str(&format!("{}\n\n", spec.notes));
+    }
+    out.push_str(&format!(
+        "Scenario `{}` — {} cells, seed policy `{:?}`.\n\n",
+        spec.name,
+        records.len(),
+        spec.seed
+    ));
+
+    let axes = axis_names(records);
+    if let Some((rows, cols)) = pivot_axes(records) {
+        out.push_str(&pivot_table(records, &rows, &cols));
+        out.push('\n');
+    }
+
+    // Flat table: one row per cell.
+    out.push_str("| cell |");
+    for axis in &axes {
+        out.push_str(&format!(" {axis} |"));
+    }
+    out.push_str(" accuracy | σ | lr | achieved ε | byz selected | 1st-stage rejects (H/B) |\n");
+    out.push_str(&"|---".repeat(axes.len() + 7));
+    out.push_str("|\n");
+    for record in records {
+        let s = &record.summary;
+        out.push_str(&format!("| {} |", record.cell));
+        let labels: HashMap<&str, &str> =
+            record.axes.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+        for axis in &axes {
+            out.push_str(&format!(" {} |", labels.get(axis.as_str()).unwrap_or(&"—")));
+        }
+        out.push_str(&format!(
+            " {:.3} | {:.3} | {:.3} | {} | {}/{} | {}/{} |\n",
+            s.final_accuracy,
+            s.sigma,
+            s.lr,
+            achieved_epsilon_label(record),
+            s.defense_stats.byzantine_selected,
+            s.defense_stats.total_selected,
+            s.defense_stats.first_stage_rejected_honest,
+            s.defense_stats.first_stage_rejected_byzantine,
+        ));
+    }
+    out
+}
+
+/// RFC-4180 field escaping: quote when the value contains a comma, quote
+/// or newline (the built-in adaptive attack label contains a comma).
+fn csv_field(value: &str) -> String {
+    if value.contains([',', '"', '\n']) {
+        format!("\"{}\"", value.replace('"', "\"\""))
+    } else {
+        value.to_string()
+    }
+}
+
+/// Flat CSV, one row per cell (axis columns are empty when a cell does not
+/// carry that axis).
+pub fn csv(records: &[CellRecord]) -> String {
+    let axes = axis_names(records);
+    let mut out = String::from("cell,key,seed");
+    for axis in &axes {
+        out.push_str(&format!(",{axis}"));
+    }
+    out.push_str(
+        ",final_accuracy,sigma,lr,iterations,delta,achieved_epsilon,\
+         byzantine_selected,total_selected,first_stage_rejected_honest,\
+         first_stage_rejected_byzantine\n",
+    );
+    for record in records {
+        let s = &record.summary;
+        out.push_str(&format!("{},{},{}", record.cell, record.key, record.config.seed));
+        let labels: HashMap<&str, &str> =
+            record.axes.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+        for axis in &axes {
+            out.push_str(&format!(",{}", csv_field(labels.get(axis.as_str()).unwrap_or(&""))));
+        }
+        let eps = achieved_epsilon(record);
+        out.push_str(&format!(
+            ",{},{},{},{},{},{},{},{},{},{}\n",
+            s.final_accuracy,
+            s.sigma,
+            s.lr,
+            s.iterations,
+            s.delta,
+            if eps.is_finite() { eps.to_string() } else { String::new() },
+            s.defense_stats.byzantine_selected,
+            s.defense_stats.total_selected,
+            s.defense_stats.first_stage_rejected_honest,
+            s.defense_stats.first_stage_rejected_byzantine,
+        ));
+    }
+    out
+}
+
+/// The machine-readable run summary (`BENCH_harness.json`).
+#[derive(Debug, Serialize)]
+pub struct BenchSummary {
+    /// Scenario name.
+    pub scenario: String,
+    /// Total cells in the grid.
+    pub cells: usize,
+    /// Cells executed by this invocation.
+    pub ran: usize,
+    /// Cells skipped via `--resume`.
+    pub skipped: usize,
+    /// Wall time of this invocation (ms).
+    pub wall_ms: u64,
+    /// Mean final accuracy over the grid.
+    pub mean_final_accuracy: f64,
+    /// Minimum final accuracy over the grid.
+    pub min_final_accuracy: f64,
+    /// Maximum final accuracy over the grid.
+    pub max_final_accuracy: f64,
+    /// Per executed cell wall time: `(cell index, ms)`.
+    pub cell_wall_ms: Vec<(usize, u64)>,
+}
+
+/// Builds the bench summary for an outcome.
+pub fn bench_summary(spec: &ScenarioSpec, outcome: &GridOutcome) -> BenchSummary {
+    let accs: Vec<f64> = outcome.records.iter().map(|r| r.summary.final_accuracy).collect();
+    let mean = if accs.is_empty() { 0.0 } else { accs.iter().sum::<f64>() / accs.len() as f64 };
+    BenchSummary {
+        scenario: spec.name.clone(),
+        cells: outcome.records.len(),
+        ran: outcome.ran,
+        skipped: outcome.skipped,
+        wall_ms: outcome.wall_ms,
+        mean_final_accuracy: mean,
+        min_final_accuracy: accs.iter().copied().fold(f64::INFINITY, f64::min),
+        max_final_accuracy: accs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        cell_wall_ms: outcome.cell_wall_ms.clone(),
+    }
+}
+
+/// Writes `report.md`, `report.csv` and `BENCH_harness.json` into the
+/// outcome's scenario directory.
+pub fn write_reports(spec: &ScenarioSpec, outcome: &GridOutcome) -> Result<(), String> {
+    let dir = &outcome.scenario_dir;
+    let write = |name: &str, content: String| -> Result<(), String> {
+        let path = dir.join(name);
+        std::fs::write(&path, content).map_err(|e| format!("{}: {e}", path.display()))
+    };
+    write("report.md", markdown(spec, &outcome.records))?;
+    write("report.csv", csv(&outcome.records))?;
+    let bench = bench_summary(spec, outcome);
+    write(
+        "BENCH_harness.json",
+        serde_json::to_string_pretty(&bench).expect("bench summary serializes"),
+    )
+}
+
+/// ε actually bought by a cell's (q, T, σ, δ), via the RDP accountant;
+/// infinite for non-private runs.
+pub fn achieved_epsilon(record: &CellRecord) -> f64 {
+    let cfg = &record.config;
+    let s = &record.summary;
+    if s.delta <= 0.0 || s.sigma <= 0.0 {
+        return f64::INFINITY;
+    }
+    let q = cfg.dp.batch_size as f64 / cfg.per_worker as f64;
+    dpbfl_dp::achieved_epsilon(q, s.iterations as u64, s.sigma, s.delta)
+}
+
+fn achieved_epsilon_label(record: &CellRecord) -> String {
+    let eps = achieved_epsilon(record);
+    if eps.is_finite() {
+        format!("{eps:.3} (δ={:.1e})", record.summary.delta)
+    } else {
+        "∞ (non-private)".into()
+    }
+}
+
+/// Axis names across the records, in first-appearance order.
+fn axis_names(records: &[CellRecord]) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    for record in records {
+        for (axis, _) in &record.axes {
+            if !names.contains(axis) {
+                names.push(axis.clone());
+            }
+        }
+    }
+    names
+}
+
+/// Distinct labels of one axis, in first-appearance order.
+fn axis_labels(records: &[CellRecord], axis: &str) -> Vec<String> {
+    let mut labels: Vec<String> = Vec::new();
+    for record in records {
+        for (name, label) in &record.axes {
+            if name == axis && !labels.contains(label) {
+                labels.push(label.clone());
+            }
+        }
+    }
+    labels
+}
+
+/// `Some((row_axis, col_axis))` when exactly two *swept* axes have ≥ 2
+/// values — the shape a paper-style pivot renders faithfully. The
+/// synthetic `repeat` axis does not count: repeats of one row/column pair
+/// collapse into the pivot's mean instead.
+fn pivot_axes(records: &[CellRecord]) -> Option<(String, String)> {
+    let swept: Vec<String> = axis_names(records)
+        .into_iter()
+        .filter(|axis| axis != "repeat" && axis_labels(records, axis).len() >= 2)
+        .collect();
+    match swept.as_slice() {
+        [rows, cols] => Some((rows.clone(), cols.clone())),
+        _ => None,
+    }
+}
+
+/// Rows × columns final-accuracy pivot (mean when several cells share a
+/// row/column pair, e.g. under repeats).
+fn pivot_table(records: &[CellRecord], row_axis: &str, col_axis: &str) -> String {
+    let rows = axis_labels(records, row_axis);
+    let cols = axis_labels(records, col_axis);
+    let mut out = format!("Final accuracy, {row_axis} × {col_axis}:\n\n");
+    out.push_str(&format!("| {row_axis} \\ {col_axis} |"));
+    for col in &cols {
+        out.push_str(&format!(" {col} |"));
+    }
+    out.push('\n');
+    out.push_str(&"|---".repeat(cols.len() + 1));
+    out.push_str("|\n");
+    for row in &rows {
+        out.push_str(&format!("| {row} |"));
+        for col in &cols {
+            let matches: Vec<f64> = records
+                .iter()
+                .filter(|r| {
+                    let has = |axis: &str, label: &str| {
+                        r.axes.iter().any(|(a, l)| a == axis && l == label)
+                    };
+                    has(row_axis, row) && has(col_axis, col)
+                })
+                .map(|r| r.summary.final_accuracy)
+                .collect();
+            if matches.is_empty() {
+                out.push_str(" — |");
+            } else {
+                let mean = matches.iter().sum::<f64>() / matches.len() as f64;
+                out.push_str(&format!(" {mean:.3} |"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpbfl::prelude::*;
+
+    fn fake_records() -> (ScenarioSpec, Vec<CellRecord>) {
+        let spec = crate::registry::get("smoke/tiny").unwrap();
+        let records = spec
+            .cells()
+            .into_iter()
+            .map(|c| CellRecord {
+                scenario: spec.name.clone(),
+                cell: c.index,
+                key: c.key.clone(),
+                axes: c.axes.clone(),
+                config: c.config.clone(),
+                summary: RunSummary {
+                    final_accuracy: 0.25 * (c.index + 1) as f64,
+                    sigma: 0.5,
+                    lr: 0.2,
+                    iterations: 6,
+                    delta: 0.0,
+                    defense_stats: Default::default(),
+                    history: vec![],
+                },
+            })
+            .collect();
+        (spec, records)
+    }
+
+    #[test]
+    fn markdown_contains_pivot_and_flat_rows() {
+        let (spec, records) = fake_records();
+        let md = markdown(&spec, &records);
+        // 2×2 grid → the pivot renders attack × defense.
+        assert!(md.contains("attack \\ defense"), "{md}");
+        assert!(md.contains("label-flip"), "{md}");
+        assert!(md.contains("two-stage"), "{md}");
+        // Non-private smoke cells report ∞.
+        assert!(md.contains("∞ (non-private)"), "{md}");
+        // Flat table has one row per cell.
+        assert_eq!(md.matches("\n| 0 |").count(), 1, "{md}");
+        assert_eq!(md.matches("\n| 3 |").count(), 1, "{md}");
+    }
+
+    #[test]
+    fn csv_has_header_plus_one_row_per_cell() {
+        let (_, records) = fake_records();
+        let text = csv(&records);
+        assert_eq!(text.lines().count(), 1 + records.len());
+        assert!(text.starts_with("cell,key,seed,attack,defense,"));
+        assert!(text.contains("gaussian"), "{text}");
+    }
+
+    #[test]
+    fn pivot_averages_repeats_instead_of_disappearing() {
+        // Under SeedPolicy::Repeats the synthetic `repeat` axis must not
+        // count as swept: the pivot still renders attack × defense and
+        // averages the repeats of each pair.
+        let mut spec = crate::registry::get("smoke/tiny").unwrap();
+        spec.seed = crate::spec::SeedPolicy::Repeats { master: 7, repeats: 2 };
+        let records: Vec<CellRecord> = spec
+            .cells()
+            .into_iter()
+            .map(|c| CellRecord {
+                scenario: spec.name.clone(),
+                cell: c.index,
+                key: c.key.clone(),
+                axes: c.axes.clone(),
+                config: c.config.clone(),
+                summary: RunSummary {
+                    // Repeat 0 cells score 0.0, repeat 1 cells 1.0 → every
+                    // pivot entry is the 0.5 mean.
+                    final_accuracy: (c.index / 4) as f64,
+                    sigma: 0.25,
+                    lr: 0.2,
+                    iterations: 6,
+                    delta: 0.0,
+                    defense_stats: Default::default(),
+                    history: vec![],
+                },
+            })
+            .collect();
+        let md = markdown(&spec, &records);
+        assert!(md.contains("attack \\ defense"), "pivot missing: {md}");
+        assert!(!md.contains("repeat \\"), "{md}");
+        assert_eq!(md.matches(" 0.500 |").count(), 4, "{md}");
+    }
+
+    #[test]
+    fn csv_quotes_labels_containing_commas() {
+        // The adaptive attack's label is `adaptive(0.4,label-flip)` — the
+        // comma must not produce an extra CSV column.
+        let (_, mut records) = fake_records();
+        let columns = csv(&records).lines().next().unwrap().matches(',').count();
+        records[0].axes[0].1 = "adaptive(0.4,label-flip)".into();
+        let text = csv(&records);
+        let row = text.lines().nth(1).unwrap();
+        assert!(row.contains("\"adaptive(0.4,label-flip)\""), "{row}");
+        // Commas inside quotes excluded, the column count is unchanged.
+        let quoted: String = {
+            let mut inside = false;
+            row.chars()
+                .filter(|&c| {
+                    if c == '"' {
+                        inside = !inside;
+                    }
+                    !(inside && c == ',')
+                })
+                .collect()
+        };
+        assert_eq!(quoted.matches(',').count(), columns, "{row}");
+    }
+}

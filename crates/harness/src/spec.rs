@@ -1,0 +1,595 @@
+//! The declarative scenario format: a base [`SimulationConfig`] plus sweep
+//! axes, expanded into a cartesian grid of runnable cells.
+//!
+//! A [`ScenarioSpec`] is plain JSON on disk (`dpbfl-exp validate <file>`
+//! checks one), so a paper table — attack × defense × Byzantine-fraction ×
+//! ε — is a config artifact instead of a hand-coded Rust binary. Every cell
+//! carries a content-hashed [`Cell::key`] over its fully resolved config:
+//! the JSONL result sink uses it to skip completed cells on `--resume`, and
+//! it is stable across spec edits that leave the cell itself unchanged.
+
+use dpbfl::prelude::*;
+use dpbfl::simulation::worker_seed;
+use serde::{Deserialize, Serialize, Value};
+
+/// How the grid assigns each cell's master RNG seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SeedPolicy {
+    /// Every cell runs with this exact seed — the paper-table style: all
+    /// cells see the same data, and columns differ only in the swept axes
+    /// (this is also what lets cells share one data preparation).
+    Fixed {
+        /// The seed every cell uses.
+        seed: u64,
+    },
+    /// Cell `i` runs with `worker_seed(master, i)` — the PR-1 derivation
+    /// scheme lifted to the grid level, giving statistically independent
+    /// cells that stay bit-reproducible at any thread count. Note for
+    /// `--resume`: the seed is part of a cell's content key, so spec edits
+    /// that shift cell indices reseed (and recompute) the shifted cells.
+    PerCell {
+        /// The grid's master seed.
+        master: u64,
+    },
+    /// Adds a repeat axis: every cell of repeat `r` runs with
+    /// `worker_seed(master, r)`, so repeats are independent draws while the
+    /// cells within one repeat still share data (and data preparation).
+    Repeats {
+        /// The grid's master seed.
+        master: u64,
+        /// Number of repeats (the extra axis length).
+        repeats: usize,
+    },
+}
+
+/// The sweep axes. Every axis is optional: an omitted (or `null`) axis keeps
+/// the base config's value; a present axis multiplies the grid by its length.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GridSpec {
+    /// Network architectures to sweep.
+    pub models: Option<Vec<ModelKind>>,
+    /// Attacks to sweep.
+    pub attacks: Option<Vec<AttackSpec>>,
+    /// Server defenses to sweep.
+    pub defenses: Option<Vec<DefenseKind>>,
+    /// Byzantine worker counts to sweep.
+    pub n_byzantine: Option<Vec<usize>>,
+    /// Server honest-fraction beliefs γ to sweep.
+    pub gammas: Option<Vec<f64>>,
+    /// Privacy targets ε to sweep (`null` entries mean "no ε target: use the
+    /// configured noise multiplier as-is").
+    pub epsilons: Option<Vec<Option<f64>>>,
+    /// Data distributions to sweep (`true` = i.i.d., `false` = Algorithm 4).
+    pub iid: Option<Vec<bool>>,
+}
+
+/// The field names [`GridSpec`] accepts (kept next to the struct so the
+/// unknown-field check in [`ScenarioSpec::from_json`] cannot drift).
+const GRID_FIELDS: &[&str] =
+    &["models", "attacks", "defenses", "n_byzantine", "gammas", "epsilons", "iid"];
+
+/// A full declarative experiment: metadata + base config + sweep axes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Stable identifier (`paper/attack_showdown` style).
+    pub name: String,
+    /// One-line human title for reports.
+    pub title: String,
+    /// Free-form notes (what the grid shows, where it comes from in the
+    /// paper).
+    pub notes: String,
+    /// Seed assignment policy.
+    pub seed: SeedPolicy,
+    /// The configuration every cell starts from.
+    pub base: SimulationConfig,
+    /// The sweep axes applied on top of `base`.
+    pub grid: GridSpec,
+}
+
+/// The field names [`ScenarioSpec`] accepts.
+const SPEC_FIELDS: &[&str] = &["name", "title", "notes", "seed", "base", "grid"];
+
+/// The field names `SimulationConfig` serializes (checked against the
+/// struct by `field_whitelists_match_the_structs`). Needed because the
+/// vendored serde derive silently maps missing fields of `Option` type to
+/// `None` — a typo'd `"epsilion"` would otherwise change the run's privacy
+/// level without any error.
+const BASE_FIELDS: &[&str] = &[
+    "dataset",
+    "model",
+    "per_worker",
+    "test_count",
+    "n_honest",
+    "n_byzantine",
+    "iid",
+    "epochs",
+    "base_lr",
+    "base_sigma",
+    "epsilon",
+    "dp",
+    "defense_cfg",
+    "attack",
+    "defense",
+    "protocol",
+    "ood_auxiliary",
+    "seed",
+    "eval_every",
+];
+
+/// The field names `DpSgdConfig` serializes.
+const DP_FIELDS: &[&str] = &["batch_size", "momentum", "noise_multiplier", "momentum_reset"];
+
+/// The field names `DefenseConfig` serializes.
+const DEFENSE_CFG_FIELDS: &[&str] = &[
+    "gamma",
+    "ks_significance",
+    "norm_test_stds",
+    "aux_per_class",
+    "step_normalization",
+    "scoring",
+    "weighting",
+    "first_stage_enabled",
+];
+
+/// The field names `SyntheticSpec` serializes.
+const DATASET_FIELDS: &[&str] = &[
+    "name",
+    "channels",
+    "height",
+    "width",
+    "num_classes",
+    "proto_grid",
+    "signal_mix",
+    "class_sep",
+    "proto_salt",
+    "invert",
+];
+
+/// One expanded grid cell: a fully resolved config plus its provenance.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Position in the expansion order (row-major over the axes).
+    pub index: usize,
+    /// Content hash of the resolved config (the resume/sink key).
+    pub key: String,
+    /// The fully resolved configuration this cell runs.
+    pub config: SimulationConfig,
+    /// `(axis, value label)` pairs for the swept axes, in axis order.
+    pub axes: Vec<(String, String)>,
+}
+
+impl ScenarioSpec {
+    /// Expands the grid into runnable cells (cartesian product of the axes,
+    /// repeat axis outermost, then model, attack, defense, `n_byzantine`,
+    /// γ, ε, partition).
+    pub fn cells(&self) -> Vec<Cell> {
+        let repeats: Vec<Option<usize>> = match self.seed {
+            SeedPolicy::Repeats { repeats, .. } => (0..repeats).map(Some).collect(),
+            _ => vec![None],
+        };
+        let models = axis_values(&self.grid.models);
+        let attacks = axis_values(&self.grid.attacks);
+        let defenses = axis_values(&self.grid.defenses);
+        let byzantines = axis_values(&self.grid.n_byzantine);
+        let gammas = axis_values(&self.grid.gammas);
+        let epsilons = axis_values(&self.grid.epsilons);
+        let iids = axis_values(&self.grid.iid);
+        let mut cells = Vec::with_capacity(self.n_cells());
+        for r in &repeats {
+            for m in &models {
+                for a in &attacks {
+                    for de in &defenses {
+                        for nb in &byzantines {
+                            for g in &gammas {
+                                for e in &epsilons {
+                                    for i in &iids {
+                                        let index = cells.len();
+                                        let mut cfg = self.base.clone();
+                                        let mut axes: Vec<(String, String)> = Vec::new();
+                                        if let Some(r) = r {
+                                            axes.push(("repeat".into(), r.to_string()));
+                                        }
+                                        if let Some(m) = m {
+                                            cfg.model = *m;
+                                            axes.push(("model".into(), model_label(m)));
+                                        }
+                                        if let Some(a) = a {
+                                            cfg.attack = a.clone();
+                                            axes.push(("attack".into(), a.name()));
+                                        }
+                                        if let Some(de) = de {
+                                            cfg.defense = de.clone();
+                                            axes.push(("defense".into(), de.name()));
+                                        }
+                                        if let Some(nb) = nb {
+                                            cfg.n_byzantine = *nb;
+                                            axes.push(("n_byzantine".into(), nb.to_string()));
+                                        }
+                                        if let Some(g) = g {
+                                            cfg.defense_cfg.gamma = *g;
+                                            axes.push(("gamma".into(), format!("{g}")));
+                                        }
+                                        if let Some(e) = e {
+                                            cfg.epsilon = *e;
+                                            let label = match e {
+                                                Some(v) => format!("{v}"),
+                                                None => "none".into(),
+                                            };
+                                            axes.push(("epsilon".into(), label));
+                                        }
+                                        if let Some(i) = i {
+                                            cfg.iid = *i;
+                                            let label =
+                                                if *i { "iid" } else { "non-iid" }.to_string();
+                                            axes.push(("partition".into(), label));
+                                        }
+                                        cfg.seed = match self.seed {
+                                            SeedPolicy::Fixed { seed } => seed,
+                                            SeedPolicy::PerCell { master } => {
+                                                worker_seed(master, index)
+                                            }
+                                            SeedPolicy::Repeats { master, .. } => {
+                                                worker_seed(master, r.unwrap_or(0))
+                                            }
+                                        };
+                                        let key = content_key(&cfg);
+                                        cells.push(Cell { index, key, config: cfg, axes });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// The number of cells [`ScenarioSpec::cells`] will produce.
+    pub fn n_cells(&self) -> usize {
+        let repeat = match self.seed {
+            SeedPolicy::Repeats { repeats, .. } => repeats,
+            _ => 1,
+        };
+        repeat
+            * axis_len(&self.grid.models)
+            * axis_len(&self.grid.attacks)
+            * axis_len(&self.grid.defenses)
+            * axis_len(&self.grid.n_byzantine)
+            * axis_len(&self.grid.gammas)
+            * axis_len(&self.grid.epsilons)
+            * axis_len(&self.grid.iid)
+    }
+
+    /// Semantic checks beyond what deserialization enforces. Returns one
+    /// message per problem; an empty vector means the spec is runnable.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.name.is_empty() {
+            problems.push("scenario name is empty".into());
+        }
+        if let SeedPolicy::Repeats { repeats: 0, .. } = self.seed {
+            problems.push("seed.Repeats.repeats must be at least 1".into());
+        }
+        for (axis, len) in [
+            ("models", self.grid.models.as_ref().map(Vec::len)),
+            ("attacks", self.grid.attacks.as_ref().map(Vec::len)),
+            ("defenses", self.grid.defenses.as_ref().map(Vec::len)),
+            ("n_byzantine", self.grid.n_byzantine.as_ref().map(Vec::len)),
+            ("gammas", self.grid.gammas.as_ref().map(Vec::len)),
+            ("epsilons", self.grid.epsilons.as_ref().map(Vec::len)),
+            ("iid", self.grid.iid.as_ref().map(Vec::len)),
+        ] {
+            if len == Some(0) {
+                problems.push(format!("grid.{axis}: present but empty (grid has zero cells)"));
+            }
+        }
+        let cells = self.cells();
+        for cell in &cells {
+            let c = &cell.config;
+            let at = |msg: String| format!("cell {} ({}): {msg}", cell.index, axes_label(cell));
+            let gamma = c.defense_cfg.gamma;
+            if !(gamma > 0.0 && gamma <= 1.0) {
+                problems.push(at(format!("gamma {gamma} outside (0, 1]")));
+            }
+            if c.n_total() == 0 {
+                problems.push(at("no workers (n_honest + n_byzantine = 0)".into()));
+            }
+            if c.per_worker == 0 || c.test_count == 0 {
+                problems.push(at("per_worker and test_count must be positive".into()));
+            }
+            if c.epochs <= 0.0 {
+                problems.push(at(format!("epochs {} must be positive", c.epochs)));
+            }
+            if c.defense == DefenseKind::TwoStage {
+                let plain = matches!(c.protocol, WorkerProtocol::Plain);
+                let zero_noise = c.epsilon.is_none() && c.dp.noise_multiplier <= 0.0;
+                if plain || zero_noise {
+                    problems.push(at("two-stage defense requires DP noise (σ > 0)".into()));
+                }
+            }
+        }
+        let mut seen: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+        for cell in &cells {
+            if let Some(&first) = seen.get(cell.key.as_str()) {
+                problems.push(format!(
+                    "cells {first} and {} resolve to identical configs (key {})",
+                    cell.index, cell.key
+                ));
+            } else {
+                seen.insert(&cell.key, cell.index);
+            }
+        }
+        problems
+    }
+
+    /// Parses a spec from JSON text.
+    ///
+    /// Errors carry the failure's location: parse errors report
+    /// `line, column`; shape errors report the `Type.field` path (e.g.
+    /// `ScenarioSpec.base: SimulationConfig.per_worker: expected usize`);
+    /// unknown fields at the spec/grid level are rejected by name.
+    pub fn from_json(text: &str) -> Result<ScenarioSpec, String> {
+        let value = serde_json::parse_value(text).map_err(|e| e.to_string())?;
+        check_known_fields(&value, "ScenarioSpec", SPEC_FIELDS)?;
+        if let Some(grid) = value.get("grid") {
+            check_known_fields(grid, "ScenarioSpec.grid", GRID_FIELDS)?;
+        }
+        if let Some(base) = value.get("base") {
+            check_known_fields(base, "ScenarioSpec.base", BASE_FIELDS)?;
+            if let Some(dp) = base.get("dp") {
+                check_known_fields(dp, "ScenarioSpec.base.dp", DP_FIELDS)?;
+            }
+            if let Some(defense_cfg) = base.get("defense_cfg") {
+                check_known_fields(
+                    defense_cfg,
+                    "ScenarioSpec.base.defense_cfg",
+                    DEFENSE_CFG_FIELDS,
+                )?;
+            }
+            if let Some(dataset) = base.get("dataset") {
+                check_known_fields(dataset, "ScenarioSpec.base.dataset", DATASET_FIELDS)?;
+            }
+        }
+        Deserialize::from_value(&value).map_err(|e: serde::Error| e.to_string())
+    }
+
+    /// Reads and parses a spec file, prefixing errors with the path.
+    pub fn load(path: &std::path::Path) -> Result<ScenarioSpec, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+/// Rejects object keys outside `known`, naming the offender and its context.
+fn check_known_fields(value: &Value, at: &str, known: &[&str]) -> Result<(), String> {
+    if let Value::Obj(fields) = value {
+        for (key, _) in fields {
+            if !known.contains(&key.as_str()) {
+                return Err(format!(
+                    "unknown field `{key}` in {at} (expected one of: {})",
+                    known.join(", ")
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `None` (axis not swept) becomes the single pass-through value.
+fn axis_values<T: Clone>(axis: &Option<Vec<T>>) -> Vec<Option<T>> {
+    match axis {
+        None => vec![None],
+        Some(values) => values.iter().cloned().map(Some).collect(),
+    }
+}
+
+/// Length contribution of an axis to the cartesian product.
+fn axis_len<T>(axis: &Option<Vec<T>>) -> usize {
+    axis.as_ref().map_or(1, Vec::len)
+}
+
+/// Short report label for a model kind.
+pub fn model_label(model: &ModelKind) -> String {
+    match *model {
+        ModelKind::Mlp784 => "mlp-784".into(),
+        ModelKind::MnistCnn => "mnist-cnn".into(),
+        ModelKind::ColorectalCnn => "colorectal-cnn".into(),
+        ModelKind::SmallMlp { hidden } => format!("small-mlp({hidden})"),
+    }
+}
+
+/// `axis=value` pairs joined for human-facing messages.
+pub fn axes_label(cell: &Cell) -> String {
+    if cell.axes.is_empty() {
+        return "base".into();
+    }
+    cell.axes.iter().map(|(k, v)| format!("{k}={v}")).collect::<Vec<_>>().join(" ")
+}
+
+/// Content-hashed key of a resolved cell config: FNV-1a 64 over the
+/// canonical JSON serialization. Identical configs — across runs, spec
+/// edits, or thread counts — always produce identical keys.
+pub fn content_key(cfg: &SimulationConfig) -> String {
+    let json = serde_json::to_string(cfg).expect("config serializes");
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for byte in json.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    format!("{hash:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpbfl_data::SyntheticSpec;
+
+    fn tiny_base() -> SimulationConfig {
+        let mut cfg =
+            SimulationConfig::quick(SyntheticSpec::mnist_like(), ModelKind::SmallMlp { hidden: 8 });
+        cfg.per_worker = 64;
+        cfg.test_count = 64;
+        cfg.n_honest = 3;
+        cfg.n_byzantine = 2;
+        cfg.epochs = 1.0;
+        cfg.epsilon = None;
+        cfg.dp.noise_multiplier = 0.5;
+        cfg
+    }
+
+    fn spec(grid: GridSpec, seed: SeedPolicy) -> ScenarioSpec {
+        ScenarioSpec {
+            name: "test/spec".into(),
+            title: "test".into(),
+            notes: String::new(),
+            seed,
+            base: tiny_base(),
+            grid,
+        }
+    }
+
+    #[test]
+    fn empty_grid_is_one_cell_with_base_config() {
+        let s = spec(GridSpec::default(), SeedPolicy::Fixed { seed: 9 });
+        let cells = s.cells();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(s.n_cells(), 1);
+        assert!(cells[0].axes.is_empty());
+        assert_eq!(cells[0].config.seed, 9);
+        assert_eq!(axes_label(&cells[0]), "base");
+    }
+
+    #[test]
+    fn cartesian_expansion_cardinality() {
+        let grid = GridSpec {
+            attacks: Some(vec![AttackSpec::Gaussian, AttackSpec::LabelFlip, AttackSpec::OptLmp]),
+            defenses: Some(vec![DefenseKind::NoDefense, DefenseKind::TwoStage]),
+            gammas: Some(vec![0.3, 0.5]),
+            epsilons: Some(vec![Some(2.0), None]),
+            ..GridSpec::default()
+        };
+        let s = spec(grid, SeedPolicy::Repeats { master: 1, repeats: 2 });
+        assert_eq!(s.n_cells(), 2 * 3 * 2 * 2 * 2);
+        let cells = s.cells();
+        assert_eq!(cells.len(), s.n_cells());
+        // Every cell carries one label per swept axis (+ the repeat axis).
+        assert!(cells.iter().all(|c| c.axes.len() == 5));
+        // Innermost axis varies fastest.
+        assert_eq!(cells[0].config.epsilon, Some(2.0));
+        assert_eq!(cells[1].config.epsilon, None);
+        assert_eq!(cells[0].config.defense_cfg.gamma, 0.3);
+        assert_eq!(cells[2].config.defense_cfg.gamma, 0.5);
+    }
+
+    #[test]
+    fn seed_policies_assign_documented_seeds() {
+        let grid = GridSpec { iid: Some(vec![true, false]), ..GridSpec::default() };
+        let fixed = spec(grid.clone(), SeedPolicy::Fixed { seed: 5 });
+        assert!(fixed.cells().iter().all(|c| c.config.seed == 5));
+
+        let per_cell = spec(grid.clone(), SeedPolicy::PerCell { master: 5 });
+        let seeds: Vec<u64> = per_cell.cells().iter().map(|c| c.config.seed).collect();
+        assert_eq!(seeds, vec![worker_seed(5, 0), worker_seed(5, 1)]);
+
+        let repeats = spec(grid, SeedPolicy::Repeats { master: 5, repeats: 2 });
+        let seeds: Vec<u64> = repeats.cells().iter().map(|c| c.config.seed).collect();
+        assert_eq!(seeds[0], seeds[1], "cells within a repeat share the seed");
+        assert_ne!(seeds[0], seeds[2], "repeats are independent");
+        assert_eq!(seeds[2], worker_seed(5, 1));
+    }
+
+    #[test]
+    fn content_key_tracks_config_identity() {
+        let a = tiny_base();
+        let mut b = tiny_base();
+        assert_eq!(content_key(&a), content_key(&b));
+        b.seed += 1;
+        assert_ne!(content_key(&a), content_key(&b));
+    }
+
+    #[test]
+    fn validate_flags_semantic_problems() {
+        let mut s = spec(GridSpec::default(), SeedPolicy::Fixed { seed: 1 });
+        s.base.defense_cfg.gamma = 1.5;
+        s.base.epochs = 0.0;
+        let problems = s.validate();
+        assert!(problems.iter().any(|p| p.contains("gamma")), "{problems:?}");
+        assert!(problems.iter().any(|p| p.contains("epochs")), "{problems:?}");
+
+        let dup = spec(
+            GridSpec { gammas: Some(vec![0.5, 0.5]), ..GridSpec::default() },
+            SeedPolicy::Fixed { seed: 1 },
+        );
+        assert!(dup.validate().iter().any(|p| p.contains("identical configs")));
+
+        let empty_axis = spec(
+            GridSpec { attacks: Some(vec![]), ..GridSpec::default() },
+            SeedPolicy::Fixed { seed: 1 },
+        );
+        assert!(empty_axis.validate().iter().any(|p| p.contains("empty")));
+
+        let two_stage_plain = {
+            let mut s = spec(GridSpec::default(), SeedPolicy::Fixed { seed: 1 });
+            s.base.defense = DefenseKind::TwoStage;
+            s.base.protocol = WorkerProtocol::Plain;
+            s
+        };
+        assert!(two_stage_plain.validate().iter().any(|p| p.contains("DP noise")));
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected_by_name() {
+        let s = spec(GridSpec::default(), SeedPolicy::Fixed { seed: 1 });
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(ScenarioSpec::from_json(&json).is_ok());
+        let bad = json.replacen("\"notes\"", "\"nots\"", 1);
+        let err = ScenarioSpec::from_json(&bad).unwrap_err();
+        assert!(err.contains("unknown field `nots`"), "{err}");
+        assert!(err.contains("ScenarioSpec"), "{err}");
+    }
+
+    #[test]
+    fn typoed_option_fields_inside_base_are_rejected_not_dropped() {
+        // `epsilon` is Option-typed: without the whitelist a typo would
+        // silently fall back to `None` and run at the wrong privacy level.
+        let s = spec(GridSpec::default(), SeedPolicy::Fixed { seed: 1 });
+        let json = serde_json::to_string(&s).unwrap();
+        let bad = json.replacen("\"epsilon\"", "\"epsilion\"", 1);
+        assert_ne!(bad, json);
+        let err = ScenarioSpec::from_json(&bad).unwrap_err();
+        assert!(err.contains("unknown field `epsilion`"), "{err}");
+        assert!(err.contains("ScenarioSpec.base"), "{err}");
+    }
+
+    /// Objects serialize every field in declaration order, so the
+    /// whitelists cannot drift from the structs without failing here.
+    #[test]
+    fn field_whitelists_match_the_structs() {
+        fn assert_keys(v: &Value, expected: &[&str], at: &str) {
+            let Value::Obj(fields) = v else { panic!("{at}: expected object") };
+            let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+            assert_eq!(keys, expected, "{at}");
+        }
+        let s = spec(GridSpec::default(), SeedPolicy::Fixed { seed: 1 });
+        let spec_value = serde::Serialize::to_value(&s);
+        assert_keys(&spec_value, SPEC_FIELDS, "ScenarioSpec");
+        assert_keys(spec_value.get("grid").unwrap(), GRID_FIELDS, "grid");
+        let base = spec_value.get("base").unwrap();
+        assert_keys(base, BASE_FIELDS, "base");
+        assert_keys(base.get("dp").unwrap(), DP_FIELDS, "dp");
+        assert_keys(base.get("defense_cfg").unwrap(), DEFENSE_CFG_FIELDS, "defense_cfg");
+        assert_keys(base.get("dataset").unwrap(), DATASET_FIELDS, "dataset");
+    }
+
+    #[test]
+    fn shape_errors_name_the_json_path() {
+        let s = spec(GridSpec::default(), SeedPolicy::Fixed { seed: 1 });
+        let json = serde_json::to_string(&s).unwrap();
+        let bad = json.replace("\"per_worker\":64", "\"per_worker\":\"lots\"");
+        assert_ne!(bad, json, "fixture must actually corrupt the field");
+        let err = ScenarioSpec::from_json(&bad).unwrap_err();
+        assert!(err.contains("ScenarioSpec.base"), "{err}");
+        assert!(err.contains("per_worker"), "{err}");
+    }
+}

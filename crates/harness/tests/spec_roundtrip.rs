@@ -1,0 +1,190 @@
+//! Serde round-trips for the whole scenario vocabulary: every enum variant
+//! the spec format can express must survive JSON serialization, and
+//! malformed specs must fail with the offending JSON path and field name.
+
+use dpbfl::config::{MomentumReset, StepNormalization};
+use dpbfl::prelude::*;
+use dpbfl_harness::{registry, ScenarioSpec, SeedPolicy};
+use serde::{Deserialize, Serialize};
+
+fn roundtrip<T>(value: &T)
+where
+    T: Serialize + Deserialize + PartialEq + std::fmt::Debug,
+{
+    let json = serde_json::to_string(value).expect("serializes");
+    let back: T = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(&back, value, "round-trip through {json}");
+}
+
+/// JSON-level round-trip for types without `PartialEq`: the serialization
+/// of the deserialized value must match the original serialization.
+fn roundtrip_json<T>(value: &T)
+where
+    T: Serialize + Deserialize,
+{
+    let json = serde_json::to_string(value).expect("serializes");
+    let back: T = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(serde_json::to_string(&back).unwrap(), json);
+}
+
+#[test]
+fn attack_spec_every_variant() {
+    for spec in [
+        AttackSpec::None,
+        AttackSpec::Gaussian,
+        AttackSpec::LabelFlip,
+        AttackSpec::OptLmp,
+        AttackSpec::ALittle,
+        AttackSpec::InnerProduct { scale: 5.25 },
+        AttackSpec::Adaptive { ttbb: 0.4, inner: Box::new(AttackSpec::LabelFlip) },
+        // Nested adaptive: the Box recursion must round-trip too.
+        AttackSpec::Adaptive {
+            ttbb: 0.75,
+            inner: Box::new(AttackSpec::Adaptive {
+                ttbb: 0.9,
+                inner: Box::new(AttackSpec::InnerProduct { scale: -1.5 }),
+            }),
+        },
+    ] {
+        roundtrip(&spec);
+    }
+}
+
+#[test]
+fn aggregator_kind_every_variant() {
+    for kind in [
+        AggregatorKind::Mean,
+        AggregatorKind::Krum { f: 15 },
+        AggregatorKind::CoordinateMedian,
+        AggregatorKind::TrimmedMean { trim: 3 },
+        AggregatorKind::GeometricMedian,
+        AggregatorKind::Bulyan { f: 2 },
+    ] {
+        roundtrip(&kind);
+        roundtrip(&DefenseKind::Robust { rule: kind });
+    }
+}
+
+#[test]
+fn defense_kind_every_variant() {
+    for kind in [
+        DefenseKind::NoDefense,
+        DefenseKind::TwoStage,
+        DefenseKind::Robust { rule: AggregatorKind::Krum { f: 4 } },
+        DefenseKind::FlTrust,
+    ] {
+        roundtrip(&kind);
+    }
+}
+
+#[test]
+fn model_kind_every_variant() {
+    for kind in [
+        ModelKind::Mlp784,
+        ModelKind::MnistCnn,
+        ModelKind::ColorectalCnn,
+        ModelKind::SmallMlp { hidden: 48 },
+    ] {
+        roundtrip(&kind);
+    }
+}
+
+#[test]
+fn protocol_and_config_enums_every_variant() {
+    for protocol in
+        [WorkerProtocol::PaperDp, WorkerProtocol::ClippedDp { clip: 1.5 }, WorkerProtocol::Plain]
+    {
+        roundtrip(&protocol);
+    }
+    for policy in [
+        SeedPolicy::Fixed { seed: 1 },
+        SeedPolicy::PerCell { master: 42 },
+        SeedPolicy::Repeats { master: 7, repeats: 3 },
+    ] {
+        roundtrip(&policy);
+    }
+    roundtrip(&ScoringRule::InnerProduct);
+    roundtrip(&ScoringRule::Cosine);
+    roundtrip(&WeightScheme::Binary);
+    roundtrip(&WeightScheme::Proportional);
+    roundtrip(&MomentumReset::PaperReset);
+    roundtrip(&MomentumReset::Keep);
+    roundtrip(&StepNormalization::TotalWorkers);
+    roundtrip(&StepNormalization::SelectedCount);
+}
+
+#[test]
+fn full_simulation_config_round_trips() {
+    let mut cfg = SimulationConfig::quick(SyntheticSpec::colorectal_like(), ModelKind::Mlp784);
+    cfg.attack = AttackSpec::Adaptive { ttbb: 0.3, inner: Box::new(AttackSpec::OptLmp) };
+    cfg.defense = DefenseKind::Robust { rule: AggregatorKind::TrimmedMean { trim: 2 } };
+    cfg.protocol = WorkerProtocol::ClippedDp { clip: 0.75 };
+    cfg.epsilon = None;
+    cfg.iid = false;
+    cfg.ood_auxiliary = true;
+    roundtrip_json(&cfg);
+}
+
+#[test]
+fn every_builtin_scenario_round_trips() {
+    for name in registry::names() {
+        let spec = registry::get(name).expect("registered");
+        let json = serde_json::to_string(&spec).expect("serializes");
+        let back = ScenarioSpec::from_json(&json).expect("parses back");
+        assert_eq!(serde_json::to_string(&back).unwrap(), json, "{name}");
+        // The round-tripped spec expands to the same cells.
+        let cells = spec.cells();
+        let back_cells = back.cells();
+        assert_eq!(cells.len(), back_cells.len(), "{name}");
+        for (a, b) in cells.iter().zip(&back_cells) {
+            assert_eq!(a.key, b.key, "{name} cell {}", a.index);
+            assert_eq!(a.axes, b.axes, "{name} cell {}", a.index);
+        }
+    }
+}
+
+#[test]
+fn run_summary_round_trips() {
+    let summary = RunSummary {
+        final_accuracy: 0.875,
+        sigma: 0.79,
+        lr: 0.2,
+        iterations: 125,
+        delta: 1.4e-4,
+        defense_stats: Default::default(),
+        history: vec![
+            EvalPoint { iteration: 31, epoch: 1.0, accuracy: 0.5 },
+            EvalPoint { iteration: 62, epoch: 2.0, accuracy: 0.875 },
+        ],
+    };
+    roundtrip_json(&summary);
+}
+
+#[test]
+fn missing_field_errors_name_the_json_path() {
+    let spec = registry::get("paper/quickstart").unwrap();
+    let json = serde_json::to_string(&spec).unwrap();
+    // Renaming a nested required field makes it "missing" for the parser.
+    let bad = json.replacen("\"per_worker\"", "\"per_worker_typo\"", 1);
+    assert_ne!(bad, json);
+    let err = ScenarioSpec::from_json(&bad).unwrap_err();
+    assert!(err.contains("ScenarioSpec.base"), "path missing from: {err}");
+    assert!(err.contains("per_worker"), "field missing from: {err}");
+}
+
+#[test]
+fn unknown_variant_errors_name_the_enum() {
+    let spec = registry::get("paper/quickstart").unwrap();
+    let json = serde_json::to_string(&spec).unwrap();
+    let bad = json.replace("\"LabelFlip\"", "\"LabelFlip2\"");
+    assert_ne!(bad, json);
+    let err = ScenarioSpec::from_json(&bad).unwrap_err();
+    assert!(err.contains("AttackSpec"), "enum missing from: {err}");
+    assert!(err.contains("LabelFlip2"), "variant missing from: {err}");
+}
+
+#[test]
+fn syntax_errors_carry_line_and_column() {
+    let err = ScenarioSpec::from_json("{\n  \"name\": \"x\",\n  oops\n}").unwrap_err();
+    assert!(err.contains("line 3"), "{err}");
+}

@@ -2,64 +2,42 @@
 //! servers — undefended mean, Krum, and the paper's two-stage protocol —
 //! at 60 % Byzantine workers with (ε = 1)-DP.
 //!
+//! The grid is the registry's `paper/attack_showdown` scenario (6 attacks ×
+//! 3 defenses); the reference row is the ε = 1 cell of `paper/reference`.
+//!
 //! ```text
-//! cargo run --release -p dpbfl --example attack_showdown
+//! cargo run --release -p dpbfl-harness --example attack_showdown
 //! ```
 
-use dpbfl::prelude::*;
-
-fn base() -> SimulationConfig {
-    let mut cfg = SimulationConfig::quick(SyntheticSpec::mnist_like(), ModelKind::Mlp784);
-    cfg.per_worker = 500;
-    cfg.n_honest = 10;
-    cfg.n_byzantine = 15; // 60 %
-    cfg.epochs = 4.0;
-    cfg.epsilon = Some(1.0);
-    cfg
-}
+use dpbfl_harness::{registry, run_scenario_in_memory};
 
 fn main() {
-    let attacks: Vec<(&str, AttackSpec)> = vec![
-        ("gaussian", AttackSpec::Gaussian),
-        ("label-flip", AttackSpec::LabelFlip),
-        ("opt-lmp", AttackSpec::OptLmp),
-        ("a-little", AttackSpec::ALittle),
-        ("inner-product", AttackSpec::InnerProduct { scale: 5.0 }),
-        (
-            "adaptive(0.4, label-flip)",
-            AttackSpec::Adaptive { ttbb: 0.4, inner: Box::new(AttackSpec::LabelFlip) },
-        ),
-    ];
-
-    // Reference: no attack, no defense.
-    let reference = dpbfl::simulation::run(&{
-        let mut c = base();
-        c.n_byzantine = 0;
-        c
-    });
+    // Reference: no attack, no defense, same privacy level as the grid.
+    let reference_spec = registry::get("paper/reference").expect("built-in scenario");
+    let reference_cell = reference_spec
+        .cells()
+        .into_iter()
+        .find(|c| c.config.epsilon == Some(1.0))
+        .expect("the reference grid sweeps ε = 1");
+    let reference = dpbfl::simulation::run(&reference_cell.config);
     println!("Reference Accuracy (DP only, no Byzantine): {:.3}\n", reference.final_accuracy);
-    println!("{:<28} {:>12} {:>12} {:>12}", "attack (60% byz)", "undefended", "krum", "two-stage");
 
-    for (name, attack) in attacks {
-        let undefended = {
-            let mut c = base();
-            c.attack = attack.clone();
-            dpbfl::simulation::run(&c).final_accuracy
-        };
-        let krum = {
-            let mut c = base();
-            c.attack = attack.clone();
-            c.defense = DefenseKind::Robust(AggregatorKind::Krum { f: c.n_byzantine });
-            dpbfl::simulation::run(&c).final_accuracy
-        };
-        let two_stage = {
-            let mut c = base();
-            c.attack = attack;
-            c.defense = DefenseKind::TwoStage;
-            c.defense_cfg.gamma = c.n_honest as f64 / c.n_total() as f64;
-            dpbfl::simulation::run(&c).final_accuracy
-        };
-        println!("{name:<28} {undefended:>12.3} {krum:>12.3} {two_stage:>12.3}");
+    let spec = registry::get("paper/attack_showdown").expect("built-in scenario");
+    let results = run_scenario_in_memory(&spec);
+    println!("{:<28} {:>12} {:>12} {:>12}", "attack (60% byz)", "undefended", "krum", "two-stage");
+    // The grid expands defenses innermost: [none, krum, two-stage] per attack.
+    for row in results.chunks(3) {
+        let attack = row[0]
+            .0
+            .axes
+            .iter()
+            .find(|(axis, _)| axis == "attack")
+            .map(|(_, label)| label.clone())
+            .expect("attack axis is swept");
+        println!(
+            "{attack:<28} {:>12.3} {:>12.3} {:>12.3}",
+            row[0].1.final_accuracy, row[1].1.final_accuracy, row[2].1.final_accuracy
+        );
     }
     println!(
         "\nExpected shape: the two-stage column tracks the Reference Accuracy under\n\

@@ -1,24 +1,32 @@
 //! Anatomy of the first-stage aggregation: what the norm + KS tests accept
 //! and reject, and the Theorem-2 envelope that confines accepted uploads.
 //!
+//! The protocol constants (model dimension `d`, noise multiplier σ, batch
+//! size `b_c`) come from the registry's headline scenario instead of being
+//! hand-copied numbers.
+//!
 //! ```text
-//! cargo run --release -p dpbfl --example first_stage_anatomy
+//! cargo run --release -p dpbfl-harness --example first_stage_anatomy
 //! ```
 
 use dpbfl::first_stage::{theorem2_envelope, FirstStage};
+use dpbfl::simulation::resolve_sigma;
+use dpbfl_harness::registry;
 use dpbfl_stats::ks::ks_test_gaussian;
 use dpbfl_stats::normal::gaussian_vector;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let d = 25_450usize; // the paper's MLP dimension
-    let sigma = 0.79; // noise multiplier at ε = 2
-    let b_c = 16usize;
+    let base = registry::get("paper/quickstart").expect("built-in scenario").base;
+    let mut init_rng = StdRng::seed_from_u64(0);
+    let d = base.model.build(&mut init_rng, &base.dataset).param_len();
+    let (sigma, _) = resolve_sigma(&base); // the scenario's ε target → σ
+    let b_c = base.dp.batch_size;
     let noise_std = sigma / b_c as f64; // what the server sees per coordinate
     let stage = FirstStage::new(noise_std, d, 0.05, 3.0);
     let (lo, hi) = stage.norm_bounds();
-    println!("protocol: d = {d}, σ = {sigma}, b_c = {b_c} → σ' = {noise_std:.4}");
+    println!("protocol: d = {d}, σ = {sigma:.3}, b_c = {b_c} → σ' = {noise_std:.4}");
     println!("norm test accepts ‖g‖ ∈ [{lo:.3}, {hi:.3}]\n");
 
     let mut rng = StdRng::seed_from_u64(7);

@@ -1,12 +1,15 @@
 //! Algorithm 4 (`GetNonIID`) in action: distributing a dataset to workers
 //! with wildly different class mixes, plus its effect on training.
 //!
+//! The training comparison is the registry's `paper/non_iid` scenario
+//! (iid vs Algorithm-4 partitions under 60 % label-flip).
+//!
 //! ```text
-//! cargo run --release -p dpbfl --example non_iid_partition
+//! cargo run --release -p dpbfl-harness --example non_iid_partition
 //! ```
 
-use dpbfl::prelude::*;
-use dpbfl_data::{iid_partition, label_distribution, non_iid_partition};
+use dpbfl_data::{iid_partition, label_distribution, non_iid_partition, SyntheticSpec};
+use dpbfl_harness::{registry, run_scenario_in_memory};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -30,22 +33,14 @@ fn main() {
 
     // Training comparison: the protocol under 60% label-flip in both
     // distributions (paper: results are close).
-    for iid in [true, false] {
-        let mut cfg = SimulationConfig::quick(spec.clone(), ModelKind::Mlp784);
-        cfg.per_worker = 400;
-        cfg.n_honest = 10;
-        cfg.n_byzantine = 15;
-        cfg.iid = iid;
-        cfg.epochs = 3.0;
-        cfg.epsilon = Some(2.0);
-        cfg.attack = AttackSpec::LabelFlip;
-        cfg.defense = DefenseKind::TwoStage;
-        cfg.defense_cfg.gamma = 0.4;
-        let r = dpbfl::simulation::run(&cfg);
-        println!(
-            "\n60% label-flip, two-stage, {}: accuracy {:.3}",
-            if iid { "iid" } else { "non-iid" },
-            r.final_accuracy
-        );
+    let scenario = registry::get("paper/non_iid").expect("built-in scenario");
+    for (cell, result) in run_scenario_in_memory(&scenario) {
+        let label = cell
+            .axes
+            .iter()
+            .find(|(axis, _)| axis == "partition")
+            .map(|(_, label)| label.clone())
+            .expect("partition axis is swept");
+        println!("\n60% label-flip, two-stage, {label}: accuracy {:.3}", result.final_accuracy);
     }
 }

@@ -2,32 +2,36 @@
 //! from a target (ε, δ), and how the paper's one-dimensional tuning rule
 //! `η = η_b·σ_b/σ` follows.
 //!
+//! The configuration (|D_i|, b_c, epochs, the ε grid) is the registry's
+//! paper-scale `paper/accounting` scenario, not hand-copied constants.
+//!
 //! ```text
-//! cargo run --release -p dpbfl --example privacy_accounting
+//! cargo run --release -p dpbfl-harness --example privacy_accounting
 //! ```
 
 use dpbfl::tuning::{noise_dominates, transfer_lr};
 use dpbfl_dp::{paper_delta, RdpAccountant};
+use dpbfl_harness::registry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn main() {
-    // The paper's MNIST configuration: 60 000 examples over 20 honest
-    // workers → |D_i| = 3 000; b_c = 16; 8 epochs → T = 1 500.
-    let per_worker = 3000usize;
-    let batch = 16usize;
-    let epochs = 8.0;
+    let spec = registry::get("paper/accounting").expect("built-in scenario");
+    let base = &spec.base;
+    let per_worker = base.per_worker;
+    let batch = base.dp.batch_size;
     let q = batch as f64 / per_worker as f64;
-    let steps = (epochs * per_worker as f64 / batch as f64).ceil() as u64;
+    let steps = base.iterations() as u64;
     let delta = paper_delta(per_worker);
     let acc = RdpAccountant::new(q, steps);
 
     println!("sampling rate q = {q:.5}, steps T = {steps}, δ = {delta:.3e}\n");
     println!("{:>8} {:>8} {:>10} {:>12} {:>14}", "ε", "σ", "η=0.2σb/σ", "σ²d/b²", "noise-dom?");
-    let d = 25_450usize; // the paper's MLP dimension
-    let (base_sigma, base_lr) = {
-        let s = acc.find_noise_multiplier(2.0, delta);
-        (s, 0.2)
-    };
-    for eps in [2.0, 1.0, 0.5, 0.25, 0.125] {
+    let mut init_rng = StdRng::seed_from_u64(0);
+    let d = base.model.build(&mut init_rng, &base.dataset).param_len();
+    let (base_sigma, base_lr) = (acc.find_noise_multiplier(2.0, delta), base.base_lr);
+    for cell in spec.cells() {
+        let eps = cell.config.epsilon.expect("the accounting grid sweeps ε");
         let sigma = acc.find_noise_multiplier(eps, delta);
         let lr = transfer_lr(base_lr, base_sigma, sigma);
         let ratio = sigma * sigma * d as f64 / (batch * batch) as f64;

@@ -1,25 +1,20 @@
 //! Quickstart: train a federated model that is differentially private AND
 //! survives a 60 % Byzantine label-flip attack.
 //!
+//! This is the registry's `paper/quickstart` scenario (defended + undefended
+//! cells), pretty-printed — the config lives in `dpbfl_harness::registry`,
+//! not here.
+//!
 //! ```text
-//! cargo run --release -p dpbfl --example quickstart
+//! cargo run --release -p dpbfl-harness --example quickstart
 //! ```
 
-use dpbfl::prelude::*;
+use dpbfl_harness::{registry, run_scenario_in_memory};
 
 fn main() {
-    // A 10-class synthetic image task standing in for MNIST (see DESIGN.md
-    // §3 for the substitution rationale) and the paper's 784→32→10 MLP.
-    let mut cfg = SimulationConfig::quick(SyntheticSpec::mnist_like(), ModelKind::Mlp784);
-    cfg.per_worker = 500; // |D_i|
-    cfg.n_honest = 10;
-    cfg.n_byzantine = 15; // 60 % of the 25 workers are Byzantine
-    cfg.epochs = 4.0;
-    cfg.epsilon = Some(2.0); // target (ε, δ)-DP; δ = |D_i|^{-1.1}
-    cfg.attack = AttackSpec::LabelFlip;
-    cfg.defense = DefenseKind::TwoStage;
-    cfg.defense_cfg.gamma = 0.4; // server's belief: ≥40 % honest
-
+    let spec = registry::get("paper/quickstart").expect("built-in scenario");
+    let cells = spec.cells();
+    let cfg = &cells[0].config; // the defended cell
     println!(
         "training: {} workers ({} Byzantine), ε = {:?}, T = {} iterations",
         cfg.n_total(),
@@ -27,23 +22,24 @@ fn main() {
         cfg.epsilon,
         cfg.iterations()
     );
-    let result = dpbfl::simulation::run(&cfg);
 
-    println!("noise multiplier σ = {:.3} (δ = {:.2e})", result.sigma, result.delta);
-    println!("learning rate η = η_b·σ_b/σ = {:.3}", result.lr);
-    for point in &result.history {
+    // Both cells run here; they share one dataset synthesis + partition
+    // (same seed and data spec — only the defense differs).
+    let results = run_scenario_in_memory(&spec);
+    let defended = &results[0].1;
+    let undefended = &results[1].1;
+
+    println!("noise multiplier σ = {:.3} (δ = {:.2e})", defended.sigma, defended.delta);
+    println!("learning rate η = η_b·σ_b/σ = {:.3}", defended.lr);
+    for point in &defended.history {
         println!("  epoch {:>4.1}: accuracy {:.3}", point.epoch, point.accuracy);
     }
-    println!("final accuracy under 60% Byzantine label-flip: {:.3}", result.final_accuracy);
+    println!("final accuracy under 60% Byzantine label-flip: {:.3}", defended.final_accuracy);
     println!(
         "defense: {} / {} selections were Byzantine; first stage zeroed {} Byzantine uploads",
-        result.defense_stats.byzantine_selected,
-        result.defense_stats.total_selected,
-        result.defense_stats.first_stage_rejected_byzantine
+        defended.defense_stats.byzantine_selected,
+        defended.defense_stats.total_selected,
+        defended.defense_stats.first_stage_rejected_byzantine
     );
-
-    // Compare with the undefended run: same attack, plain averaging.
-    cfg.defense = DefenseKind::NoDefense;
-    let undefended = dpbfl::simulation::run(&cfg);
     println!("undefended accuracy under the same attack: {:.3}", undefended.final_accuracy);
 }

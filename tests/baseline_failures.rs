@@ -26,7 +26,7 @@ fn classical_robust_rules_fail_at_60_percent() {
         ("geometric-median", AggregatorKind::GeometricMedian),
     ] {
         let mut cfg = base(12); // 60 %
-        cfg.defense = DefenseKind::Robust(agg);
+        cfg.defense = DefenseKind::Robust { rule: agg };
         let r = dpbfl::simulation::run(&cfg);
         assert!(
             r.final_accuracy < reference - 0.3,
@@ -45,7 +45,7 @@ fn classical_rules_do_work_below_majority() {
     // exactly the paper's point about bolting robust rules onto DP ([31]).
     let run_with_byz = |n_byz: usize| {
         let mut cfg = base(n_byz);
-        cfg.defense = DefenseKind::Robust(AggregatorKind::CoordinateMedian);
+        cfg.defense = DefenseKind::Robust { rule: AggregatorKind::CoordinateMedian };
         dpbfl::simulation::run(&cfg).final_accuracy
     };
     let below = run_with_byz(2); // 20 % of 10 total

@@ -79,6 +79,57 @@ fn defense_survives_opt_lmp_and_gaussian() {
 }
 
 #[test]
+fn configs_and_summaries_serialize_round_trip() {
+    // The experiment-grid harness persists resolved configs and RunSummary
+    // values as JSON; both must survive a write → read cycle losslessly.
+    let mut cfg = small(4);
+    cfg.attack = AttackSpec::Adaptive { ttbb: 0.5, inner: Box::new(AttackSpec::LabelFlip) };
+    cfg.defense = DefenseKind::Robust { rule: AggregatorKind::Krum { f: 4 } };
+    let json = serde_json::to_string(&cfg).expect("config serializes");
+    let back: SimulationConfig = serde_json::from_str(&json).expect("config parses");
+    assert_eq!(serde_json::to_string(&back).unwrap(), json, "canonical serialization");
+    assert_eq!(back.attack, cfg.attack);
+    assert_eq!(back.defense, cfg.defense);
+
+    cfg.defense = DefenseKind::NoDefense;
+    cfg.attack = AttackSpec::None;
+    cfg.per_worker = 64;
+    cfg.test_count = 64;
+    cfg.epochs = 1.0;
+    cfg.epsilon = None;
+    let result = dpbfl::simulation::run(&cfg);
+    let summary = result.summary();
+    let line = serde_json::to_string(&summary).expect("summary serializes");
+    let parsed: RunSummary = serde_json::from_str(&line).expect("summary parses");
+    assert_eq!(parsed.final_accuracy.to_bits(), result.final_accuracy.to_bits());
+    assert_eq!(parsed.history.len(), result.history.len());
+    assert_eq!(parsed.iterations, result.iterations);
+}
+
+#[test]
+fn prepared_runs_match_standalone_runs() {
+    // run() is run_prepared(prepare()): sharing one preparation across
+    // configs with equal cache keys must be bit-invisible in the results.
+    let mut defended = small(4);
+    defended.attack = AttackSpec::Gaussian;
+    defended.defense = DefenseKind::TwoStage;
+    defended.defense_cfg.gamma = 0.5;
+    let mut undefended = defended.clone();
+    undefended.defense = DefenseKind::NoDefense;
+    assert_eq!(PreparedRun::cache_key(&defended), PreparedRun::cache_key(&undefended));
+    let prep = dpbfl::simulation::prepare(&defended);
+    for cfg in [&defended, &undefended] {
+        let shared = dpbfl::simulation::run_prepared(cfg, &prep);
+        let standalone = dpbfl::simulation::run(cfg);
+        assert_eq!(shared.final_accuracy.to_bits(), standalone.final_accuracy.to_bits());
+        assert_eq!(
+            shared.defense_stats.byzantine_selected,
+            standalone.defense_stats.byzantine_selected
+        );
+    }
+}
+
+#[test]
 fn runs_are_deterministic_across_thread_schedules() {
     let mut cfg = small(4);
     cfg.attack = AttackSpec::Gaussian;

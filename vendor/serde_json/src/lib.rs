@@ -37,7 +37,10 @@ pub fn parse_value(s: &str) -> Result<Value, Error> {
     let v = p.value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return Err(Error::msg(format!("trailing characters at byte {}", p.pos)));
+        return Err(Error::msg(format!(
+            "trailing characters at {}",
+            line_column(s.as_bytes(), p.pos)
+        )));
     }
     Ok(v)
 }
@@ -129,12 +132,29 @@ fn write_string(out: &mut String, s: &str) {
 
 // ---- parser -------------------------------------------------------------
 
+/// 1-based `line L, column C` for byte `pos` of `bytes` — parse errors point
+/// at the offending spot in the source text instead of a raw byte offset.
+/// The column counts *characters*, not bytes, so positions stay correct on
+/// lines containing multi-byte UTF-8 (γ, ε, … are common in spec notes).
+fn line_column(bytes: &[u8], pos: usize) -> String {
+    let upto = &bytes[..pos.min(bytes.len())];
+    let line = 1 + upto.iter().filter(|&&b| b == b'\n').count();
+    let tail_start = upto.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
+    let col = 1 + String::from_utf8_lossy(&upto[tail_start..]).chars().count();
+    format!("line {line}, column {col}")
+}
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Parser<'a> {
+    /// `line, column` of the current position.
+    fn locate(&self) -> String {
+        line_column(self.bytes, self.pos)
+    }
+
     fn skip_ws(&mut self) {
         while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
             self.pos += 1;
@@ -151,9 +171,9 @@ impl<'a> Parser<'a> {
             Ok(())
         } else {
             Err(Error::msg(format!(
-                "expected `{}` at byte {}, found `{:?}`",
+                "expected `{}` at {}, found `{:?}`",
                 b as char,
-                self.pos,
+                self.locate(),
                 self.peek().map(|c| c as char)
             )))
         }
@@ -179,9 +199,9 @@ impl<'a> Parser<'a> {
             Some(b'{') => self.object(),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
             other => Err(Error::msg(format!(
-                "unexpected `{:?}` at byte {}",
+                "unexpected `{:?}` at {}",
                 other.map(|c| c as char),
-                self.pos
+                self.locate()
             ))),
         }
     }
@@ -205,7 +225,7 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Arr(items));
                 }
-                _ => return Err(Error::msg(format!("expected `,` or `]` at byte {}", self.pos))),
+                _ => return Err(Error::msg(format!("expected `,` or `]` at {}", self.locate()))),
             }
         }
     }
@@ -234,7 +254,7 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Obj(fields));
                 }
-                _ => return Err(Error::msg(format!("expected `,` or `}}` at byte {}", self.pos))),
+                _ => return Err(Error::msg(format!("expected `,` or `}}` at {}", self.locate()))),
             }
         }
     }
@@ -371,5 +391,20 @@ mod tests {
         assert!(parse_value("[1, 2").is_err());
         assert!(parse_value("12 34").is_err());
         assert!(parse_value("").is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_and_column() {
+        let err = parse_value("{\n  \"a\": 1,\n  \"b\": ?\n}").unwrap_err();
+        assert!(err.0.contains("line 3"), "{err:?}");
+        assert!(err.0.contains("column 8"), "{err:?}");
+    }
+
+    #[test]
+    fn error_columns_count_chars_not_bytes() {
+        // `γδ` is 4 bytes but 2 characters: the `?` sits at column 9.
+        let err = parse_value("{\n  \"\u{3b3}\u{3b4}\": ?\n}").unwrap_err();
+        assert!(err.0.contains("line 2"), "{err:?}");
+        assert!(err.0.contains("column 9"), "{err:?}");
     }
 }
