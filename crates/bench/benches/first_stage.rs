@@ -1,6 +1,9 @@
-//! First-stage test throughput (Algorithm 2): the norm test is O(d), the KS
-//! test is O(d log d) — this bench shows where server time goes and how it
-//! scales with the model dimension.
+//! First-stage test throughput (Algorithm 2): the norm test is O(d), the
+//! exact KS test is O(d log d), and `full_check` is the production sort-free
+//! fast path (O(d) screen + sorted fallback only in the critical band; see
+//! the `ks_fastpath` bench for the side-by-side fast-vs-reference numbers).
+//! This bench shows where server time goes and how it scales with the model
+//! dimension.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dpbfl::first_stage::FirstStage;

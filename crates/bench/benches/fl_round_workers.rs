@@ -2,17 +2,20 @@
 //! "what does a round cost the server once worker counts grow past 10³?"
 //! (ROADMAP "Parallelism next steps").
 //!
-//! Two stages dominate: the per-upload first-stage tests (KS sort, O(d log d)
-//! each) and the second-stage scoring, now one n×d matrix–vector product
-//! against `g_s` instead of n serial dots. The scoring rows run at
-//! n ∈ {10, 100, 1000} with the paper's MLP dimension d = 25 450; the
-//! KS-dominated first stage is capped at n ≤ 100 to keep the smoke run fast
-//! (it scales linearly in n by construction — one independent test per
-//! upload).
+//! The second stage is one n×d matrix–vector product; the first stage used
+//! to sort all d coordinates per upload (O(d log d), ~3 ms at d = 25 450 —
+//! ~3 s of serial work per 1 000-worker round) and now runs the sort-free KS
+//! screen with a sorted fallback only inside the critical band, which makes
+//! the n = 1 000 first-stage row affordable to measure directly.
+//!
+//! A smoke assertion guards the fast path: if the screen regresses to the
+//! sorted fallback on benign uploads (the common case), the bench body —
+//! which CI runs in `--test` mode — panics.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dpbfl::first_stage::FirstStage;
+use dpbfl::first_stage::{FirstStage, KsScratch};
 use dpbfl::second_stage::SecondStage;
+use dpbfl_stats::ks::KsScreenVerdict;
 use dpbfl_stats::normal::gaussian_vector;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -38,13 +41,41 @@ fn bench_second_stage_scaling(c: &mut Criterion) {
         });
     }
 
-    for n in [10usize, 100] {
+    let first = FirstStage::new(NOISE_STD, D, 0.05, 3.0);
+    // Smoke assertion: benign uploads must overwhelmingly be decided by the
+    // one-pass screen. A fallback rate above 30 % means the fast path has
+    // silently regressed to the sorted path.
+    {
+        let ups = uploads(100, 1100);
+        let mut scratch = KsScratch::new();
+        let fallbacks = ups
+            .iter()
+            .filter(|u| first.ks_screen().screen(u, &mut scratch) == KsScreenVerdict::Borderline)
+            .count();
+        assert!(
+            fallbacks <= 30,
+            "fast path regressed to sorting: {fallbacks}/100 benign uploads fell back"
+        );
+    }
+    for n in [10usize, 100, 1000] {
         let ups = uploads(n, 1000 + n as u64);
-        let first = FirstStage::new(NOISE_STD, D, 0.05, 3.0);
+        let mut scratch = KsScratch::new();
         group.bench_function(BenchmarkId::new("first_stage_check", n), |b| {
             b.iter(|| {
                 for u in &ups {
-                    std::hint::black_box(first.check(u));
+                    std::hint::black_box(first.check_with(u, &mut scratch));
+                }
+            })
+        });
+    }
+    // The before number, for the README speedup row (kept at n = 100 so the
+    // sorted path doesn't dominate the whole suite's wall time).
+    {
+        let ups = uploads(100, 1100);
+        group.bench_function(BenchmarkId::new("first_stage_check_reference", 100), |b| {
+            b.iter(|| {
+                for u in &ups {
+                    std::hint::black_box(first.check_reference(u));
                 }
             })
         });

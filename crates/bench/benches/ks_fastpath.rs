@@ -1,0 +1,71 @@
+//! The sort-free first-stage fast path vs the always-sort reference — the
+//! headline numbers of the KS-screen optimization, plus hard regression
+//! guards.
+//!
+//! Before any timing, the bench **asserts** on benign uploads that (a) the
+//! fast path's verdicts are identical to the reference implementation's and
+//! (b) at least 70 % of benign uploads are decided by the screen without the
+//! sorted fallback. Criterion's `--test` smoke mode runs this body in CI, so
+//! the fast path cannot silently regress to the sorted path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpbfl::first_stage::{FirstStage, KsScratch};
+use dpbfl_stats::ks::KsScreenVerdict;
+use dpbfl_stats::normal::gaussian_vector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const NOISE_STD: f64 = 0.05;
+const UPLOADS: usize = 20;
+
+fn benign_uploads(d: usize, n: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| gaussian_vector(&mut rng, NOISE_STD, d)).collect()
+}
+
+fn bench_ks_fastpath(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ks_fastpath");
+    group.sample_size(10);
+    for d in [6_000usize, 25_450] {
+        let stage = FirstStage::new(NOISE_STD, d, 0.05, 3.0);
+        let ups = benign_uploads(d, UPLOADS, d as u64);
+        let mut scratch = KsScratch::new();
+
+        // Regression guards (run once, before timing).
+        let mut fallbacks = 0usize;
+        for u in &ups {
+            assert_eq!(
+                stage.check_with(u, &mut scratch),
+                stage.check_reference(u),
+                "fast path diverged from the reference at d={d}"
+            );
+            if stage.ks_screen().screen(u, &mut scratch) == KsScreenVerdict::Borderline {
+                fallbacks += 1;
+            }
+        }
+        assert!(
+            fallbacks * 10 <= UPLOADS * 3,
+            "fast path regressed to sorting: {fallbacks}/{UPLOADS} benign uploads \
+             fell back at d={d}"
+        );
+
+        group.bench_function(BenchmarkId::new("fast_check", d), |b| {
+            b.iter(|| {
+                for u in &ups {
+                    std::hint::black_box(stage.check_with(u, &mut scratch));
+                }
+            })
+        });
+        group.bench_function(BenchmarkId::new("reference_check", d), |b| {
+            b.iter(|| {
+                for u in &ups {
+                    std::hint::black_box(stage.check_reference(u));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ks_fastpath);
+criterion_main!(benches);

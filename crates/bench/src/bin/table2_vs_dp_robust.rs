@@ -2,88 +2,75 @@
 //! on Fashion under the "A little" and "Inner" (inner-product manipulation)
 //! attacks.
 //!
-//! Paper's numbers: [30] reaches .61/.75 at 40 % byz (ε = 3.46) and .78/.79
-//! at 20 % (ε = 7.58); ours reaches ~.79–.80 at 40–60 % byz with ε = 2.
+//! Thin wrapper over the registry: the baseline grid is
+//! `paper/table2_dp_krum` (clipping DP-SGD + Krum at 20 %/40 % Byzantine,
+//! ε ≈ 3.46), ours is `paper/table2_ours` (two-stage at 40 %/60 % with the
+//! stronger ε = 2) — both exist exactly once, in `dpbfl_harness::registry`.
 //!
 //! ```text
-//! cargo run --release -p dpbfl-bench --bin table2_vs_dp_robust [--dataset fashion]
+//! cargo run --release -p dpbfl-bench --bin table2_vs_dp_robust
 //! ```
 
-use dpbfl::baseline::guerraoui_style;
-use dpbfl::prelude::*;
-use dpbfl_bench::{fmt_acc, print_table, run_seeds, save_json, Args, Scale};
+use dpbfl_bench::{print_table, save_json};
+use dpbfl_harness::{registry, run_scenario_in_memory, Cell, ScenarioSpec};
 use serde::Serialize;
 
 #[derive(Serialize)]
 struct Record {
     method: String,
-    byz_pct: usize,
+    n_byzantine: usize,
     epsilon: f64,
     attack: String,
     accuracy: f64,
 }
 
+/// One registry grid → table rows: one row per swept `n_byzantine`, one
+/// column per swept attack (the grid expands `n_byzantine` before attacks is
+/// irrelevant — cells are matched by axis labels).
+fn rows_for(spec: &ScenarioSpec, method: &str, records: &mut Vec<Record>) -> Vec<Vec<String>> {
+    let results = run_scenario_in_memory(spec);
+    let axis = |cell: &Cell, name: &str| -> String {
+        cell.axis(name).unwrap_or_else(|| panic!("{name} axis is swept")).to_string()
+    };
+    let byz_labels = dpbfl_bench::distinct_axis_labels(&results, "n_byzantine");
+    byz_labels
+        .iter()
+        .map(|byz| {
+            let n_byz: usize = byz.parse().expect("n_byzantine labels are counts");
+            let n_total = results[0].0.config.n_honest + n_byz;
+            let epsilon = results[0].0.config.epsilon.expect("Table 2 runs are private");
+            let mut row = vec![format!(
+                "{method}, {:.0}% byz, ε={epsilon:.2}",
+                100.0 * n_byz as f64 / n_total as f64
+            )];
+            for (cell, result) in &results {
+                if axis(cell, "n_byzantine") != *byz {
+                    continue;
+                }
+                row.push(format!("{:.3}", result.final_accuracy));
+                records.push(Record {
+                    method: method.into(),
+                    n_byzantine: n_byz,
+                    epsilon,
+                    attack: axis(cell, "attack"),
+                    accuracy: result.final_accuracy,
+                });
+            }
+            row
+        })
+        .collect()
+}
+
 fn main() {
-    let args = Args::parse();
-    let scale = Scale::from_env();
-    let dataset = args.value("dataset").unwrap_or("fashion");
-
-    let attacks: [(&str, AttackSpec); 2] =
-        [("a-little", AttackSpec::ALittle), ("inner", AttackSpec::InnerProduct { scale: 5.0 })];
-
     let mut records = Vec::new();
     let mut rows = Vec::new();
-
-    // [30]-style baseline at 20% and 40% byz (its viable range), ε ≈ 3.46.
-    for byz_pct in [20usize, 40] {
-        let mut row = vec![format!("[30] DP+Krum, {byz_pct}% byz, ε=3.46")];
-        for (aname, attack) in &attacks {
-            let mut cfg = scale.config(dataset);
-            cfg.epsilon = Some(3.46);
-            cfg.n_byzantine =
-                (cfg.n_honest as f64 * byz_pct as f64 / (100.0 - byz_pct as f64)).round() as usize;
-            cfg.attack = attack.clone();
-            let n_byz = cfg.n_byzantine;
-            let cfg = guerraoui_style(cfg, 1.0, AggregatorKind::Krum { f: n_byz });
-            let s = run_seeds(&cfg, &scale.seeds);
-            row.push(fmt_acc(&s));
-            records.push(Record {
-                method: "dp-krum".into(),
-                byz_pct,
-                epsilon: 3.46,
-                attack: aname.to_string(),
-                accuracy: s.mean,
-            });
-        }
-        rows.push(row);
-    }
-
-    // Ours at 40% and 60% byz with the *stronger* guarantee ε = 2.
-    for byz_pct in [40usize, 60] {
-        let mut row = vec![format!("Ours, {byz_pct}% byz, ε=2.00")];
-        for (aname, attack) in &attacks {
-            let mut cfg = scale.config(dataset);
-            cfg.epsilon = Some(2.0);
-            cfg.n_byzantine =
-                (cfg.n_honest as f64 * byz_pct as f64 / (100.0 - byz_pct as f64)).round() as usize;
-            cfg.attack = attack.clone();
-            cfg.defense = DefenseKind::TwoStage;
-            cfg.defense_cfg.gamma = cfg.n_honest as f64 / cfg.n_total() as f64;
-            let s = run_seeds(&cfg, &scale.seeds);
-            row.push(fmt_acc(&s));
-            records.push(Record {
-                method: "ours".into(),
-                byz_pct,
-                epsilon: 2.0,
-                attack: aname.to_string(),
-                accuracy: s.mean,
-            });
-        }
-        rows.push(row);
-    }
+    let baseline = registry::get("paper/table2_dp_krum").expect("built-in scenario");
+    rows.extend(rows_for(&baseline, "[30] DP+Krum", &mut records));
+    let ours = registry::get("paper/table2_ours").expect("built-in scenario");
+    rows.extend(rows_for(&ours, "Ours", &mut records));
 
     print_table(
-        &format!("Table 2 [{dataset}]: vs DP-SGD + robust aggregation"),
+        "Table 2 [fashion]: vs DP-SGD + robust aggregation",
         &["method / setting", "\"A little\" attack", "\"Inner\" attack"],
         &rows,
     );

@@ -3,76 +3,57 @@
 //! with its conservative belief γ = 40 %. The protocol should track the
 //! Reference Accuracy, i.e. the medicine must not harm a healthy patient.
 //!
+//! Thin wrapper over the registry: the defended grid is
+//! `paper/table4_side_effect`, the Reference Accuracy rows are the matching
+//! ε cells of `paper/reference` — both exist exactly once, in
+//! `dpbfl_harness::registry`.
+//!
 //! ```text
-//! cargo run --release -p dpbfl-bench --bin table4_side_effect [--datasets ...]
+//! cargo run --release -p dpbfl-bench --bin table4_side_effect
 //! ```
 
-use dpbfl::prelude::*;
-use dpbfl_bench::{print_table, run_seeds, save_json, Args, Scale};
+use dpbfl_bench::{print_table, save_json};
+use dpbfl_harness::{registry, run_scenario_in_memory};
 use serde::Serialize;
 
 #[derive(Serialize)]
 struct Record {
-    dataset: String,
-    epsilon: f64,
+    epsilon: String,
     reference: f64,
     zero_attackers: f64,
 }
 
 fn main() {
-    let args = Args::parse();
-    let scale = Scale::from_env();
-    let datasets = args.list(
-        "datasets",
-        if scale.full { "mnist,fashion,usps,colorectal" } else { "mnist,fashion" },
-    );
-    let epsilons: Vec<f64> = if scale.full { vec![0.125, 0.5, 2.0] } else { vec![0.5, 2.0] };
+    let spec = registry::get("paper/table4_side_effect").expect("built-in scenario");
+    let defended = run_scenario_in_memory(&spec);
+    let reference_spec = registry::get("paper/reference").expect("built-in scenario");
+    let reference_cells = reference_spec.cells();
 
     let mut records = Vec::new();
     let mut rows = Vec::new();
-    for dataset in &datasets {
-        for &eps in &epsilons {
-            // Reference Accuracy: DP only.
-            let mut ra_cfg = scale.config(dataset);
-            ra_cfg.epsilon = Some(eps);
-            let ra = run_seeds(&ra_cfg, &scale.seeds);
-
-            // "zero": the 60% extra workers are honest too, but the server
-            // still defends believing only 40% are honest. All workers run
-            // the honest protocol, so the honest pool is n_honest + "byz".
-            let mut cfg = scale.config(dataset);
-            cfg.epsilon = Some(eps);
-            let extra = (cfg.n_honest as f64 * 1.5).round() as usize;
-            cfg.n_honest += extra; // everyone is honest
-            cfg.attack = AttackSpec::None;
-            cfg.n_byzantine = 0;
-            cfg.defense = DefenseKind::TwoStage;
-            cfg.defense_cfg.gamma = 0.4; // the server's (wrong) belief
-            let zero = run_seeds(&cfg, &scale.seeds);
-
-            rows.push(vec![
-                dataset.to_string(),
-                format!("{eps}"),
-                format!("{:.3}", ra.mean),
-                format!("{:.3}", zero.mean),
-                format!("{:+.3}", zero.mean - ra.mean),
-            ]);
-            records.push(Record {
-                dataset: dataset.to_string(),
-                epsilon: eps,
-                reference: ra.mean,
-                zero_attackers: zero.mean,
-            });
-        }
+    for (cell, result) in &defended {
+        let epsilon = cell.axis("epsilon").expect("epsilon axis is swept").to_string();
+        let ra_cell = reference_cells
+            .iter()
+            .find(|c| c.config.epsilon == cell.config.epsilon)
+            .expect("paper/reference sweeps every Table-4 ε");
+        let ra = dpbfl::simulation::run(&ra_cell.config).final_accuracy;
+        rows.push(vec![
+            format!("{epsilon}"),
+            format!("{ra:.3}"),
+            format!("{:.3}", result.final_accuracy),
+            format!("{:+.3}", result.final_accuracy - ra),
+        ]);
+        records.push(Record { epsilon, reference: ra, zero_attackers: result.final_accuracy });
     }
     print_table(
         "Table 4: side-effect test (defense on, zero actual attackers)",
-        &["dataset", "ε", "Reference Acc. (RA)", "zero (defended)", "gap"],
+        &["ε", "Reference Acc. (RA)", "zero (defended)", "gap"],
         &rows,
     );
     println!(
         "\nPaper shape (Table 4): 'zero' matches RA at every ε except the extreme\n\
-         ε = 0.125, where DP noise itself destabilizes training."
+         budgets, where DP noise itself destabilizes training."
     );
     save_json("table4_side_effect", &records);
 }

@@ -2,82 +2,38 @@
 //! workers copy honest uploads until `TTBB·T` iterations, then turn
 //! malicious. Resilience must be independent of when they turn.
 //!
+//! Thin wrapper over the registry's `paper/table5_ttbb` scenario: the TTBB
+//! grid exists exactly once, in `dpbfl_harness::registry`.
+//!
 //! ```text
 //! cargo run --release -p dpbfl-bench --bin table5_ttbb
-//!     [--attack label-flip|gaussian|opt-lmp] [--datasets ...] [--non-iid]
 //! ```
 
-use dpbfl::prelude::*;
-use dpbfl_bench::{fmt_acc, print_table, run_seeds, save_json, Args, Scale};
+use dpbfl_bench::{print_table, save_json};
+use dpbfl_harness::{registry, run_scenario_in_memory};
 use serde::Serialize;
 
 #[derive(Serialize)]
 struct Record {
-    dataset: String,
     attack: String,
-    ttbb: f64,
-    epsilon: f64,
     accuracy: f64,
 }
 
 fn main() {
-    let args = Args::parse();
-    let scale = Scale::from_env();
-    let attack_name = args.value("attack").unwrap_or("label-flip").to_string();
-    let inner = match attack_name.as_str() {
-        "label-flip" => AttackSpec::LabelFlip,
-        "gaussian" => AttackSpec::Gaussian,
-        "opt-lmp" => AttackSpec::OptLmp,
-        other => panic!("unknown attack {other:?}"),
-    };
-    let datasets =
-        args.list("datasets", if scale.full { "mnist,fashion,usps,colorectal" } else { "mnist" });
-    let iid = !args.flag("non-iid");
-    let ttbbs: Vec<f64> =
-        if scale.full { vec![0.0, 0.2, 0.4, 0.6, 0.8] } else { vec![0.0, 0.4, 0.8] };
-    let epsilons: Vec<f64> = if scale.full { vec![2.0, 0.125] } else { vec![2.0] };
+    let spec = registry::get("paper/table5_ttbb").expect("built-in scenario");
+    let results = run_scenario_in_memory(&spec);
 
     let mut records = Vec::new();
-    for dataset in &datasets {
-        let mut rows = Vec::new();
-        for &ttbb in &ttbbs {
-            let mut row = vec![format!("{ttbb}")];
-            for &eps in &epsilons {
-                let mut cfg = scale.config(dataset);
-                cfg.iid = iid;
-                cfg.epsilon = Some(eps);
-                cfg.n_byzantine = (cfg.n_honest as f64 * 1.5).round() as usize; // 60 %
-                cfg.attack = if ttbb == 0.0 {
-                    inner.clone()
-                } else {
-                    AttackSpec::Adaptive { ttbb, inner: Box::new(inner.clone()) }
-                };
-                cfg.defense = DefenseKind::TwoStage;
-                cfg.defense_cfg.gamma = cfg.n_honest as f64 / cfg.n_total() as f64;
-                let s = run_seeds(&cfg, &scale.seeds);
-                row.push(fmt_acc(&s));
-                records.push(Record {
-                    dataset: dataset.to_string(),
-                    attack: attack_name.clone(),
-                    ttbb,
-                    epsilon: eps,
-                    accuracy: s.mean,
-                });
-            }
-            rows.push(row);
-        }
-        let mut headers: Vec<String> = vec!["TTBB".into()];
-        headers.extend(epsilons.iter().map(|e| format!("ε={e}")));
-        let headers_ref: Vec<&str> = headers.iter().map(|h| h.as_str()).collect();
-        print_table(
-            &format!("Table 5 [{dataset}, adaptive {attack_name}, 60% byz]"),
-            &headers_ref,
-            &rows,
-        );
+    let mut rows = Vec::new();
+    for (cell, result) in &results {
+        let attack = cell.axis("attack").expect("attack axis is swept").to_string();
+        rows.push(vec![attack.clone(), format!("{:.3}", result.final_accuracy)]);
+        records.push(Record { attack, accuracy: result.final_accuracy });
     }
+    print_table(&spec.title, &["attack (TTBB sweep)", "accuracy"], &rows);
     println!(
         "\nPaper shape (Table 5): accuracy is flat in TTBB — turning Byzantine at\n\
-         any time has negligible impact (except mild wobble at ε = 0.125)."
+         any time has negligible impact."
     );
-    save_json(&format!("table5_ttbb_{attack_name}"), &records);
+    save_json("table5_ttbb", &records);
 }

@@ -1,89 +1,65 @@
 //! Table 6 (and supp. Tables 10–14): γ-belief ablation — the truth is that
-//! 50 % of workers are honest; the server's belief γ sweeps 20–80 %.
-//! Conservative beliefs (γ ≤ truth) must keep robustness; radical beliefs
-//! (γ > truth) aggregate malicious uploads and pay in accuracy.
+//! 50 % of workers are honest; the server's belief γ sweeps 20–80 % across
+//! privacy levels. Conservative beliefs (γ ≤ truth) must keep robustness;
+//! radical beliefs (γ > truth) aggregate malicious uploads and pay in
+//! accuracy.
+//!
+//! Thin wrapper over the registry's `paper/table6_gamma` scenario: the γ × ε
+//! grid exists exactly once, in `dpbfl_harness::registry`.
 //!
 //! ```text
 //! cargo run --release -p dpbfl-bench --bin table6_gamma
-//!     [--attack label-flip|gaussian|opt-lmp] [--datasets ...] [--non-iid]
 //! ```
 
-use dpbfl::prelude::*;
-use dpbfl_bench::{fmt_acc, print_table, run_seeds, save_json, Args, Scale};
+use dpbfl_bench::{print_table, save_json};
+use dpbfl_harness::{registry, run_scenario_in_memory};
 use serde::Serialize;
 
 #[derive(Serialize)]
 struct Record {
-    dataset: String,
-    attack: String,
-    gamma: f64,
-    epsilon: f64,
+    gamma: String,
+    epsilon: String,
     accuracy: f64,
-    iid: bool,
 }
 
 fn main() {
-    let args = Args::parse();
-    let scale = Scale::from_env();
-    let attack_name = args.value("attack").unwrap_or("label-flip").to_string();
-    let attack = match attack_name.as_str() {
-        "label-flip" => AttackSpec::LabelFlip,
-        "gaussian" => AttackSpec::Gaussian,
-        "opt-lmp" => AttackSpec::OptLmp,
-        other => panic!("unknown attack {other:?}"),
-    };
-    let datasets =
-        args.list("datasets", if scale.full { "mnist,fashion,usps,colorectal" } else { "mnist" });
-    let iid = !args.flag("non-iid");
-    let gammas: Vec<f64> =
-        if scale.full { vec![0.2, 0.35, 0.5, 0.65, 0.8] } else { vec![0.2, 0.5, 0.8] };
-    let epsilons: Vec<f64> = if scale.full { vec![0.125, 2.0] } else { vec![2.0] };
+    let spec = registry::get("paper/table6_gamma").expect("built-in scenario");
+    let results = run_scenario_in_memory(&spec);
 
     let mut records = Vec::new();
-    for dataset in &datasets {
-        let mut rows = Vec::new();
-        for &gamma in &gammas {
-            let mut row = vec![if (gamma - 0.5).abs() < 1e-9 {
-                "50% (exact)".to_string()
-            } else {
-                format!("{:.0}%", gamma * 100.0)
-            }];
-            for &eps in &epsilons {
-                let mut cfg = scale.config(dataset);
-                cfg.iid = iid;
-                cfg.epsilon = Some(eps);
-                cfg.n_byzantine = cfg.n_honest; // truth: exactly 50 % honest
-                cfg.attack = attack.clone();
-                cfg.defense = DefenseKind::TwoStage;
-                cfg.defense_cfg.gamma = gamma;
-                let s = run_seeds(&cfg, &scale.seeds);
-                row.push(fmt_acc(&s));
-                records.push(Record {
-                    dataset: dataset.to_string(),
-                    attack: attack_name.clone(),
-                    gamma,
-                    epsilon: eps,
-                    accuracy: s.mean,
-                    iid,
-                });
-            }
-            rows.push(row);
-        }
-        let mut headers: Vec<String> = vec!["γ belief".into()];
-        headers.extend(epsilons.iter().map(|e| format!("ε={e}")));
-        let headers_ref: Vec<&str> = headers.iter().map(|h| h.as_str()).collect();
-        print_table(
-            &format!(
-                "Table 6 [{dataset}, {attack_name}, {}; truth = 50% honest]",
-                if iid { "iid" } else { "non-iid" }
-            ),
-            &headers_ref,
-            &rows,
-        );
+    for (cell, result) in &results {
+        records.push(Record {
+            gamma: cell.axis("gamma").expect("gamma axis is swept").to_string(),
+            epsilon: cell.axis("epsilon").expect("epsilon axis is swept").to_string(),
+            accuracy: result.final_accuracy,
+        });
     }
+
+    // Rows: γ beliefs; columns: ε (the grid expands ε innermost).
+    let gammas = dpbfl_bench::distinct_axis_labels(&results, "gamma");
+    let epsilons = dpbfl_bench::distinct_axis_labels(&results, "epsilon");
+    let rows: Vec<Vec<String>> = gammas
+        .iter()
+        .map(|g| {
+            let mut row = vec![if g == "0.5" { "50% (exact)".into() } else { g.to_string() }];
+            for e in &epsilons {
+                let acc = records
+                    .iter()
+                    .find(|r| &r.gamma == g && &r.epsilon == e)
+                    .map(|r| r.accuracy)
+                    .expect("full grid");
+                row.push(format!("{acc:.3}"));
+            }
+            row
+        })
+        .collect();
+    let mut headers: Vec<String> = vec!["γ belief".into()];
+    headers.extend(epsilons.iter().map(|e| format!("ε={e}")));
+    let headers_ref: Vec<&str> = headers.iter().map(|h| h.as_str()).collect();
+    print_table(&spec.title, &headers_ref, &rows);
     println!(
         "\nPaper shape (Table 6): accuracy is flat for γ ≤ 50% (conservative) and\n\
-         degrades for γ ∈ {{65%, 80%}} (radical), most visibly at ε = 0.125."
+         degrades for γ ∈ {{65%, 80%}} (radical), most visibly at tight ε."
     );
-    save_json(&format!("table6_gamma_{attack_name}"), &records);
+    save_json("table6_gamma", &records);
 }

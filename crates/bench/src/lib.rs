@@ -171,6 +171,24 @@ pub fn run_seeds_history(cfg: &SimulationConfig, seeds: &[u64]) -> Vec<EvalPoint
         .collect()
 }
 
+/// Distinct labels one swept axis takes across a grid's results, in
+/// first-appearance order — the row/column sets of a registry-backed paper
+/// table.
+pub fn distinct_axis_labels(
+    results: &[(dpbfl_harness::Cell, RunResult)],
+    axis: &str,
+) -> Vec<String> {
+    let mut seen: Vec<String> = Vec::new();
+    for (cell, _) in results {
+        if let Some(label) = cell.axis(axis) {
+            if !seen.iter().any(|s| s == label) {
+                seen.push(label.to_string());
+            }
+        }
+    }
+    seen
+}
+
 /// Prints a Markdown table.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n## {title}\n");

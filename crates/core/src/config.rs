@@ -83,6 +83,12 @@ pub struct DefenseConfig {
     /// unsafe because a single selected arbitrary upload can destroy the
     /// model).
     pub first_stage_enabled: bool,
+    /// Whether the first stage uses the sort-free KS screen with sorted
+    /// fallback (`true`, the production hot path) or the retained
+    /// always-sort reference implementation (`false`). Verdicts are
+    /// bit-identical either way — the flag exists so tests and audits can
+    /// run the decision-equivalence oracle end to end.
+    pub ks_fast_path: bool,
 }
 
 impl Default for DefenseConfig {
@@ -96,6 +102,7 @@ impl Default for DefenseConfig {
             scoring: ScoringRule::default(),
             weighting: WeightScheme::default(),
             first_stage_enabled: true,
+            ks_fast_path: true,
         }
     }
 }
@@ -119,6 +126,8 @@ mod tests {
         assert!((def.ks_significance - 0.05).abs() < 1e-12);
         assert_eq!(def.aux_per_class, 2);
         assert!((def.norm_test_stds - 3.0).abs() < 1e-12);
+        assert!(def.first_stage_enabled);
+        assert!(def.ks_fast_path, "production default is the sort-free fast path");
     }
 
     #[test]

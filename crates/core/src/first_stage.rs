@@ -13,9 +13,33 @@
 //! update but keeps upload indices stable for the second stage's accumulated
 //! score list. Anything that *passes* is confined to the Theorem-2 subspace,
 //! so its malicious payload `ĝ` is strictly norm-bounded.
+//!
+//! ## The sort-free hot path
+//!
+//! [`FirstStage::check`] no longer sorts every upload. One fused pass over
+//! the `d` coordinates produces the finiteness/norm accumulator (the exact
+//! `vecops::l2_norm_sq` accumulation order, so the norm verdict is
+//! bit-identical) **and** the bucket histogram of the
+//! [`KsGaussianScreen`](dpbfl_stats::ks::KsGaussianScreen); the screen's
+//! `O(d)` envelope on the empirical CDF then decides clearly-accepted and
+//! clearly-rejected uploads without sorting, with a mid-scan early exit once
+//! the lower bound alone exceeds the critical statistic. Only uploads whose
+//! envelope straddles the critical band fall back to the exact sorted test —
+//! run through a reused per-task sort buffer ([`KsScratch`]).
+//!
+//! The public contract is **decision equivalence, not statistic
+//! equivalence**: for every upload, `check` returns exactly the same
+//! [`FirstStageVerdict`] as [`FirstStage::check_reference`], the retained
+//! always-sort implementation (the envelope brackets the exact statistic and
+//! decisions are only made outside guarded margins around the critical
+//! value; see `dpbfl_stats::ks` for the argument). The equivalence is
+//! hammered by `crates/stats/tests/proptest_ks_fastpath.rs`, the unit tests
+//! below, and a simulation-level byte-identity test.
 
-use dpbfl_stats::ks::ks_test_gaussian;
+use dpbfl_stats::ks::{ks_test_gaussian, ks_test_gaussian_with, KsGaussianScreen, KsScreenVerdict};
 use dpbfl_tensor::vecops;
+
+pub use dpbfl_stats::ks::KsScratch;
 
 /// Why an upload was rejected (or that it passed).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +71,7 @@ pub struct FirstStage {
     ks_significance: f64,
     norm_lo: f64,
     norm_hi: f64,
+    screen: KsGaussianScreen,
 }
 
 impl FirstStage {
@@ -57,7 +82,8 @@ impl FirstStage {
         assert!(noise_std > 0.0, "first stage requires positive noise (DP must be on)");
         assert!(dimension > 1, "first stage needs a non-trivial dimension");
         let (lo, hi) = norm_interval(noise_std, dimension, norm_stds);
-        FirstStage { noise_std, dimension, ks_significance, norm_lo: lo, norm_hi: hi }
+        let screen = KsGaussianScreen::new(0.0, noise_std, dimension, ks_significance);
+        FirstStage { noise_std, dimension, ks_significance, norm_lo: lo, norm_hi: hi, screen }
     }
 
     /// The `[lo, hi]` interval the ℓ2 **norm** (not squared) must fall in.
@@ -65,14 +91,65 @@ impl FirstStage {
         (self.norm_lo.sqrt(), self.norm_hi.sqrt())
     }
 
-    /// Runs both tests on an upload.
+    /// The sort-free KS screen behind the fast path (exposed so benches and
+    /// tests can observe fast-path coverage directly).
+    pub fn ks_screen(&self) -> &KsGaussianScreen {
+        &self.screen
+    }
+
+    /// Runs both tests on an upload (sort-free fast path, fresh scratch).
     ///
-    /// This is the server's per-upload hot path (the simulation fans it out
-    /// under rayon, one upload per task), so the cheap tests are fused and
-    /// ordered: one pass over the `d` coordinates yields both finiteness
-    /// and `‖g‖²`, and the KS test — which must sort all `d` coordinates —
-    /// only runs on uploads that already passed the norm gate.
+    /// Returns exactly what [`FirstStage::check_reference`] returns, for
+    /// every upload — that equivalence is the fast path's contract. Hot
+    /// loops should prefer [`FirstStage::check_with`] and reuse one
+    /// [`KsScratch`] per worker/task.
     pub fn check(&self, upload: &[f32]) -> FirstStageVerdict {
+        self.check_with(upload, &mut KsScratch::new())
+    }
+
+    /// [`FirstStage::check`] with caller-owned scratch buffers.
+    ///
+    /// One fused pass yields finiteness, `‖g‖²` (same accumulation order as
+    /// `vecops::l2_norm_sq`, so the norm verdict is bit-identical to the
+    /// reference) and the KS histogram; the screen then decides without
+    /// sorting unless the upload lands in the critical band, in which case
+    /// the exact sorted test runs in `scratch.sorted`.
+    pub fn check_with(&self, upload: &[f32], scratch: &mut KsScratch) -> FirstStageVerdict {
+        assert_eq!(upload.len(), self.dimension, "upload has wrong dimension");
+        let counts = &mut scratch.counts;
+        counts.clear();
+        counts.resize(self.screen.slots(), 0);
+        let mut norm_sq = 0.0f64;
+        for &x in upload {
+            norm_sq += (x as f64) * (x as f64);
+            counts[self.screen.bucket_of(x)] += 1;
+        }
+        if !norm_sq.is_finite() {
+            return FirstStageVerdict::NonFinite;
+        }
+        if norm_sq < self.norm_lo || norm_sq > self.norm_hi {
+            return FirstStageVerdict::NormOutOfRange;
+        }
+        let rejected = match self.screen.decide(counts) {
+            KsScreenVerdict::Reject => true,
+            KsScreenVerdict::Accept => false,
+            KsScreenVerdict::Borderline => {
+                ks_test_gaussian_with(upload, 0.0, self.noise_std, &mut scratch.sorted)
+                    .rejects_at(self.ks_significance)
+            }
+        };
+        if rejected {
+            FirstStageVerdict::KsRejected
+        } else {
+            FirstStageVerdict::Accepted
+        }
+    }
+
+    /// The retained always-sort implementation — the oracle the fast path is
+    /// decision-equivalent to (kept in-tree so the equivalence stays
+    /// testable forever; also selectable at run time via
+    /// `DefenseConfig::ks_fast_path = false`).
+    pub fn check_reference(&self, upload: &[f32]) -> FirstStageVerdict {
         assert_eq!(upload.len(), self.dimension, "upload has wrong dimension");
         let Some(norm_sq) = finite_norm_sq(upload) else {
             return FirstStageVerdict::NonFinite;
@@ -91,6 +168,24 @@ impl FirstStage {
     /// verdict.
     pub fn filter(&self, upload: &mut [f32]) -> FirstStageVerdict {
         let verdict = self.check(upload);
+        if !verdict.is_accepted() {
+            upload.fill(0.0);
+        }
+        verdict
+    }
+
+    /// [`FirstStage::filter`] with caller-owned scratch buffers.
+    pub fn filter_with(&self, upload: &mut [f32], scratch: &mut KsScratch) -> FirstStageVerdict {
+        let verdict = self.check_with(upload, scratch);
+        if !verdict.is_accepted() {
+            upload.fill(0.0);
+        }
+        verdict
+    }
+
+    /// [`FirstStage::filter`] through the always-sort reference path.
+    pub fn filter_reference(&self, upload: &mut [f32]) -> FirstStageVerdict {
+        let verdict = self.check_reference(upload);
         if !verdict.is_accepted() {
             upload.fill(0.0);
         }
@@ -258,6 +353,90 @@ mod tests {
         let verdict = s.filter(&mut v);
         assert!(!verdict.is_accepted());
         assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn fast_path_matches_reference_across_verdict_shapes() {
+        // The equivalence contract, across inputs hitting all four verdicts,
+        // with ONE scratch reused throughout (stale contents must not leak).
+        let s = stage();
+        let mut scratch = KsScratch::new();
+        let mut check_both = |v: &[f32]| {
+            let fast = s.check_with(v, &mut scratch);
+            let reference = s.check_reference(v);
+            assert_eq!(fast, reference);
+            assert_eq!(s.check(v), reference); // fresh-scratch variant too
+            fast
+        };
+        for seed in 0..8u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            // Genuine noise (mostly Accepted).
+            let v = gaussian_vector(&mut rng, STD, D);
+            check_both(&v);
+            // Slightly shifted mean: passes the norm gate, KS decides.
+            let mut shifted = v.clone();
+            for x in &mut shifted {
+                *x += 0.008;
+            }
+            check_both(&shifted);
+            // Norm violations and non-finite coordinates.
+            let big = gaussian_vector(&mut rng, 2.0 * STD, D);
+            assert_eq!(check_both(&big), FirstStageVerdict::NormOutOfRange);
+            let mut bad = v.clone();
+            bad[1234] = f32::NAN;
+            assert_eq!(check_both(&bad), FirstStageVerdict::NonFinite);
+        }
+        // Right norm, wrong shape: the screen's early-exit Reject branch.
+        let norm_target = STD * (D as f64).sqrt();
+        let per = (norm_target / (D as f64).sqrt()) as f32;
+        let two_point: Vec<f32> = (0..D).map(|i| if i % 2 == 0 { per } else { -per }).collect();
+        assert_eq!(check_both(&two_point), FirstStageVerdict::KsRejected);
+    }
+
+    #[test]
+    fn degenerate_significance_is_tolerated() {
+        // ks_significance 0 disables the KS gate (it can never reject) —
+        // legal before the screen existed, so it must not panic now, and
+        // the decision contract must hold.
+        let s = FirstStage::new(STD, 2_048, 0.0, 3.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let v = gaussian_vector(&mut rng, STD, 2_048);
+        assert_eq!(s.check(&v), s.check_reference(&v));
+    }
+
+    #[test]
+    fn fast_path_matches_reference_inside_the_critical_band() {
+        // Adversarial inputs whose exact statistic lands around the critical
+        // value, where only the sorted fallback can decide: the fast path
+        // must still agree with the reference verdict-for-verdict.
+        let s = stage();
+        let normal = dpbfl_stats::Normal::new(0.0, STD);
+        let (d_accept, _) = s.ks_screen().critical_band();
+        let mut scratch = KsScratch::new();
+        let norm_mid = (STD * STD * D as f64).sqrt();
+        for i in 0..12 {
+            // Squeeze a perfect quantile grid toward the center so the KS
+            // statistic is ~d_target, then renormalize onto the norm band's
+            // center so only the KS test decides.
+            let t = (i as f64 - 5.5) / 50.0; // d_target within ±11% of critical
+            let d_target = d_accept * (1.0 + t);
+            let delta = (d_target - 0.5 / D as f64) / (1.0 - 1.0 / D as f64);
+            let mut v: Vec<f32> = (1..=D)
+                .map(|k| {
+                    let p = (k as f64 - 0.5) / D as f64;
+                    normal.quantile(p * (1.0 - 2.0 * delta) + delta) as f32
+                })
+                .collect();
+            let scale = (norm_mid / vecops::l2_norm_sq(&v).sqrt()) as f32;
+            for x in &mut v {
+                *x *= scale;
+            }
+            assert_eq!(
+                s.check_with(&v, &mut scratch),
+                s.check_reference(&v),
+                "band case {i} (d_target {d_target})"
+            );
+        }
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub mod prelude {
     pub use crate::aggregator::AggregatorKind;
     pub use crate::attack::AttackSpec;
     pub use crate::config::{DefenseConfig, DpSgdConfig, MomentumReset, StepNormalization};
-    pub use crate::first_stage::{FirstStage, FirstStageVerdict};
+    pub use crate::first_stage::{FirstStage, FirstStageVerdict, KsScratch};
     pub use crate::second_stage::{ScoringRule, SecondStage, WeightScheme};
     pub use crate::simulation::{
         prepare, run, run_prepared, DefenseKind, EvalPoint, ModelKind, PreparedRun, RunResult,

@@ -11,7 +11,7 @@
 use crate::aggregator::AggregatorKind;
 use crate::attack::{craft_uploads, AttackContext, AttackSpec};
 use crate::config::{DefenseConfig, DpSgdConfig, StepNormalization};
-use crate::first_stage::FirstStage;
+use crate::first_stage::{FirstStage, KsScratch};
 use crate::second_stage::SecondStage;
 use crate::worker::DpWorker;
 use dpbfl_data::{
@@ -556,16 +556,35 @@ impl TwoStageState {
         lr: f64,
         n_total: usize,
     ) -> Vec<f32> {
-        // First stage: test-and-zero every upload. The KS test sorts all d
-        // coordinates per upload, so the per-upload checks fan out under
-        // rayon; `FirstStage` is stateless per upload, so the verdicts are
-        // independent of evaluation order and thread count. The ablation
-        // flag can disable this stage to measure its contribution.
+        // First stage: test-and-zero every upload. The per-upload checks fan
+        // out under rayon as one contiguous chunk per thread; each chunk owns
+        // one `KsScratch` (histogram + sort buffer) reused across its
+        // uploads. `FirstStage` is stateless per upload and the scratch is
+        // fully rewritten per check, so verdicts are independent of chunking,
+        // evaluation order and thread count; flattening the per-chunk verdict
+        // vectors in chunk order restores upload order exactly. The ablation
+        // flags can disable the stage entirely or force the always-sort
+        // reference path (decision-equivalent by contract).
         let verdicts: Vec<bool> = if !cfg.defense_cfg.first_stage_enabled {
             vec![true; uploads.len()]
+        } else if !cfg.defense_cfg.ks_fast_path {
+            let first = &self.first;
+            uploads.par_iter_mut().map(|u| first.filter_reference(u).is_accepted()).collect()
         } else {
             let first = &self.first;
-            uploads.par_iter_mut().map(|u| first.filter(u).is_accepted()).collect()
+            let chunk = uploads.len().div_ceil(rayon::current_num_threads().max(1)).max(1);
+            let chunks: Vec<&mut [Vec<f32>]> = uploads.chunks_mut(chunk).collect();
+            let nested: Vec<Vec<bool>> = chunks
+                .into_par_iter()
+                .map(|chunk| {
+                    let mut scratch = KsScratch::new();
+                    chunk
+                        .iter_mut()
+                        .map(|u| first.filter_with(u, &mut scratch).is_accepted())
+                        .collect()
+                })
+                .collect();
+            nested.into_iter().flatten().collect()
         };
         for (i, &ok) in verdicts.iter().enumerate() {
             if !ok {

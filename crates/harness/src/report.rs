@@ -27,6 +27,10 @@ pub fn markdown(spec: &ScenarioSpec, records: &[CellRecord]) -> String {
         out.push_str(&pivot_table(records, &rows, &cols));
         out.push('\n');
     }
+    if let Some(groups) = repeat_groups(records) {
+        out.push_str(&repeats_table(&groups));
+        out.push('\n');
+    }
 
     // Flat table: one row per cell.
     out.push_str("| cell |");
@@ -70,9 +74,12 @@ fn csv_field(value: &str) -> String {
 }
 
 /// Flat CSV, one row per cell (axis columns are empty when a cell does not
-/// carry that axis).
+/// carry that axis). Under a repeat axis, every row additionally carries the
+/// mean and sample standard deviation of its repeat group's final accuracy
+/// (`repeat_mean_accuracy`/`repeat_std_accuracy`; empty without repeats).
 pub fn csv(records: &[CellRecord]) -> String {
     let axes = axis_names(records);
+    let groups = repeat_groups(records);
     let mut out = String::from("cell,key,seed");
     for axis in &axes {
         out.push_str(&format!(",{axis}"));
@@ -80,7 +87,7 @@ pub fn csv(records: &[CellRecord]) -> String {
     out.push_str(
         ",final_accuracy,sigma,lr,iterations,delta,achieved_epsilon,\
          byzantine_selected,total_selected,first_stage_rejected_honest,\
-         first_stage_rejected_byzantine\n",
+         first_stage_rejected_byzantine,repeat_mean_accuracy,repeat_std_accuracy\n",
     );
     for record in records {
         let s = &record.summary;
@@ -91,8 +98,19 @@ pub fn csv(records: &[CellRecord]) -> String {
             out.push_str(&format!(",{}", csv_field(labels.get(axis.as_str()).unwrap_or(&""))));
         }
         let eps = achieved_epsilon(record);
+        let repeat_cols = groups
+            .as_ref()
+            .and_then(|groups| {
+                let key = non_repeat_axes(record);
+                groups.iter().find(|(k, _)| *k == key)
+            })
+            .map(|(_, accs)| {
+                let (mean, std) = mean_std(accs);
+                format!("{mean},{std}")
+            })
+            .unwrap_or_else(|| ",".into());
         out.push_str(&format!(
-            ",{},{},{},{},{},{},{},{},{},{}\n",
+            ",{},{},{},{},{},{},{},{},{},{},{repeat_cols}\n",
             s.final_accuracy,
             s.sigma,
             s.lr,
@@ -104,6 +122,73 @@ pub fn csv(records: &[CellRecord]) -> String {
             s.defense_stats.first_stage_rejected_honest,
             s.defense_stats.first_stage_rejected_byzantine,
         ));
+    }
+    out
+}
+
+/// A record's axis labels with the synthetic `repeat` axis stripped — the
+/// identity of its repeat group.
+fn non_repeat_axes(record: &CellRecord) -> Vec<(String, String)> {
+    record.axes.iter().filter(|(axis, _)| axis != "repeat").cloned().collect()
+}
+
+/// One repeat group: the non-repeat axis labels identifying it, plus the
+/// final accuracies of its repeats in cell order.
+type RepeatGroup = (Vec<(String, String)>, Vec<f64>);
+
+/// `Some(groups)` when the records carry a `repeat` axis: final accuracies
+/// grouped by the non-repeat axis labels, in first-appearance order.
+fn repeat_groups(records: &[CellRecord]) -> Option<Vec<RepeatGroup>> {
+    if !records.iter().any(|r| r.axes.iter().any(|(axis, _)| axis == "repeat")) {
+        return None;
+    }
+    let mut groups: Vec<RepeatGroup> = Vec::new();
+    for record in records {
+        let key = non_repeat_axes(record);
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, accs)) => accs.push(record.summary.final_accuracy),
+            None => groups.push((key, vec![record.summary.final_accuracy])),
+        }
+    }
+    Some(groups)
+}
+
+/// Mean and sample standard deviation (`n − 1` denominator; 0 for a single
+/// value — the paper reports exactly this "mean ± std over seeds" shape).
+fn mean_std(values: &[f64]) -> (f64, f64) {
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = if values.len() < 2 {
+        0.0
+    } else {
+        values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1.0)
+    };
+    (mean, var.sqrt())
+}
+
+/// The repeats aggregation table: one row per non-repeat axis combination,
+/// `mean ± std` of final accuracy over its repeats.
+fn repeats_table(groups: &[RepeatGroup]) -> String {
+    let repeats = groups.first().map(|(_, accs)| accs.len()).unwrap_or(0);
+    let mut out = format!("Final accuracy across {repeats} repeats (mean ± sample std):\n\n");
+    let axes: Vec<&str> = groups
+        .first()
+        .map(|(key, _)| key.iter().map(|(axis, _)| axis.as_str()).collect())
+        .unwrap_or_default();
+    out.push('|');
+    for axis in &axes {
+        out.push_str(&format!(" {axis} |"));
+    }
+    out.push_str(" accuracy |\n");
+    out.push_str(&"|---".repeat(axes.len() + 1));
+    out.push_str("|\n");
+    for (key, accs) in groups {
+        let (mean, std) = mean_std(accs);
+        out.push('|');
+        for (_, label) in key {
+            out.push_str(&format!(" {label} |"));
+        }
+        out.push_str(&format!(" {mean:.3} ± {std:.3} |\n"));
     }
     out
 }
@@ -352,6 +437,69 @@ mod tests {
         assert!(md.contains("attack \\ defense"), "pivot missing: {md}");
         assert!(!md.contains("repeat \\"), "{md}");
         assert_eq!(md.matches(" 0.500 |").count(), 4, "{md}");
+    }
+
+    #[test]
+    fn repeats_mean_std_match_hand_calculation() {
+        let mut spec = crate::registry::get("smoke/tiny").unwrap();
+        spec.seed = crate::spec::SeedPolicy::Repeats { master: 7, repeats: 2 };
+        // 8 cells, repeat outermost: cells 0–3 are repeat 0, 4–7 repeat 1.
+        // Group g (attack × defense pair) gets accuracies
+        // {0.1·(g+1), 0.1·(g+1) + 0.2}: mean 0.1·(g+1) + 0.1, sample std
+        // √((0.1² + 0.1²)/1) = 0.2/√2 ≈ 0.1414.
+        let records: Vec<CellRecord> = spec
+            .cells()
+            .into_iter()
+            .map(|c| CellRecord {
+                scenario: spec.name.clone(),
+                cell: c.index,
+                key: c.key.clone(),
+                axes: c.axes.clone(),
+                config: c.config.clone(),
+                summary: RunSummary {
+                    final_accuracy: 0.1 * ((c.index % 4) + 1) as f64
+                        + if c.index < 4 { 0.0 } else { 0.2 },
+                    sigma: 0.5,
+                    lr: 0.2,
+                    iterations: 6,
+                    delta: 0.0,
+                    defense_stats: Default::default(),
+                    history: vec![],
+                },
+            })
+            .collect();
+        let md = markdown(&spec, &records);
+        assert!(md.contains("across 2 repeats (mean ± sample std)"), "{md}");
+        // Group 0 holds {0.1, 0.3}, group 3 holds {0.4, 0.6}.
+        assert!(md.contains(" 0.200 ± 0.141 |"), "{md}");
+        assert!(md.contains(" 0.500 ± 0.141 |"), "{md}");
+
+        let text = csv(&records);
+        let header = text.lines().next().unwrap();
+        assert!(header.ends_with(",repeat_mean_accuracy,repeat_std_accuracy"), "{header}");
+        let expected_std = 0.2 / 2f64.sqrt();
+        for (line, group) in [(1usize, 0usize), (8, 3)] {
+            let row: Vec<&str> = text.lines().nth(line).unwrap().split(',').collect();
+            let mean: f64 = row[row.len() - 2].parse().unwrap();
+            let std: f64 = row[row.len() - 1].parse().unwrap();
+            let expected_mean = 0.1 * (group + 1) as f64 + 0.1;
+            assert!((mean - expected_mean).abs() < 1e-12, "line {line}: mean {mean}");
+            assert!((std - expected_std).abs() < 1e-12, "line {line}: std {std}");
+        }
+    }
+
+    #[test]
+    fn csv_without_repeats_leaves_the_aggregate_columns_empty() {
+        let (_, records) = fake_records();
+        let text = csv(&records);
+        assert!(text
+            .lines()
+            .next()
+            .unwrap()
+            .ends_with(",repeat_mean_accuracy,repeat_std_accuracy"));
+        for row in text.lines().skip(1) {
+            assert!(row.ends_with(",,"), "{row}");
+        }
     }
 
     #[test]

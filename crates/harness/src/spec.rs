@@ -129,6 +129,7 @@ const DEFENSE_CFG_FIELDS: &[&str] = &[
     "scoring",
     "weighting",
     "first_stage_enabled",
+    "ks_fast_path",
 ];
 
 /// The field names `SyntheticSpec` serializes.
@@ -156,6 +157,14 @@ pub struct Cell {
     pub config: SimulationConfig,
     /// `(axis, value label)` pairs for the swept axes, in axis order.
     pub axes: Vec<(String, String)>,
+}
+
+impl Cell {
+    /// The label this cell carries for a swept axis (`None` when the axis
+    /// is not swept).
+    pub fn axis(&self, name: &str) -> Option<&str> {
+        self.axes.iter().find(|(axis, _)| axis == name).map(|(_, label)| label.as_str())
+    }
 }
 
 impl ScenarioSpec {

@@ -1,9 +1,58 @@
-//! One-sample Kolmogorov–Smirnov test.
+//! One-sample Kolmogorov–Smirnov test, plus a sort-free decision screen.
 //!
 //! The server runs this test on every upload (paper §4.3, "KS test"): each of
 //! the `d` coordinates is treated as a sample, the null hypothesis is that they
 //! are drawn from `N(0, σ'²)`, and uploads whose P-value falls below the
 //! significance level (0.05 in the paper) are rejected.
+//!
+//! ## The sort-free fast path
+//!
+//! Computing the exact statistic `D_n` costs a full `O(d log d)` sort per
+//! upload — the dominant server-side cost at `d ≈ 25 450`. But the defense
+//! only consumes the accept/reject *decision*, not `D_n` itself, and the
+//! decision is a threshold test: reject iff `p(D_n) < α`. [`KsGaussianScreen`]
+//! therefore brackets `D_n` from both sides in one `O(d)` pass:
+//!
+//! 1. The real line is cut into `B` equal-width buckets spanning `μ ± 5σ`
+//!    (plus two open tail buckets); one pass counts samples per bucket.
+//! 2. At every bucket boundary `t_j` the empirical CDF is known *exactly*
+//!    from the cumulative counts (`N_j/n` with `N_j = #{x < t_j}`), so
+//!    `L = max_j |N_j/n − F(t_j)|` is a lower bound on `D_n`.
+//! 3. Inside a bucket `[t_j, t_{j+1})` both CDFs are monotone, so
+//!    `U = max_j max(N_{j+1}/n − F(t_j), F(t_{j+1}) − N_j/n)` (with the two
+//!    tail intervals handled against 0 and 1) is an upper bound.
+//!
+//! `L ≤ D_n ≤ U`, with `U − L` on the order of the largest per-bucket
+//! probability mass — far narrower than the distance of a typical upload's
+//! `D_n` from the critical value. The screen compares the bounds against two
+//! pre-verified statistic thresholds and answers `Accept`, `Reject`, or
+//! `Borderline`; only borderline uploads (the critical band) fall back to the
+//! exact sorted test.
+//!
+//! ### Why the decisions are bit-identical to the sorted test
+//!
+//! The contract is *decision* equivalence, not statistic equivalence. The
+//! screen never decides from an approximation of `p(D_n)`; it decides only
+//! when the decision is provably forced:
+//!
+//! * At construction, bisection finds `d_accept ≤ d_reject` such that
+//!   `ks_p_value(d_accept, n) ≥ α + 2ε_p` and `ks_p_value(d_reject, n) <
+//!   α − 2ε_p` hold **by direct evaluation** (no monotonicity of the
+//!   implementation is assumed; the inequalities are re-checked on the
+//!   returned values).
+//! * `Reject` is answered only when `L − ε_s ≥ d_reject`: then
+//!   `D_n ≥ d_reject`, so the true (mathematically monotone) p-value
+//!   satisfies `p(D_n) ≤ p(d_reject) < α − ε_p`, and any implementation
+//!   within `ε_p` of the true p-value — ours is within ~1e−15 — reports
+//!   `p < α`. `Accept` is the mirror image via `U + ε_s ≤ d_accept`.
+//! * `ε_s = 1e−9` absorbs every floating-point discrepancy between the
+//!   bound arithmetic and the sorted statistic (boundary rounding in the
+//!   bucket map, CDF evaluation at boundaries vs samples — all ≤ ~1e−15).
+//! * Everything else is `Borderline` and runs the exact sorted test, which
+//!   is the reference implementation itself.
+//!
+//! The margins are ~1e−9 wide in a band whose width is ~1e−3, so they cost
+//! essentially no fast-path coverage.
 
 use crate::kolmogorov::{kolmogorov_sf, ks_cdf_exact};
 use crate::normal::Normal;
@@ -81,10 +130,28 @@ pub fn ks_test(samples: &[f64], cdf: impl Fn(f64) -> f64) -> KsResult {
 /// This is the protocol's exact server-side operation: upload coordinates are
 /// `f32`, the reference distribution is the DP noise distribution. Sorting is
 /// done on the `f32`s (cheaper) and the CDF is evaluated in `f64`.
+///
+/// This is the **reference implementation** the sort-free
+/// [`KsGaussianScreen`] is contractually decision-equivalent to.
 pub fn ks_test_gaussian(samples: &[f32], mean: f64, std: f64) -> KsResult {
+    ks_test_gaussian_with(samples, mean, std, &mut Vec::new())
+}
+
+/// [`ks_test_gaussian`] writing its sorted copy into a caller-owned buffer.
+///
+/// The numeric path is byte-for-byte the same computation (same sort, same
+/// accumulation order), so results are bit-identical to the allocating
+/// variant; the buffer lets hot paths reuse one allocation across uploads.
+pub fn ks_test_gaussian_with(
+    samples: &[f32],
+    mean: f64,
+    std: f64,
+    sorted: &mut Vec<f32>,
+) -> KsResult {
     assert!(!samples.is_empty(), "KS test needs at least one sample");
     let normal = Normal::new(mean, std);
-    let mut sorted: Vec<f32> = samples.to_vec();
+    sorted.clear();
+    sorted.extend_from_slice(samples);
     sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN in KS samples"));
     let n = sorted.len() as f64;
     let mut d = 0.0f64;
@@ -95,6 +162,301 @@ pub fn ks_test_gaussian(samples: &[f32], mean: f64, std: f64) -> KsResult {
         d = d.max(upper).max(lower);
     }
     KsResult { statistic: d, p_value: ks_p_value(d, sorted.len()), n: sorted.len() }
+}
+
+/// Answer of the one-pass screen for one sample set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KsScreenVerdict {
+    /// The upper bound on `D_n` is decisively below the critical value: the
+    /// exact test would accept.
+    Accept,
+    /// The lower bound on `D_n` is decisively above the critical value: the
+    /// exact test would reject.
+    Reject,
+    /// The bounds straddle the critical band — only the exact sorted test
+    /// can decide.
+    Borderline,
+}
+
+/// Reusable buffers for the screen-then-fallback pipeline: the histogram of
+/// the one-pass screen and the sort buffer of the exact fallback. One per
+/// worker/task; contents never influence results (both are fully rewritten
+/// per use).
+#[derive(Debug, Clone, Default)]
+pub struct KsScratch {
+    /// Bucket counts for [`KsGaussianScreen::bin_into`].
+    pub counts: Vec<u32>,
+    /// Sort buffer for [`ks_test_gaussian_with`].
+    pub sorted: Vec<f32>,
+}
+
+impl KsScratch {
+    /// Empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Slack, in statistic units, absorbing every floating-point discrepancy
+/// between the one-pass bound arithmetic and the exact sorted statistic
+/// (individual discrepancies are ≤ ~1e−15; see the module docs).
+const STAT_GUARD: f64 = 1e-9;
+
+/// p-value margin the decision thresholds are verified against: twice the
+/// assumed `|p_impl − p_true| ≤ 1e−9` evaluation error (true error ~1e−15).
+const P_MARGIN: f64 = 2e-9;
+
+/// Sort-free screen for the one-sample KS test against `N(mean, std²)`.
+///
+/// Built once per `(mean, std, n, α)`; [`KsGaussianScreen::screen`] then
+/// decides most sample sets in `O(n)` without sorting, answering
+/// [`KsScreenVerdict::Borderline`] exactly when the one-pass bounds cannot
+/// force the decision (see the module docs for the equivalence argument).
+#[derive(Debug, Clone)]
+pub struct KsGaussianScreen {
+    mean: f64,
+    std: f64,
+    n: usize,
+    alpha: f64,
+    x_lo: f64,
+    inv_w: f64,
+    buckets: usize,
+    /// `cdf(t_j)` at the `buckets + 1` bucket boundaries.
+    cdf_at: Vec<f64>,
+    /// Verified: `ks_p_value(d_accept, n) ≥ α + P_MARGIN`.
+    d_accept: f64,
+    /// Verified: `ks_p_value(d_reject, n) < α − P_MARGIN`.
+    d_reject: f64,
+}
+
+impl KsGaussianScreen {
+    /// Builds the screen for `n` samples at significance `alpha`.
+    ///
+    /// The bucket count scales with `n` (64 – 8192, power of two): below
+    /// `n` buckets the envelope would be needlessly wide, beyond ~8k the
+    /// per-upload zeroing cost stops paying for the narrower band.
+    ///
+    /// Any `alpha` is accepted: for degenerate values (≤ 0, ≥ 1, or within
+    /// the verification margin of them) the unverifiable fast-decision
+    /// side(s) are simply disabled and those inputs fall through to the
+    /// exact sorted test, keeping decisions exact instead of panicking.
+    pub fn new(mean: f64, std: f64, n: usize, alpha: f64) -> Self {
+        assert!(std > 0.0 && std.is_finite(), "screen needs a positive finite std, got {std}");
+        assert!(n >= 1, "screen needs at least one sample");
+        let buckets = n.next_power_of_two().clamp(64, 8192);
+        // ±5σ spans all but ~6e-7 of the null mass; samples beyond it land
+        // in the open tail buckets, whose envelope contribution is tiny.
+        const SPAN_STDS: f64 = 5.0;
+        let x_lo = mean - SPAN_STDS * std;
+        let width = 2.0 * SPAN_STDS * std / buckets as f64;
+        let normal = Normal::new(mean, std);
+        let cdf_at: Vec<f64> = (0..=buckets).map(|j| normal.cdf(x_lo + j as f64 * width)).collect();
+        let (d_accept, d_reject) = decision_thresholds(n, alpha);
+        KsGaussianScreen {
+            mean,
+            std,
+            n,
+            alpha,
+            x_lo,
+            inv_w: 1.0 / width,
+            buckets,
+            cdf_at,
+            d_accept,
+            d_reject,
+        }
+    }
+
+    /// Number of samples the screen was built for.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The significance level decisions are made at.
+    #[inline]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Length a counts buffer must have: interior buckets plus the two
+    /// open tails.
+    #[inline]
+    pub fn slots(&self) -> usize {
+        self.buckets + 2
+    }
+
+    /// The `(d_accept, d_reject)` statistic thresholds: `D_n ≤ d_accept`
+    /// forces acceptance, `D_n ≥ d_reject` forces rejection, and the band
+    /// between them (~1e−9 wide) is undecidable without the exact test.
+    pub fn critical_band(&self) -> (f64, f64) {
+        (self.d_accept, self.d_reject)
+    }
+
+    /// Bucket index of one sample (0 = below-range tail, `slots() − 1` =
+    /// above-range tail, which also absorbs NaN).
+    ///
+    /// The map is monotone in `x`, which is all the envelope argument needs:
+    /// the effective boundaries it induces differ from the nominal `t_j` by
+    /// at most a few ulps, covered by [`STAT_GUARD`].
+    #[inline]
+    pub fn bucket_of(&self, x: f32) -> usize {
+        let z = (x as f64 - self.x_lo) * self.inv_w;
+        if z >= 0.0 && z < self.buckets as f64 {
+            z as usize + 1
+        } else if z < 0.0 {
+            0
+        } else {
+            self.buckets + 1
+        }
+    }
+
+    /// One pass: histogram `samples` into `counts` (resized and zeroed).
+    pub fn bin_into(&self, samples: &[f32], counts: &mut Vec<u32>) {
+        counts.clear();
+        counts.resize(self.slots(), 0);
+        for &x in samples {
+            counts[self.bucket_of(x)] += 1;
+        }
+    }
+
+    /// `(L, U)` with `L ≤ D_n ≤ U` for the sample set behind `counts`
+    /// (no guards applied; the raw envelope, exposed for the property-test
+    /// campaign).
+    pub fn bounds(&self, counts: &[u32]) -> (f64, f64) {
+        let (lower, upper, _) = self.scan(counts, f64::INFINITY);
+        (lower, upper)
+    }
+
+    /// Decides from a filled histogram. Early-exits mid-scan as soon as the
+    /// running lower bound alone forces rejection.
+    pub fn decide(&self, counts: &[u32]) -> KsScreenVerdict {
+        let (_, upper, rejected) = self.scan(counts, self.d_reject + STAT_GUARD);
+        if rejected {
+            return KsScreenVerdict::Reject;
+        }
+        if upper + STAT_GUARD <= self.d_accept {
+            KsScreenVerdict::Accept
+        } else {
+            KsScreenVerdict::Borderline
+        }
+    }
+
+    /// Bins and decides in one call.
+    ///
+    /// Samples must be finite: the screen would bin NaN/±∞ into the upper
+    /// tail bucket and decide from a corrupted histogram (callers like
+    /// `FirstStage` reject non-finite uploads before any KS work; the
+    /// reference [`ks_test_gaussian`] panics on NaN instead).
+    pub fn screen(&self, samples: &[f32], scratch: &mut KsScratch) -> KsScreenVerdict {
+        assert_eq!(samples.len(), self.n, "sample count differs from the screen's n");
+        self.bin_into(samples, &mut scratch.counts);
+        self.decide(&scratch.counts)
+    }
+
+    /// The full fast-path decision: screen, then exact sorted fallback for
+    /// borderline inputs. For finite samples (see [`KsGaussianScreen::screen`]
+    /// for the NaN carve-out) this returns exactly
+    /// `ks_test_gaussian(samples, mean, std).rejects_at(alpha)`.
+    pub fn rejects(&self, samples: &[f32], scratch: &mut KsScratch) -> bool {
+        match self.screen(samples, scratch) {
+            KsScreenVerdict::Reject => true,
+            KsScreenVerdict::Accept => false,
+            KsScreenVerdict::Borderline => {
+                ks_test_gaussian_with(samples, self.mean, self.std, &mut scratch.sorted)
+                    .rejects_at(self.alpha)
+            }
+        }
+    }
+
+    /// The bracketing pass: returns `(L, U, early_rejected)`, aborting with
+    /// `early_rejected = true` the moment a lower-bound candidate reaches
+    /// `reject_at` (pass `f64::INFINITY` to always complete).
+    fn scan(&self, counts: &[u32], reject_at: f64) -> (f64, f64, bool) {
+        assert_eq!(counts.len(), self.slots(), "counts buffer has the wrong bucket count");
+        let n = self.n as f64;
+        // Interval (−∞, t_0): F_n ∈ [0, N_0/n], F ∈ (0, f_0).
+        let mut cum = counts[0] as f64;
+        let mut lower = (cum / n - self.cdf_at[0]).abs();
+        let mut upper = (cum / n).max(self.cdf_at[0]);
+        if lower >= reject_at {
+            return (lower, upper, true);
+        }
+        for (&count, boundary_pair) in counts[1..=self.buckets].iter().zip(self.cdf_at.windows(2)) {
+            let prev_cum = cum;
+            cum += count as f64;
+            let [f_prev, f_j] = boundary_pair else { unreachable!("windows(2)") };
+            let (f_prev, f_j) = (*f_prev, *f_j);
+            // Boundary t_j: the empirical CDF is exactly cum/n there.
+            let l = (cum / n - f_j).abs();
+            if l > lower {
+                lower = l;
+                if lower >= reject_at {
+                    return (lower, upper, true);
+                }
+            }
+            // Interval [t_{j−1}, t_j): F_n ∈ [prev_cum/n, cum/n], F ∈ [f_prev, f_j].
+            let u = (cum / n - f_prev).max(f_j - prev_cum / n);
+            if u > upper {
+                upper = u;
+            }
+        }
+        // Interval [t_B, ∞): F_n ∈ [cum/n, 1], F ∈ [f_B, 1).
+        let u = (1.0 - self.cdf_at[self.buckets]).max(1.0 - cum / n);
+        if u > upper {
+            upper = u;
+        }
+        (lower, upper, false)
+    }
+}
+
+/// `(d_accept, d_reject)` for `(n, alpha)`: statistic thresholds whose
+/// defining inequalities (`p(d_accept) ≥ α + P_MARGIN`,
+/// `p(d_reject) < α − P_MARGIN`) hold by direct evaluation of
+/// [`ks_p_value`] — bisection only *locates* the candidates, it is never
+/// trusted; each step outward re-verifies, so no monotonicity of the
+/// p-value implementation is assumed anywhere.
+///
+/// A side whose inequality cannot be verified (degenerate `alpha` at or
+/// beyond the edges of `(0, 1)`, where e.g. `p ≥ α + margin` is
+/// unsatisfiable) is disabled with an unreachable sentinel (`−∞` for
+/// accept, `+∞` for reject): the screen then answers `Borderline` in that
+/// direction and the sorted fallback keeps decisions exact.
+fn decision_thresholds(n: usize, alpha: f64) -> (f64, f64) {
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if ks_p_value(mid, n) >= alpha {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    // Walk outward geometrically until the margined inequality is verified
+    // (p(0) = 1 and p(1) = 0 satisfy the conditions for any non-degenerate
+    // alpha well before the step bound).
+    let mut d_accept = f64::NEG_INFINITY;
+    let mut candidate = lo;
+    let mut step = 1e-15;
+    for _ in 0..120 {
+        if ks_p_value(candidate, n) >= alpha + P_MARGIN {
+            d_accept = candidate;
+            break;
+        }
+        candidate = (candidate - step).max(0.0);
+        step *= 4.0;
+    }
+    let mut d_reject = f64::INFINITY;
+    let mut candidate = hi;
+    let mut step = 1e-15;
+    for _ in 0..120 {
+        if ks_p_value(candidate, n) < alpha - P_MARGIN {
+            d_reject = candidate;
+            break;
+        }
+        candidate = (candidate + step).min(1.0);
+        step *= 4.0;
+    }
+    (d_accept, d_reject)
 }
 
 #[cfg(test)]
@@ -181,5 +543,117 @@ mod tests {
         assert_eq!(ks_p_value(0.0, 100), 1.0);
         assert_eq!(ks_p_value(1.0, 100), 0.0);
         assert!(ks_p_value(0.5, 10) > ks_p_value(0.5, 1000));
+    }
+
+    #[test]
+    fn buffered_test_is_bit_identical_to_allocating_test() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let v = gaussian_vector(&mut rng, 0.05, 4_000);
+        let a = ks_test_gaussian(&v, 0.0, 0.05);
+        let mut buf = vec![9.0f32; 3]; // stale contents must not matter
+        let b = ks_test_gaussian_with(&v, 0.0, 0.05, &mut buf);
+        assert_eq!(a.statistic.to_bits(), b.statistic.to_bits());
+        assert_eq!(a.p_value.to_bits(), b.p_value.to_bits());
+        assert_eq!(buf.len(), v.len());
+    }
+
+    #[test]
+    fn decision_thresholds_are_verified_and_ordered() {
+        for &n in &[16usize, 140, 1_000, 25_450] {
+            for &alpha in &[0.01, 0.05, 0.10] {
+                let screen = KsGaussianScreen::new(0.0, 1.0, n, alpha);
+                let (d_accept, d_reject) = screen.critical_band();
+                assert!(d_accept <= d_reject, "n={n} α={alpha}");
+                assert!(ks_p_value(d_accept, n) >= alpha + 2e-9, "n={n} α={alpha}");
+                assert!(ks_p_value(d_reject, n) < alpha - 2e-9, "n={n} α={alpha}");
+                // The band is a hair around the critical point, not a chasm.
+                assert!(d_reject - d_accept < 1e-6, "n={n} α={alpha}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_alphas_disable_fast_sides_instead_of_panicking() {
+        // α at or beyond the edges of (0, 1) was always legal for the
+        // reference test (`rejects_at` is just a comparison); the screen
+        // must keep accepting such values and stay decision-equivalent by
+        // disabling the unverifiable fast side(s).
+        let mut rng = StdRng::seed_from_u64(5);
+        let v = gaussian_vector(&mut rng, 0.05, 1_000);
+        let mut scratch = KsScratch::new();
+        for &alpha in &[0.0, 1e-9, 0.999_999_999, 1.0, 2.0] {
+            let screen = KsGaussianScreen::new(0.0, 0.05, 1_000, alpha);
+            let (d_accept, d_reject) = screen.critical_band();
+            assert!(d_accept <= d_reject, "α={alpha}");
+            assert_eq!(
+                screen.rejects(&v, &mut scratch),
+                ks_test_gaussian(&v, 0.0, 0.05).rejects_at(alpha),
+                "α={alpha}"
+            );
+        }
+    }
+
+    #[test]
+    fn screen_bounds_bracket_the_exact_statistic() {
+        let screen = KsGaussianScreen::new(0.0, 0.05, 25_450, 0.05);
+        let mut scratch = KsScratch::new();
+        for seed in 0..10u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut v = gaussian_vector(&mut rng, 0.05, 25_450);
+            if seed % 2 == 0 {
+                for x in &mut v {
+                    *x += 0.004; // push some inputs toward rejection
+                }
+            }
+            screen.bin_into(&v, &mut scratch.counts);
+            let (lo, hi) = screen.bounds(&scratch.counts);
+            let exact = ks_test_gaussian(&v, 0.0, 0.05).statistic;
+            assert!(lo <= exact + 1e-12, "seed {seed}: L={lo} > D={exact}");
+            assert!(exact <= hi + 1e-12, "seed {seed}: D={exact} > U={hi}");
+        }
+    }
+
+    #[test]
+    fn screen_decisions_match_reference_on_clear_inputs() {
+        let screen = KsGaussianScreen::new(0.0, 0.05, 25_450, 0.05);
+        let mut scratch = KsScratch::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        // Genuine noise: screens to a definitive verdict on most draws and
+        // the full decision always matches the reference.
+        let mut definitive = 0;
+        for _ in 0..20 {
+            let v = gaussian_vector(&mut rng, 0.05, 25_450);
+            if screen.screen(&v, &mut scratch) != KsScreenVerdict::Borderline {
+                definitive += 1;
+            }
+            assert_eq!(
+                screen.rejects(&v, &mut scratch),
+                ks_test_gaussian(&v, 0.0, 0.05).rejects_at(0.05)
+            );
+        }
+        assert!(definitive >= 14, "only {definitive}/20 decided without sorting");
+        // A grossly wrong distribution early-exits to Reject.
+        let v = gaussian_vector(&mut rng, 0.10, 25_450);
+        assert_eq!(screen.screen(&v, &mut scratch), KsScreenVerdict::Reject);
+        assert!(screen.rejects(&v, &mut scratch));
+    }
+
+    #[test]
+    fn screen_handles_tail_and_degenerate_inputs() {
+        let screen = KsGaussianScreen::new(0.0, 1.0, 64, 0.05);
+        let mut scratch = KsScratch::new();
+        // Everything in the far tails: the tail intervals still bound D.
+        let v: Vec<f32> = (0..64).map(|i| if i % 2 == 0 { 100.0 } else { -100.0 }).collect();
+        screen.bin_into(&v, &mut scratch.counts);
+        let (lo, hi) = screen.bounds(&scratch.counts);
+        let exact = ks_test_gaussian(&v, 0.0, 1.0).statistic;
+        assert!(lo <= exact + 1e-12 && exact <= hi + 1e-12, "L={lo} D={exact} U={hi}");
+        assert!(screen.rejects(&v, &mut scratch));
+        // All-identical samples at the mean.
+        let v = vec![0.0f32; 64];
+        assert_eq!(
+            screen.rejects(&v, &mut scratch),
+            ks_test_gaussian(&v, 0.0, 1.0).rejects_at(0.05)
+        );
     }
 }

@@ -11,7 +11,9 @@
 //! * [`chi_squared`] — χ² CDF backing the first-stage norm test.
 //! * [`kolmogorov`] — the Kolmogorov distribution (asymptotic series) and the
 //!   Marsaglia–Tsang–Wang exact finite-`n` CDF.
-//! * [`ks`] — the one-sample KS test the server runs on every upload.
+//! * [`ks`] — the one-sample KS test the server runs on every upload, plus
+//!   the sort-free [`ks::KsGaussianScreen`] that decides most uploads in one
+//!   `O(d)` pass (decision-equivalent to the sorted test by contract).
 //! * [`moments`] — streaming moments (seed aggregation, "A little" attack).
 
 pub mod chi_squared;
@@ -22,6 +24,9 @@ pub mod normal;
 pub mod special;
 
 pub use chi_squared::ChiSquared;
-pub use ks::{ks_test, ks_test_gaussian, KsResult};
+pub use ks::{
+    ks_test, ks_test_gaussian, ks_test_gaussian_with, KsGaussianScreen, KsResult, KsScratch,
+    KsScreenVerdict,
+};
 pub use moments::RunningMoments;
 pub use normal::{fill_gaussian, gaussian_vector, Normal};

@@ -4,6 +4,7 @@
 
 use dpbfl::attack::{craft_uploads, AttackContext, AttackSpec};
 use dpbfl::first_stage::{FirstStage, FirstStageVerdict};
+use dpbfl::prelude::*;
 use dpbfl::second_stage::SecondStage;
 use dpbfl_stats::normal::gaussian_vector;
 use dpbfl_tensor::vecops;
@@ -126,6 +127,63 @@ fn accepted_uploads_have_bounded_payload() {
     let payload_budget = hi - lo;
     let noise_norm = NOISE_STD * (D as f64).sqrt();
     assert!(payload_budget < 0.05 * noise_norm);
+}
+
+/// A defended two-stage configuration exercising both first-stage paths:
+/// honest + label-flip Byzantine workers, enough rounds for accepts,
+/// KS-rejects and norm-rejects to all occur.
+fn two_stage_cfg() -> SimulationConfig {
+    let mut cfg =
+        SimulationConfig::quick(SyntheticSpec::mnist_like(), ModelKind::SmallMlp { hidden: 8 });
+    cfg.per_worker = 128;
+    cfg.test_count = 200;
+    cfg.n_honest = 4;
+    cfg.n_byzantine = 3;
+    cfg.epochs = 1.0;
+    cfg.epsilon = None;
+    cfg.dp.noise_multiplier = 0.5;
+    cfg.attack = AttackSpec::LabelFlip;
+    cfg.defense = DefenseKind::TwoStage;
+    cfg.defense_cfg.gamma = 0.5;
+    cfg
+}
+
+/// The fast path's end-to-end contract: a full two-stage run with the
+/// sort-free screen produces a byte-identical `RunSummary` JSON to the same
+/// run on the retained always-sort reference path — every verdict, every
+/// selection, every accuracy bit.
+#[test]
+fn fast_and_reference_first_stage_runs_are_byte_identical() {
+    let mut cfg = two_stage_cfg();
+    assert!(cfg.defense_cfg.ks_fast_path, "fast path is the default");
+    let fast = dpbfl::simulation::run(&cfg);
+    cfg.defense_cfg.ks_fast_path = false;
+    let reference = dpbfl::simulation::run(&cfg);
+    // The runs must have actually exercised the first stage.
+    let stats = &fast.defense_stats;
+    assert!(
+        stats.first_stage_rejected_honest + stats.first_stage_rejected_byzantine > 0,
+        "configuration never triggered a first-stage rejection"
+    );
+    let fast_json = serde_json::to_string(&fast.summary()).expect("summary serializes");
+    let reference_json = serde_json::to_string(&reference.summary()).expect("summary serializes");
+    assert_eq!(fast_json, reference_json);
+}
+
+/// The per-chunk scratch buffers introduce no order or thread-count
+/// dependence: the fast-path run's `RunSummary` JSON is byte-identical at 1
+/// and 4 threads (strengthens `two_stage_identical_across_thread_counts`
+/// from accuracy bits to the whole summary).
+#[test]
+fn fast_path_summary_is_byte_identical_across_thread_counts() {
+    let cfg = two_stage_cfg();
+    let run_with_threads = |threads: usize| {
+        let pool =
+            rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("local pool");
+        let summary = pool.install(|| dpbfl::simulation::run(&cfg)).summary();
+        serde_json::to_string(&summary).expect("summary serializes")
+    };
+    assert_eq!(run_with_threads(1), run_with_threads(4));
 }
 
 /// Second-stage accumulation: a Byzantine worker that passes the first stage
