@@ -1,16 +1,26 @@
 //! Table 1: the privacy / >50 %-resilience matrix, verified *empirically*.
 //!
 //! For each method we record (a) whether it provides a DP guarantee
-//! (structural: noise calibrated by the accountant) and (b) whether it keeps
-//! useful accuracy when 60 % of workers mount a label-flip attack.
+//! (structural: noise calibrated by the accountant, or randomized-response
+//! sign flips) and (b) whether it keeps useful accuracy when 60 % of
+//! workers mount a label-flip attack.
+//!
+//! Thin wrapper over the registry: every row — the four non-private robust
+//! rules, \[30\]-style clipping DP-SGD + Krum, \[77\]-style sign-DP, the
+//! two-stage protocol and the Reference-Accuracy ceiling — is an `include`
+//! row of the `paper/table1_matrix` scenario, which exists exactly once in
+//! `dpbfl_harness::registry` (`dpbfl-exp run paper/table1_matrix` runs the
+//! same grid; `dpbfl-exp show` exports it for editing). The scenario pins
+//! the reduced scale the old hand-coded binary defaulted to; `DPBFL_FULL`
+//! is not honored here — for other scales or seed sets, export the
+//! scenario, edit it, and run it with `dpbfl-exp`.
 //!
 //! ```text
-//! cargo run --release -p dpbfl-bench --bin table1_matrix [--dataset mnist]
+//! cargo run --release -p dpbfl-bench --bin table1_matrix
 //! ```
 
-use dpbfl::baseline::{guerraoui_style, run_sign_dp, SignDpConfig};
-use dpbfl::prelude::*;
-use dpbfl_bench::{print_table, run_seeds, save_json, Args, Scale};
+use dpbfl_bench::{print_table, save_json};
+use dpbfl_harness::{registry, run_scenario_in_memory};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -22,96 +32,54 @@ struct Record {
     resilient_beyond_majority: bool,
 }
 
-fn main() {
-    let args = Args::parse();
-    let scale = Scale::from_env();
-    let dataset = args.value("dataset").unwrap_or("mnist");
+/// Display name and privacy verdict per registry row label.
+fn method_for(label: &str) -> (&'static str, bool) {
+    match label {
+        "krum" => ("Krum", false),
+        "coord-median" => ("Coordinate-wise Median", false),
+        "trimmed-mean" => ("Trimmed Mean", false),
+        "rfa" => ("RFA (geometric median)", false),
+        "dp-sgd+krum" => ("Rachid et al. [30] (DP-SGD + Krum)", true),
+        "sign-dp" => ("Heng et al. [77] (sign-DP)", true),
+        "two-stage" => ("Ours (two-stage)", true),
+        other => panic!("unexpected table-1 row label `{other}`"),
+    }
+}
 
-    let base = |byz_mult: f64| {
-        let mut cfg = scale.config(dataset);
-        cfg.epsilon = Some(1.0);
-        cfg.n_byzantine = (cfg.n_honest as f64 * byz_mult).round() as usize;
-        cfg.attack = if cfg.n_byzantine > 0 { AttackSpec::LabelFlip } else { AttackSpec::None };
-        cfg
+fn main() {
+    let spec = registry::get("paper/table1_matrix").expect("built-in scenario");
+    let results = run_scenario_in_memory(&spec);
+    let accuracy_of = |label: &str| -> f64 {
+        results
+            .iter()
+            .find(|(cell, _)| cell.axis("row") == Some(label))
+            .unwrap_or_else(|| panic!("row `{label}` missing from the grid"))
+            .1
+            .final_accuracy
     };
 
-    // Reference: DP training with no Byzantine workers.
-    let reference = run_seeds(&base(0.0), &scale.seeds).mean;
-    // "Resilient" = retains at least 80% of the reference under 60% byz.
+    // Reference: DP training with no Byzantine workers. "Resilient" =
+    // retains at least 80 % of it under 60 % Byzantine label-flip.
+    let reference = accuracy_of("reference");
     let resilient = |acc: f64| acc >= 0.8 * reference;
 
-    let mut records: Vec<Record> = Vec::new();
-    let mut push = |method: &str, private: bool, acc: f64| {
-        records.push(Record {
-            method: method.to_string(),
-            private,
-            attacked_accuracy: acc,
-            reference_accuracy: reference,
-            resilient_beyond_majority: resilient(acc),
-        });
-    };
-
-    // Non-private robust rules (paper rows: Krum, CM, TM, RFA) on non-DP
-    // uploads.
-    for (name, agg) in [
-        ("Krum", AggregatorKind::Krum { f: 0 }),
-        ("Coordinate-wise Median", AggregatorKind::CoordinateMedian),
-        ("Trimmed Mean", AggregatorKind::TrimmedMean { trim: 0 }),
-        ("RFA (geometric median)", AggregatorKind::GeometricMedian),
-    ] {
-        let mut cfg = base(1.5); // 60 % Byzantine
-        let agg = match agg {
-            AggregatorKind::Krum { .. } => AggregatorKind::Krum { f: cfg.n_byzantine },
-            AggregatorKind::TrimmedMean { .. } => {
-                AggregatorKind::TrimmedMean { trim: (cfg.n_total() / 2).saturating_sub(1) }
+    let records: Vec<Record> = results
+        .iter()
+        .filter_map(|(cell, result)| {
+            let label = cell.axis("row").expect("table-1 cells are include rows");
+            if label == "reference" {
+                return None;
             }
-            other => other,
-        };
-        cfg.protocol = WorkerProtocol::Plain;
-        cfg.epsilon = None;
-        cfg.dp.noise_multiplier = 0.0;
-        cfg.defense = DefenseKind::Robust { rule: agg };
-        let s = run_seeds(&cfg, &scale.seeds);
-        push(name, false, s.mean);
-    }
-
-    // [30]-style: clipping DP-SGD + Krum.
-    {
-        let cfg = base(1.5);
-        let n_byz = cfg.n_byzantine;
-        let cfg = guerraoui_style(cfg, 1.0, AggregatorKind::Krum { f: n_byz });
-        let s = run_seeds(&cfg, &scale.seeds);
-        push("Rachid et al. [30] (DP-SGD + Krum)", true, s.mean);
-    }
-
-    // [77]-style sign-compression DP with a Byzantine majority.
-    {
-        let base_cfg = scale.config(dataset);
-        let cfg = SignDpConfig {
-            dataset: base_cfg.dataset.clone(),
-            model: ModelKind::SmallMlp { hidden: 16 },
-            per_worker: base_cfg.per_worker,
-            test_count: base_cfg.test_count,
-            n_honest: base_cfg.n_honest,
-            n_byzantine: (base_cfg.n_honest as f64 * 1.5).round() as usize,
-            epochs: base_cfg.epochs,
-            lr: 0.002,
-            batch_size: 16,
-            flip_prob: SignDpConfig::flip_prob_for_epsilon(1.0),
-            seed: 1,
-        };
-        let r = run_sign_dp(&cfg);
-        push("Heng et al. [77] (sign-DP)", true, r.final_accuracy);
-    }
-
-    // Ours.
-    {
-        let mut cfg = base(1.5);
-        cfg.defense = DefenseKind::TwoStage;
-        cfg.defense_cfg.gamma = cfg.n_honest as f64 / cfg.n_total() as f64;
-        let s = run_seeds(&cfg, &scale.seeds);
-        push("Ours (two-stage)", true, s.mean);
-    }
+            let (method, private) = method_for(label);
+            Some(Record {
+                method: method.to_string(),
+                private,
+                attacked_accuracy: result.final_accuracy,
+                reference_accuracy: reference,
+                resilient_beyond_majority: resilient(result.final_accuracy),
+            })
+        })
+        .collect();
 
     let rows: Vec<Vec<String>> = records
         .iter()
@@ -125,7 +93,7 @@ fn main() {
         })
         .collect();
     print_table(
-        &format!("Table 1 [{dataset}]: privacy and >50%-resilience (measured @60% label-flip, ref={reference:.3})"),
+        &format!("Table 1 [mnist]: privacy and >50%-resilience (measured @60% label-flip, ref={reference:.3})"),
         &["method", "privacy", "acc @60% byz", ">50%-resilience"],
         &rows,
     );

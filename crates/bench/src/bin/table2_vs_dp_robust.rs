@@ -1,4 +1,4 @@
-//! Table 2: comparison with [30] (DP-SGD + off-the-shelf robust aggregation)
+//! Table 2: comparison with \[30\] (DP-SGD + off-the-shelf robust aggregation)
 //! on Fashion under the "A little" and "Inner" (inner-product manipulation)
 //! attacks.
 //!

@@ -1,10 +1,10 @@
 //! Composite prior-work protocols the paper compares against.
 //!
-//! * **[30]-style (Guerraoui et al.)**: vanilla clipping DP-SGD at the
+//! * **\[30\]-style (Guerraoui et al.)**: vanilla clipping DP-SGD at the
 //!   workers, an off-the-shelf robust aggregator (Krum / coordinate-wise
 //!   median) at the server. Expressed as a [`SimulationConfig`] preset —
 //!   the simulation loop already supports both pieces.
-//! * **[77]/[43]-style sign-compression DP**: workers upload randomized
+//! * **\[77\]/\[43\]-style sign-compression DP**: workers upload randomized
 //!   per-coordinate gradient *signs*; the server takes a coordinate-wise
 //!   majority vote. Implemented as its own loop ([`run_sign_dp`]) because its
 //!   update rule differs structurally from gradient averaging. Byzantine
@@ -12,14 +12,16 @@
 //!   majority flips, which is exactly the failure mode Table 1 records.
 
 use crate::aggregator::AggregatorKind;
-use crate::simulation::{DefenseKind, EvalPoint, ModelKind, SimulationConfig, WorkerProtocol};
+use crate::simulation::{
+    DefenseKind, EvalPoint, ModelKind, RunResult, SimulationConfig, WorkerProtocol,
+};
 use dpbfl_data::sample_batch;
 use dpbfl_data::{iid_partition, Dataset, SyntheticSpec};
 use dpbfl_nn::{accuracy, CrossEntropyLoss};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Rewrites a configuration into the [30]-style baseline: clipping DP-SGD
+/// Rewrites a configuration into the \[30\]-style baseline: clipping DP-SGD
 /// workers + a robust aggregation rule on the noisy uploads.
 pub fn guerraoui_style(
     mut cfg: SimulationConfig,
@@ -32,7 +34,7 @@ pub fn guerraoui_style(
 }
 
 /// Configuration for the sign-compression DP baseline.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SignDpConfig {
     /// Synthetic dataset family.
     pub dataset: SyntheticSpec,
@@ -65,6 +67,36 @@ impl SignDpConfig {
     pub fn flip_prob_for_epsilon(eps0: f64) -> f64 {
         assert!(eps0 > 0.0);
         1.0 / (eps0.exp() + 1.0)
+    }
+
+    /// The sign-DP configuration a [`SimulationConfig`] with
+    /// [`WorkerProtocol::SignDp`] resolves to, or `None` for any other
+    /// protocol.
+    ///
+    /// This mapping is the contract that makes sign-DP a grid-expressible
+    /// *substrate*: dataset/model/worker counts/epochs/seed come from the
+    /// simulation config (batch size from `cfg.dp.batch_size`), while the
+    /// substrate-specific step size and flip probability ride on the
+    /// protocol variant itself. `cfg.attack` and `cfg.defense` do not
+    /// appear — the baseline's Byzantine workers always upload inverted
+    /// signs and its server rule is always the majority vote.
+    pub fn from_simulation(cfg: &SimulationConfig) -> Option<SignDpConfig> {
+        let WorkerProtocol::SignDp { lr, flip_prob } = cfg.protocol else {
+            return None;
+        };
+        Some(SignDpConfig {
+            dataset: cfg.dataset.clone(),
+            model: cfg.model,
+            per_worker: cfg.per_worker,
+            test_count: cfg.test_count,
+            n_honest: cfg.n_honest,
+            n_byzantine: cfg.n_byzantine,
+            epochs: cfg.epochs,
+            lr,
+            batch_size: cfg.dp.batch_size,
+            flip_prob,
+            seed: cfg.seed,
+        })
     }
 }
 
@@ -148,6 +180,30 @@ pub fn run_sign_dp(cfg: &SignDpConfig) -> SignDpResult {
     SignDpResult { final_accuracy: history.last().map(|p| p.accuracy).unwrap_or(0.0), history }
 }
 
+/// Runs a [`WorkerProtocol::SignDp`] simulation config through the sign-DP
+/// loop and wraps the outcome as a [`RunResult`] (what `simulation::run`
+/// dispatches to for this substrate).
+///
+/// `sigma` and `delta` are reported as 0: sign-DP privatizes via
+/// randomized response, so the Gaussian accountant's achieved-ε does not
+/// apply (reports show such cells as non-Gaussian-private).
+pub fn run_sign_dp_simulation(cfg: &SimulationConfig) -> RunResult {
+    let sign_cfg = SignDpConfig::from_simulation(cfg)
+        .expect("run_sign_dp_simulation requires WorkerProtocol::SignDp");
+    let iterations = ((sign_cfg.epochs * sign_cfg.per_worker as f64) / sign_cfg.batch_size as f64)
+        .ceil() as usize;
+    let r = run_sign_dp(&sign_cfg);
+    RunResult {
+        final_accuracy: r.final_accuracy,
+        history: r.history,
+        defense_stats: Default::default(),
+        sigma: 0.0,
+        lr: sign_cfg.lr,
+        iterations,
+        delta: 0.0,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,6 +251,41 @@ mod tests {
             attacked.final_accuracy,
             honest.final_accuracy
         );
+    }
+
+    #[test]
+    fn sign_dp_simulation_config_maps_onto_the_baseline_loop() {
+        // A SignDp-protocol SimulationConfig must resolve to exactly the
+        // SignDpConfig a hand-coded baseline call would build, and running
+        // it through the simulation entry point must reproduce the
+        // baseline loop bit for bit.
+        let hand = cfg(2);
+        let mut sim =
+            SimulationConfig::quick(SyntheticSpec::mnist_like(), ModelKind::SmallMlp { hidden: 8 });
+        sim.per_worker = hand.per_worker;
+        sim.test_count = hand.test_count;
+        sim.n_honest = hand.n_honest;
+        sim.n_byzantine = hand.n_byzantine;
+        sim.epochs = hand.epochs;
+        sim.dp.batch_size = hand.batch_size;
+        sim.seed = hand.seed;
+        sim.protocol = WorkerProtocol::SignDp { lr: hand.lr, flip_prob: hand.flip_prob };
+        assert_eq!(SignDpConfig::from_simulation(&sim), Some(hand.clone()));
+        assert_eq!(
+            SignDpConfig::from_simulation(&SimulationConfig::quick(
+                SyntheticSpec::mnist_like(),
+                ModelKind::Mlp784
+            )),
+            None
+        );
+
+        let via_simulation = crate::simulation::run(&sim);
+        let direct = run_sign_dp(&hand);
+        assert_eq!(via_simulation.final_accuracy.to_bits(), direct.final_accuracy.to_bits());
+        assert_eq!(via_simulation.history.len(), direct.history.len());
+        assert_eq!(via_simulation.sigma, 0.0);
+        assert_eq!(via_simulation.delta, 0.0);
+        assert!((via_simulation.lr - hand.lr).abs() < 1e-15);
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! the `d` coordinates produces the finiteness/norm accumulator (the exact
 //! `vecops::l2_norm_sq` accumulation order, so the norm verdict is
 //! bit-identical) **and** the bucket histogram of the
-//! [`KsGaussianScreen`](dpbfl_stats::ks::KsGaussianScreen); the screen's
+//! [`dpbfl_stats::ks::KsGaussianScreen`]; the screen's
 //! `O(d)` envelope on the empirical CDF then decides clearly-accepted and
 //! clearly-rejected uploads without sorting, with a mid-scan early exit once
 //! the lower bound alone exceeds the critical statistic. Only uploads whose

@@ -32,9 +32,14 @@
 //! | [`second_stage`] | Algorithm 3 lines 4–14 |
 //! | [`attack`] | §2.3/§4.6 attacks: Gaussian, label-flip, OptLMP, "a little", inner-product, adaptive/TTBB |
 //! | [`aggregator`] | Table 1 baselines: Krum, CM, trimmed mean, RFA, mean |
-//! | [`baseline`] | composite prior-work protocols ([30]-style DP+robust, [77]-style sign-DP) |
+//! | [`baseline`] | composite prior-work protocols (\[30\]-style DP+robust, \[77\]-style sign-DP) |
 //! | [`simulation`] | the experiment loop (Reference Accuracy = no attack + no defense) |
 //! | [`tuning`] | Theorem 1 / Eq. 4 learning-rate transfer |
+//!
+//! This crate sits sixth in the workspace's linear 7-crate dependency
+//! chain; `docs/ARCHITECTURE.md` (repo root) describes that chain, the
+//! `prepare() → run_prepared()` split, the determinism contract every
+//! parallel section obeys, and the two-stage defense data flow end to end.
 //!
 //! ## Quick start
 //!

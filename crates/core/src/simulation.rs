@@ -1,6 +1,6 @@
 //! End-to-end federated training simulation.
 //!
-//! One [`Simulation`] run reproduces the paper's experimental loop: a server
+//! One simulation run reproduces the paper's experimental loop: a server
 //! broadcasts the model, honest workers run Algorithm 1, the omniscient
 //! adversary crafts its Byzantine uploads, the server defends (or doesn't),
 //! updates the model, and the test accuracy is tracked per epoch.
@@ -66,7 +66,7 @@ pub enum WorkerProtocol {
     /// The paper's protocol: normalization + momentum + Gaussian noise
     /// (Algorithm 1).
     PaperDp,
-    /// Vanilla DP-SGD with clipping (the [30]-style baseline substrate).
+    /// Vanilla DP-SGD with clipping (the \[30\]-style baseline substrate).
     ClippedDp {
         /// Clipping threshold `C`.
         clip: f64,
@@ -76,6 +76,37 @@ pub enum WorkerProtocol {
     /// hyper-parameters — matching the paper's "same hyperparameter setup
     /// for a fair comparison" (supp. A.6).
     Plain,
+    /// The \[77\]-style sign-compression DP baseline substrate: workers upload
+    /// randomized per-coordinate gradient *signs* and the server takes a
+    /// coordinate-wise majority vote. Structurally different from gradient
+    /// averaging, so a run under this protocol dispatches to
+    /// [`crate::baseline::run_sign_dp`] (via
+    /// [`crate::baseline::run_sign_dp_simulation`]): the `defense` must be
+    /// [`DefenseKind::NoDefense`] (the majority vote *is* the server rule)
+    /// and the `attack` must be [`crate::attack::AttackSpec::None`] —
+    /// Byzantine workers always upload inverted signs, the baseline's worst
+    /// case, so any other attack label would misrepresent what ran (the
+    /// harness's `validate()` enforces both).
+    SignDp {
+        /// Server step size applied to the majority-vote sign vector.
+        lr: f64,
+        /// Per-coordinate randomized-response flip probability
+        /// `p = 1/(e^{ε₀} + 1)` for per-round sign privacy ε₀ (see
+        /// [`crate::baseline::SignDpConfig::flip_prob_for_epsilon`]).
+        flip_prob: f64,
+    },
+}
+
+impl WorkerProtocol {
+    /// Short name for reports and grid-axis labels.
+    pub fn name(&self) -> String {
+        match *self {
+            WorkerProtocol::PaperDp => "paper-dp".into(),
+            WorkerProtocol::ClippedDp { clip } => format!("clipped-dp(C={clip})"),
+            WorkerProtocol::Plain => "plain".into(),
+            WorkerProtocol::SignDp { flip_prob, .. } => format!("sign-dp(p={flip_prob})"),
+        }
+    }
 }
 
 /// Which server-side defense runs.
@@ -359,6 +390,11 @@ pub fn prepare(cfg: &SimulationConfig) -> PreparedRun {
 
 /// Runs one full experiment.
 pub fn run(cfg: &SimulationConfig) -> RunResult {
+    // The sign-DP substrate runs its own loop (and synthesizes its own
+    // data), so skip the gradient-protocol preparation entirely.
+    if matches!(cfg.protocol, WorkerProtocol::SignDp { .. }) {
+        return crate::baseline::run_sign_dp_simulation(cfg);
+    }
     run_prepared(cfg, &prepare(cfg))
 }
 
@@ -368,6 +404,13 @@ pub fn run(cfg: &SimulationConfig) -> RunResult {
 /// [`PreparedRun::cache_key`] as `cfg` (enforced by assertion on the worker
 /// count); cells of a grid sharing a key may share one `prep`.
 pub fn run_prepared(cfg: &SimulationConfig, prep: &PreparedRun) -> RunResult {
+    // The sign-compression substrate is structurally different (majority
+    // vote instead of gradient averaging) and owns its data pipeline: a
+    // shared `prep` is simply unused for such cells.
+    if matches!(cfg.protocol, WorkerProtocol::SignDp { .. }) {
+        return crate::baseline::run_sign_dp_simulation(cfg);
+    }
+
     // ---- privacy calibration -------------------------------------------
     let (sigma, delta) = resolve_sigma(cfg);
     let mut dp = cfg.dp.clone();
@@ -638,7 +681,9 @@ impl TwoStageState {
 /// report the calibration a config resolves to without running it.
 pub fn resolve_sigma(cfg: &SimulationConfig) -> (f64, f64) {
     match cfg.protocol {
-        WorkerProtocol::Plain => (0.0, 0.0),
+        // Sign-DP privatizes via randomized response, not Gaussian noise;
+        // the Gaussian accountant does not apply.
+        WorkerProtocol::Plain | WorkerProtocol::SignDp { .. } => (0.0, 0.0),
         _ => match cfg.epsilon {
             Some(eps) => {
                 let q = cfg.dp.batch_size as f64 / cfg.per_worker as f64;
@@ -679,6 +724,9 @@ fn parallel_uploads(
             // multiplier is already zero for such runs.
             WorkerProtocol::PaperDp | WorkerProtocol::Plain => w.local_step(params),
             WorkerProtocol::ClippedDp { clip } => w.clipped_dp_step(params, clip),
+            WorkerProtocol::SignDp { .. } => {
+                unreachable!("sign-DP runs its own loop (run_sign_dp_simulation)")
+            }
         })
         .collect()
 }

@@ -142,7 +142,7 @@ impl DpWorker {
         grad
     }
 
-    /// A clipping-DP-SGD upload (vanilla DP-SGD, the [30]-style baseline):
+    /// A clipping-DP-SGD upload (vanilla DP-SGD, the \[30\]-style baseline):
     /// per-example gradients clipped to `clip_norm`, summed, noised with
     /// `N(0, (σ·C)² I)`, averaged over the batch. No momentum.
     pub fn clipped_dp_step(&mut self, params: &[f32], clip_norm: f64) -> Vec<f32> {

@@ -3,8 +3,8 @@
 /// A dense, labelled classification dataset.
 ///
 /// `features` stores examples back to back, each `example_len` floats
-/// (channels-first for images). This is the layout [`dpbfl_nn::Sequential`]
-/// consumes directly.
+/// (channels-first for images). This is the layout `dpbfl_nn::Sequential`
+/// consumes directly (that crate sits above this one in the chain).
 #[derive(Debug, Clone)]
 pub struct Dataset {
     /// Flat feature buffer, `len() · example_len` floats.

@@ -28,7 +28,7 @@ use serde::{Deserialize, Serialize};
 /// Serializes to/from JSON so experiment-grid specs (`dpbfl-harness`) can
 /// carry a full dataset description — either one of the named families from
 /// [`SyntheticSpec::by_name`] or a fully custom parameterization.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SyntheticSpec {
     /// Dataset name.
     pub name: String,

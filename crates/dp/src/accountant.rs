@@ -2,7 +2,7 @@
 //!
 //! Ties the pieces together the way the paper uses TensorFlow Privacy:
 //! given the sampling rate `q = b_c/|D|`, the number of iterations `T`, and a
-//! target `(ε, δ)`, [`find_noise_multiplier`] searches for the noise multiplier
+//! target `(ε, δ)`, [`RdpAccountant::find_noise_multiplier`] searches for the noise multiplier
 //! σ; given σ it reports the achieved ε. The paper's Theorem 3 is the
 //! asymptotic statement of the same guarantee.
 

@@ -6,13 +6,14 @@
 //! dpbfl-exp validate <file.json>
 //! dpbfl-exp run <scenario|file.json> [--threads N|auto] [--out DIR] [--resume] [--quiet]
 //! dpbfl-exp report <scenario|file.json> [--out DIR]
+//! dpbfl-exp docs [--out FILE] [--check]
 //! ```
 //!
 //! A scenario argument is first resolved against the built-in registry
 //! (`dpbfl-exp list`), then as a JSON spec file path.
 
 use dpbfl_harness::runner::{self, RunOptions};
-use dpbfl_harness::{registry, report, sink, ScenarioSpec};
+use dpbfl_harness::{docs, registry, report, sink, ScenarioSpec};
 use std::path::{Path, PathBuf};
 
 fn main() {
@@ -27,13 +28,18 @@ USAGE:
     dpbfl-exp validate <file.json>
     dpbfl-exp run <scenario|file.json> [--threads N|auto] [--out DIR] [--resume] [--quiet]
     dpbfl-exp report <scenario|file.json> [--out DIR]
+    dpbfl-exp docs [--out FILE] [--check]
 
 A scenario grid expands into cells (cartesian product of the spec's sweep
-axes); `run` executes them in parallel — bit-identical at any thread
-count — and writes results.jsonl, report.md, report.csv and
-BENCH_harness.json under OUT/<scenario>/ (OUT defaults to target/harness).
-With --resume, cells whose content key already sits in results.jsonl are
-skipped.";
+axes, plus any labeled `include` rows); `run` executes them in parallel —
+bit-identical at any thread count — and writes results.jsonl, report.md,
+report.csv and BENCH_harness.json under OUT/<scenario>/ (OUT defaults to
+target/harness). With --resume, cells whose content key already sits in
+results.jsonl are skipped.
+
+`docs` renders the built-in registry into the scenario catalog
+(docs/SCENARIOS.md by default); --check exits non-zero instead of writing
+when the file on disk is stale.";
 
 fn real_main() -> i32 {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -56,6 +62,7 @@ fn real_main() -> i32 {
         "validate" => validate(&args),
         "run" => run(&args),
         "report" => regenerate_report(&args),
+        "docs" => write_docs(&args),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             0
@@ -203,6 +210,74 @@ fn run(args: &[String]) -> i32 {
             }
         }
     })
+}
+
+/// `docs`: render the registry catalog to `docs/SCENARIOS.md` (or `--out`),
+/// or verify freshness with `--check`.
+fn write_docs(args: &[String]) -> i32 {
+    let mut out = PathBuf::from("docs/SCENARIOS.md");
+    let mut check = false;
+    let rest = args.get(1..).unwrap_or(&[]);
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--out" => {
+                let Some(value) = rest.get(i + 1) else {
+                    eprintln!("error: --out needs a value\n\n{USAGE}");
+                    return 2;
+                };
+                out = PathBuf::from(value);
+                i += 2;
+            }
+            "--check" => {
+                check = true;
+                i += 1;
+            }
+            other => {
+                eprintln!("error: unknown flag `{other}`\n\n{USAGE}");
+                return 2;
+            }
+        }
+    }
+    let rendered = docs::scenarios_markdown();
+    if check {
+        return match std::fs::read_to_string(&out) {
+            Ok(current) if current == rendered => {
+                println!("ok: {} is up to date", out.display());
+                0
+            }
+            Ok(_) => {
+                eprintln!(
+                    "error: {} is stale — regenerate it with `dpbfl-exp docs`",
+                    out.display()
+                );
+                1
+            }
+            Err(e) => {
+                eprintln!("error: {}: {e}", out.display());
+                1
+            }
+        };
+    }
+    if let Some(parent) = out.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("error: {}: {e}", parent.display());
+                return 1;
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(&out, &rendered) {
+        eprintln!("error: {}: {e}", out.display());
+        return 1;
+    }
+    println!(
+        "wrote {} ({} scenarios, {} lines)",
+        out.display(),
+        registry::names().len(),
+        rendered.lines().count()
+    );
+    0
 }
 
 fn regenerate_report(args: &[String]) -> i32 {

@@ -1,0 +1,279 @@
+//! The generated scenario catalog (`docs/SCENARIOS.md`).
+//!
+//! `dpbfl-exp docs` renders the built-in registry — the same
+//! [`ScenarioSpec`] structs the runner expands — into one markdown page:
+//! base configuration, swept axes, include rows, cell count, seed policy
+//! and the paper artifact each scenario reproduces. Because the page is a
+//! pure function of the registry, it cannot drift from the code; CI
+//! regenerates it and fails on any diff.
+
+use crate::registry;
+use crate::spec::{model_label, IncludeRow, ScenarioSpec, SeedPolicy};
+use dpbfl::prelude::*;
+
+/// The paper artifact a registry scenario reproduces (`None` for grids
+/// that exist for the repo's own sake, like the CI smoke grid).
+pub fn paper_artifact(name: &str) -> Option<&'static str> {
+    match name {
+        "paper/quickstart" => Some("the headline result (§6 flagship; CI-pinned)"),
+        "paper/reference" => Some("Reference Accuracy (§6.1)"),
+        "paper/attack_showdown" => Some("Tables 1–2 shape (all attacks × three servers)"),
+        "paper/gamma_sweep" => Some("Table 6 shape (γ sensitivity)"),
+        "paper/epsilon_sweep" => Some("Tables 2–3 shape (privacy-budget sweep)"),
+        "paper/dataset_sweep" => Some("Figure 1's dataset columns"),
+        "paper/protocol_sweep" => Some("protocol-vs-protocol matrix (related-work shape)"),
+        "paper/non_iid" => Some("supp. Figure 5 (Algorithm-4 heterogeneity)"),
+        "paper/extreme_byz" => Some("supp. extreme-Byzantine figure (80–90 %)"),
+        "paper/accounting" => Some("§5 privacy accounting at paper scale"),
+        "paper/table1_matrix" => Some("Table 1 (privacy / >50 %-resilience matrix)"),
+        "paper/table2_ours" => Some("Table 2, bottom rows (ours on Fashion)"),
+        "paper/table2_dp_krum" => Some("Table 2, top rows ([30]-style baseline)"),
+        "paper/table3_sign_dp" => Some("Table 3 (vs [77] sign-compression DP)"),
+        "paper/table4_side_effect" => Some("Table 4 (defense on, zero attackers)"),
+        "paper/table5_ttbb" => Some("Table 5 (adaptive turn-time sweep)"),
+        "paper/table6_gamma" => Some("Table 6 (γ belief × ε)"),
+        _ => None,
+    }
+}
+
+/// Human description of a seed policy.
+fn seed_policy_label(policy: &SeedPolicy) -> String {
+    match policy {
+        SeedPolicy::Fixed { seed } => format!("`Fixed` — every cell runs seed {seed}"),
+        SeedPolicy::PerCell { master } => {
+            format!("`PerCell` — cell *i* runs `worker_seed({master}, i)`")
+        }
+        SeedPolicy::Repeats { master, repeats } => {
+            format!("`Repeats` — {repeats} repeats, repeat *r* runs `worker_seed({master}, r)`")
+        }
+        SeedPolicy::List { seeds } => {
+            let seeds: Vec<String> = seeds.iter().map(u64::to_string).collect();
+            format!("`List` — verbatim seeds {{{}}}, one repeat each", seeds.join(", "))
+        }
+    }
+}
+
+/// The ε target / σ description of a base config.
+fn privacy_label(cfg: &SimulationConfig) -> String {
+    match cfg.epsilon {
+        Some(eps) => format!("ε = {eps} (σ via RDP accountant)"),
+        None => format!("σ = {} (no ε target)", cfg.dp.noise_multiplier),
+    }
+}
+
+/// One include row rendered as "label: field=value, …" (only the
+/// overridden fields appear).
+fn include_row_label(row: &IncludeRow) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    if let Some(v) = &row.dataset {
+        parts.push(format!("dataset={v}"));
+    }
+    if let Some(v) = &row.model {
+        parts.push(format!("model={}", model_label(v)));
+    }
+    if let Some(v) = &row.attack {
+        parts.push(format!("attack={}", v.name()));
+    }
+    if let Some(v) = &row.defense {
+        parts.push(format!("defense={}", v.name()));
+    }
+    if let Some(v) = &row.protocol {
+        parts.push(format!("protocol={}", v.name()));
+    }
+    if let Some(v) = row.n_honest {
+        parts.push(format!("n_honest={v}"));
+    }
+    if let Some(v) = row.n_byzantine {
+        parts.push(format!("n_byzantine={v}"));
+    }
+    if let Some(v) = row.gamma {
+        parts.push(format!("γ={v}"));
+    }
+    if let Some(v) = row.epsilon {
+        parts.push(format!("ε={v}"));
+    }
+    if let Some(v) = row.fixed_sigma {
+        parts.push(format!("σ={v} (ε target dropped)"));
+    }
+    if parts.is_empty() {
+        parts.push("base config unchanged".into());
+    }
+    format!("`{}` — {}", row.label, parts.join(", "))
+}
+
+/// Appends one "axis: v₁, v₂, …" bullet when the axis is swept.
+fn push_axis<T>(
+    out: &mut Vec<String>,
+    name: &str,
+    axis: &Option<Vec<T>>,
+    label: impl Fn(&T) -> String,
+) {
+    if let Some(values) = axis {
+        let labels: Vec<String> = values.iter().map(label).collect();
+        out.push(format!("`{name}`: {}", labels.join(", ")));
+    }
+}
+
+/// The swept-axes bullets of a grid, in expansion order.
+fn axis_bullets(spec: &ScenarioSpec) -> Vec<String> {
+    let g = &spec.grid;
+    let mut out = Vec::new();
+    push_axis(&mut out, "models", &g.models, model_label);
+    push_axis(&mut out, "attacks", &g.attacks, AttackSpec::name);
+    push_axis(&mut out, "defenses", &g.defenses, DefenseKind::name);
+    push_axis(&mut out, "n_byzantine", &g.n_byzantine, usize::to_string);
+    push_axis(&mut out, "gammas", &g.gammas, f64::to_string);
+    push_axis(&mut out, "epsilons", &g.epsilons, |e| match e {
+        Some(v) => v.to_string(),
+        None => "none".into(),
+    });
+    push_axis(&mut out, "iid", &g.iid, |i| if *i { "iid" } else { "non-iid" }.into());
+    push_axis(&mut out, "protocols", &g.protocols, WorkerProtocol::name);
+    push_axis(&mut out, "datasets", &g.datasets, String::clone);
+    out
+}
+
+/// Renders the full catalog page for the built-in registry.
+pub fn scenarios_markdown() -> String {
+    let mut out = String::new();
+    out.push_str(
+        "# Scenario catalog\n\n\
+         <!-- GENERATED FILE — do not edit. Regenerate with:\n     \
+         cargo run --release -p dpbfl-harness --bin dpbfl-exp -- docs\n\
+         CI fails when this file is stale. -->\n\n\
+         Every built-in experiment grid of `dpbfl-harness`, rendered from the\n\
+         same `ScenarioSpec` structs the runner expands (so this page cannot\n\
+         drift from the code). Run one with `dpbfl-exp run <scenario>`; export\n\
+         one as editable JSON with `dpbfl-exp show <scenario>`.\n\n",
+    );
+
+    // Index table.
+    out.push_str("| scenario | cells | reproduces | title |\n|---|---|---|---|\n");
+    for name in registry::names() {
+        let spec = registry::get(name).expect("registered name resolves");
+        out.push_str(&format!(
+            "| [`{name}`](#{anchor}) | {cells} | {artifact} | {title} |\n",
+            anchor = anchor(name),
+            cells = spec.n_cells(),
+            artifact = paper_artifact(name).unwrap_or("—"),
+            title = spec.title,
+        ));
+    }
+    out.push('\n');
+
+    for name in registry::names() {
+        let spec = registry::get(name).expect("registered name resolves");
+        out.push_str(&scenario_section(&spec));
+    }
+    out
+}
+
+/// GitHub-style anchor for a scenario heading `## \`name\``.
+fn anchor(name: &str) -> String {
+    name.chars()
+        .filter_map(|c| match c {
+            'a'..='z' | '0'..='9' => Some(c),
+            'A'..='Z' => Some(c.to_ascii_lowercase()),
+            '_' | '-' => Some(c),
+            _ => None,
+        })
+        .collect()
+}
+
+/// One scenario's section.
+fn scenario_section(spec: &ScenarioSpec) -> String {
+    let base = &spec.base;
+    let mut out = format!("## `{}`\n\n**{}**\n\n", spec.name, spec.title);
+    if let Some(artifact) = paper_artifact(&spec.name) {
+        out.push_str(&format!("Reproduces: {artifact}.\n\n"));
+    }
+    if !spec.notes.is_empty() {
+        out.push_str(&format!("{}\n\n", spec.notes));
+    }
+    out.push_str(&format!(
+        "Cells: **{}** · Seed policy: {}\n\nBase configuration:\n\n",
+        spec.n_cells(),
+        seed_policy_label(&spec.seed),
+    ));
+    out.push_str("| field | value |\n|---|---|\n");
+    for (field, value) in [
+        ("dataset", base.dataset.name.clone()),
+        ("model", model_label(&base.model)),
+        ("workers", format!("{} honest + {} Byzantine", base.n_honest, base.n_byzantine)),
+        ("examples per worker", base.per_worker.to_string()),
+        ("test examples", base.test_count.to_string()),
+        ("epochs", format!("{} (T = {})", base.epochs, base.iterations())),
+        ("partition", if base.iid { "iid".into() } else { "non-iid (Algorithm 4)".into() }),
+        ("privacy", privacy_label(base)),
+        ("protocol", base.protocol.name()),
+        ("attack", base.attack.name()),
+        ("defense", base.defense.name()),
+        ("γ (server belief)", base.defense_cfg.gamma.to_string()),
+    ] {
+        out.push_str(&format!("| {field} | {value} |\n"));
+    }
+    out.push('\n');
+
+    let axes = axis_bullets(spec);
+    if !axes.is_empty() {
+        out.push_str("Swept axes (cartesian):\n\n");
+        for bullet in &axes {
+            out.push_str(&format!("- {bullet}\n"));
+        }
+        out.push('\n');
+    }
+    if let Some(rows) = &spec.grid.include {
+        out.push_str("Include rows (labeled base-config overrides, one cell each):\n\n");
+        for row in rows {
+            out.push_str(&format!("- {}\n", include_row_label(row)));
+        }
+        out.push('\n');
+    }
+    if axes.is_empty() && spec.grid.include.is_none() {
+        out.push_str("No swept axes: the grid is the single base cell.\n\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_covers_every_registry_scenario() {
+        let md = scenarios_markdown();
+        for name in registry::names() {
+            let spec = registry::get(name).unwrap();
+            assert!(md.contains(&format!("## `{name}`")), "section for {name} missing");
+            assert!(md.contains(&spec.title), "title of {name} missing");
+            assert!(
+                md.contains(&format!("Cells: **{}**", spec.n_cells())),
+                "cell count of {name} missing"
+            );
+        }
+        assert!(md.contains("GENERATED FILE"), "regeneration banner missing");
+    }
+
+    #[test]
+    fn catalog_documents_axes_rows_and_seed_policies() {
+        let md = scenarios_markdown();
+        // A cartesian-axis scenario lists its values…
+        assert!(md.contains("`protocols`: plain, clipped-dp(C=1), paper-dp"), "{md}");
+        assert!(md.contains("`datasets`: mnist-like, fashion-like, usps-like"), "{md}");
+        // …an include-row scenario lists its labeled rows…
+        assert!(md.contains("`dp-sgd+krum`"), "{md}");
+        assert!(md.contains("`sign-dp(eps=0.21)`"), "{md}");
+        // …and the verbatim-seed policy is spelled out.
+        assert!(md.contains("`List` — verbatim seeds {1}"), "{md}");
+        assert!(md.contains("Table 1 (privacy / >50 %-resilience matrix)"), "{md}");
+    }
+
+    #[test]
+    fn every_paper_scenario_names_its_artifact() {
+        for name in registry::names() {
+            if name.starts_with("paper/") {
+                assert!(paper_artifact(name).is_some(), "{name} has no paper artifact mapping");
+            }
+        }
+    }
+}

@@ -19,10 +19,17 @@
 //!   `--resume` (finished cells are never recomputed).
 //! * [`report`] — markdown + CSV paper-style tables and the
 //!   machine-readable `BENCH_harness.json` summary.
+//! * [`docs`] — the generated scenario catalog (`dpbfl-exp docs` renders
+//!   the registry into `docs/SCENARIOS.md`; CI keeps it fresh).
 //!
 //! The `dpbfl-exp` binary is the CLI over all of it; the repo's
-//! `examples/` are thin pretty-printing wrappers over [`registry`].
+//! `examples/` are thin pretty-printing wrappers over [`registry`], and the
+//! `crates/bench` paper-table binaries are thin wrappers over the same
+//! scenarios. `docs/ARCHITECTURE.md` (repo root) places this crate in the
+//! workspace's 7-crate dependency chain and spells out the determinism
+//! contract the runner extends to grid level.
 
+pub mod docs;
 pub mod registry;
 pub mod report;
 pub mod runner;
@@ -31,4 +38,4 @@ pub mod spec;
 
 pub use runner::{run_grid, run_scenario_in_memory, GridOutcome, RunOptions};
 pub use sink::CellRecord;
-pub use spec::{Cell, GridSpec, ScenarioSpec, SeedPolicy};
+pub use spec::{Cell, GridSpec, IncludeRow, ScenarioSpec, SeedPolicy};

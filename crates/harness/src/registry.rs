@@ -5,7 +5,8 @@
 //! example binaries. The `examples/` directory is a set of thin wrappers
 //! over this registry, so the experiment configs exist exactly once.
 
-use crate::spec::{GridSpec, ScenarioSpec, SeedPolicy};
+use crate::spec::{GridSpec, IncludeRow, ScenarioSpec, SeedPolicy};
+use dpbfl::baseline::SignDpConfig;
 use dpbfl::prelude::*;
 
 /// The names [`get`] resolves, in display order.
@@ -16,11 +17,15 @@ pub fn names() -> &'static [&'static str] {
         "paper/attack_showdown",
         "paper/gamma_sweep",
         "paper/epsilon_sweep",
+        "paper/dataset_sweep",
+        "paper/protocol_sweep",
         "paper/non_iid",
         "paper/extreme_byz",
         "paper/accounting",
+        "paper/table1_matrix",
         "paper/table2_ours",
         "paper/table2_dp_krum",
+        "paper/table3_sign_dp",
         "paper/table4_side_effect",
         "paper/table5_ttbb",
         "paper/table6_gamma",
@@ -36,11 +41,15 @@ pub fn get(name: &str) -> Option<ScenarioSpec> {
         "paper/attack_showdown" => Some(attack_showdown()),
         "paper/gamma_sweep" => Some(gamma_sweep()),
         "paper/epsilon_sweep" => Some(epsilon_sweep()),
+        "paper/dataset_sweep" => Some(dataset_sweep()),
+        "paper/protocol_sweep" => Some(protocol_sweep()),
         "paper/non_iid" => Some(non_iid()),
         "paper/extreme_byz" => Some(extreme_byz()),
         "paper/accounting" => Some(accounting()),
+        "paper/table1_matrix" => Some(table1_matrix()),
         "paper/table2_ours" => Some(table2_ours()),
         "paper/table2_dp_krum" => Some(table2_dp_krum()),
+        "paper/table3_sign_dp" => Some(table3_sign_dp()),
         "paper/table4_side_effect" => Some(table4_side_effect()),
         "paper/table5_ttbb" => Some(table5_ttbb()),
         "paper/table6_gamma" => Some(table6_gamma()),
@@ -179,6 +188,58 @@ fn epsilon_sweep() -> ScenarioSpec {
     }
 }
 
+/// The two-stage defense across dataset families (Fig. 1's dataset columns,
+/// at one privacy level): the defense must track the per-dataset Reference
+/// Accuracy on every 784-input family.
+fn dataset_sweep() -> ScenarioSpec {
+    let mut base = paper_base();
+    base.attack = AttackSpec::LabelFlip;
+    base.defense = DefenseKind::TwoStage;
+    base.defense_cfg.gamma = 0.4;
+    ScenarioSpec {
+        name: "paper/dataset_sweep".into(),
+        title: "Dataset sweep: two-stage under 60 % label-flip across data families".into(),
+        notes: "The same defended configuration on the MNIST-, Fashion- and USPS-like \
+                synthetic families (all 784-input, so one MLP serves every cell); \
+                absolute ceilings differ per family, resilience must not."
+            .into(),
+        seed: SeedPolicy::Fixed { seed: 1 },
+        base,
+        grid: GridSpec {
+            datasets: Some(vec!["mnist-like".into(), "fashion-like".into(), "usps-like".into()]),
+            ..GridSpec::default()
+        },
+    }
+}
+
+/// Protocol-vs-protocol comparison (the matrix shape DP-BREM-style systems
+/// are evaluated on): the same Krum server under 60 % label-flip, fed by
+/// three different worker upload protocols.
+fn protocol_sweep() -> ScenarioSpec {
+    let mut base = paper_base();
+    base.epsilon = Some(1.0);
+    base.attack = AttackSpec::LabelFlip;
+    base.defense = DefenseKind::Robust { rule: AggregatorKind::Krum { f: 15 } };
+    ScenarioSpec {
+        name: "paper/protocol_sweep".into(),
+        title: "Protocol sweep: Krum under 60 % label-flip across upload protocols".into(),
+        notes: "Holding the server rule fixed isolates what the worker protocol itself \
+                contributes: non-private uploads, clipped DP-SGD uploads and the paper's \
+                noise-dominated uploads give the same aggregator very different inputs."
+            .into(),
+        seed: SeedPolicy::Fixed { seed: 1 },
+        base,
+        grid: GridSpec {
+            protocols: Some(vec![
+                WorkerProtocol::Plain,
+                WorkerProtocol::ClippedDp { clip: 1.0 },
+                WorkerProtocol::PaperDp,
+            ]),
+            ..GridSpec::default()
+        },
+    }
+}
+
 /// i.i.d. vs Algorithm-4 non-i.i.d. data distribution (supp. Fig. 5 shape).
 fn non_iid() -> ScenarioSpec {
     let mut base = paper_base();
@@ -240,6 +301,134 @@ fn accounting() -> ScenarioSpec {
         base,
         grid: GridSpec {
             epsilons: Some(vec![Some(2.0), Some(1.0), Some(0.5), Some(0.25), Some(0.125)]),
+            ..GridSpec::default()
+        },
+    }
+}
+
+/// The reduced-scale MNIST base the Table-1/Table-3 method-comparison rows
+/// share: the bench harness's default `Scale` (10 honest workers,
+/// |D_i| = 500, 6 epochs, 400 test examples) — the configuration the
+/// pre-registry `table1_matrix`/`table3_vs_sign_dp` binaries ran, kept
+/// bit-identical so the registry reproduces their accuracies verbatim.
+fn table13_base() -> SimulationConfig {
+    let mut cfg = SimulationConfig::quick(SyntheticSpec::mnist_like(), ModelKind::Mlp784);
+    cfg.per_worker = 500;
+    cfg.test_count = 400;
+    cfg.n_honest = 10;
+    cfg.epochs = 6.0;
+    cfg
+}
+
+/// Table 1: the privacy / >50 %-resilience matrix — every prior method next
+/// to the two-stage protocol under 60 % label-flip, plus the Reference
+/// Accuracy row the resilience threshold is measured against. The rows vary
+/// protocol, defense and privacy level *jointly*, so they are `include`
+/// rows, not a cartesian product.
+fn table1_matrix() -> ScenarioSpec {
+    let mut base = table13_base();
+    base.epsilon = Some(1.0);
+    base.n_byzantine = 15; // 60 % of the 25-worker cohort
+    base.attack = AttackSpec::LabelFlip;
+    // Non-private robust-aggregation rows: plain uploads (σ pinned to 0),
+    // an off-the-shelf rule at the server.
+    let robust = |label: &str, rule: AggregatorKind| IncludeRow {
+        label: label.into(),
+        protocol: Some(WorkerProtocol::Plain),
+        fixed_sigma: Some(0.0),
+        defense: Some(DefenseKind::Robust { rule }),
+        ..IncludeRow::default()
+    };
+    ScenarioSpec {
+        name: "paper/table1_matrix".into(),
+        title: "Table 1: privacy and >50 %-resilience, measured per method".into(),
+        notes: "Every prior row lacks privacy, resilience beyond a Byzantine majority, \
+                or both; only the two-stage protocol keeps both. `reference` is the \
+                zero-attacker DP ceiling; a method counts as resilient when it retains \
+                ≥80 % of it under 60 % label-flip. Paper seeds at full scale: {1, 2, 3}."
+            .into(),
+        seed: SeedPolicy::List { seeds: vec![1] },
+        base,
+        grid: GridSpec {
+            include: Some(vec![
+                IncludeRow {
+                    label: "reference".into(),
+                    n_byzantine: Some(0),
+                    attack: Some(AttackSpec::None),
+                    ..IncludeRow::default()
+                },
+                robust("krum", AggregatorKind::Krum { f: 15 }),
+                robust("coord-median", AggregatorKind::CoordinateMedian),
+                robust("trimmed-mean", AggregatorKind::TrimmedMean { trim: 11 }),
+                robust("rfa", AggregatorKind::GeometricMedian),
+                IncludeRow {
+                    label: "dp-sgd+krum".into(),
+                    protocol: Some(WorkerProtocol::ClippedDp { clip: 1.0 }),
+                    defense: Some(DefenseKind::Robust { rule: AggregatorKind::Krum { f: 15 } }),
+                    ..IncludeRow::default()
+                },
+                IncludeRow {
+                    label: "sign-dp".into(),
+                    protocol: Some(WorkerProtocol::SignDp {
+                        lr: 0.002,
+                        flip_prob: SignDpConfig::flip_prob_for_epsilon(1.0),
+                    }),
+                    model: Some(ModelKind::SmallMlp { hidden: 16 }),
+                    attack: Some(AttackSpec::None), // sign-inversion is structural
+                    ..IncludeRow::default()
+                },
+                IncludeRow {
+                    label: "two-stage".into(),
+                    defense: Some(DefenseKind::TwoStage),
+                    gamma: Some(10.0 / 25.0),
+                    ..IncludeRow::default()
+                },
+            ]),
+            ..GridSpec::default()
+        },
+    }
+}
+
+/// Table 3: comparison with [77] (sign-compression DP) on MNIST — the
+/// baseline at 10 % Byzantine and its published ε budgets vs ours at 40–60 %
+/// Byzantine and the much stronger ε = 0.125.
+fn table3_sign_dp() -> ScenarioSpec {
+    let mut base = table13_base();
+    base.epsilon = Some(0.125);
+    base.attack = AttackSpec::Gaussian;
+    // [77]'s ε is the whole run's budget; naive linear composition leaves
+    // ε/T per round, which drives the randomized-response flip probability
+    // toward 1/2 — the structural reason its accuracy collapses.
+    let rounds = (base.epochs * base.per_worker as f64 / base.dp.batch_size as f64).ceil();
+    let sign = |eps_total: f64| IncludeRow {
+        label: format!("sign-dp(eps={eps_total})"),
+        protocol: Some(WorkerProtocol::SignDp {
+            lr: 0.002,
+            flip_prob: SignDpConfig::flip_prob_for_epsilon(eps_total / rounds),
+        }),
+        model: Some(ModelKind::SmallMlp { hidden: 16 }),
+        n_byzantine: Some(1),           // 10 % of the cohort
+        attack: Some(AttackSpec::None), // sign-inversion is structural
+        ..IncludeRow::default()
+    };
+    let ours = |byz_pct: usize, n_byz: usize| IncludeRow {
+        label: format!("ours(byz={byz_pct}%)"),
+        n_byzantine: Some(n_byz),
+        defense: Some(DefenseKind::TwoStage),
+        gamma: Some(10.0 / (10 + n_byz) as f64),
+        ..IncludeRow::default()
+    };
+    ScenarioSpec {
+        name: "paper/table3_sign_dp".into(),
+        title: "Table 3: vs sign-compression DP under the Gaussian attack".into(),
+        notes: "Paper's numbers: [77] reaches .20/.43 with only 10 % Byzantine workers at \
+                ε ∈ {0.21, 0.40}; ours reaches ~.86 with 40–60 % Byzantine at ε = 0.125. \
+                Paper seeds at full scale: {1, 2, 3}."
+            .into(),
+        seed: SeedPolicy::List { seeds: vec![1] },
+        base,
+        grid: GridSpec {
+            include: Some(vec![sign(0.21), sign(0.40), ours(40, 7), ours(60, 15)]),
             ..GridSpec::default()
         },
     }
@@ -446,5 +635,59 @@ mod tests {
     fn smoke_grid_is_two_by_two() {
         let spec = get("smoke/tiny").unwrap();
         assert_eq!(spec.n_cells(), 4);
+    }
+
+    #[test]
+    fn table1_matrix_rows_cover_every_method() {
+        let spec = get("paper/table1_matrix").unwrap();
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 8, "reference + 4 robust + [30] + [77] + ours");
+        let labels: Vec<&str> = cells.iter().map(|c| c.axis("row").unwrap()).collect();
+        assert_eq!(
+            labels,
+            [
+                "reference",
+                "krum",
+                "coord-median",
+                "trimmed-mean",
+                "rfa",
+                "dp-sgd+krum",
+                "sign-dp",
+                "two-stage"
+            ]
+        );
+        // Every cell runs the paper's verbatim seed 1 and carries its label.
+        assert!(cells.iter().all(|c| c.config.seed == 1));
+        assert!(cells.iter().all(|c| c.axis("seed") == Some("1")));
+        // The reference row is the zero-attacker ceiling.
+        assert_eq!(cells[0].config.n_byzantine, 0);
+        assert_eq!(cells[0].config.attack, AttackSpec::None);
+        // The sign-DP row resolves to the baseline substrate.
+        assert!(matches!(cells[6].config.protocol, WorkerProtocol::SignDp { .. }));
+        assert!(dpbfl::baseline::SignDpConfig::from_simulation(&cells[6].config).is_some());
+    }
+
+    #[test]
+    fn table3_sign_dp_rows_pit_the_substrates() {
+        let spec = get("paper/table3_sign_dp").unwrap();
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 4);
+        let labels: Vec<&str> = cells.iter().map(|c| c.axis("row").unwrap()).collect();
+        assert_eq!(
+            labels,
+            ["sign-dp(eps=0.21)", "sign-dp(eps=0.4)", "ours(byz=40%)", "ours(byz=60%)"]
+        );
+        // The two sign rows differ only in flip probability — and the
+        // tighter budget must flip closer to 1/2.
+        let flip = |cell: &crate::spec::Cell| match cell.config.protocol {
+            WorkerProtocol::SignDp { flip_prob, .. } => flip_prob,
+            _ => panic!("sign row must use the sign-DP protocol"),
+        };
+        assert!(flip(&cells[0]) > flip(&cells[1]));
+        assert!(flip(&cells[0]) < 0.5 && flip(&cells[0]) > 0.49);
+        // Ours rows: 40 % and 60 % Byzantine at γ = honest fraction.
+        assert_eq!(cells[2].config.n_byzantine, 7);
+        assert_eq!(cells[3].config.n_byzantine, 15);
+        assert!((cells[2].config.defense_cfg.gamma - 10.0 / 17.0).abs() < 1e-15);
     }
 }

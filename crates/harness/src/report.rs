@@ -126,20 +126,28 @@ pub fn csv(records: &[CellRecord]) -> String {
     out
 }
 
-/// A record's axis labels with the synthetic `repeat` axis stripped — the
-/// identity of its repeat group.
+/// True for the synthetic repeat-style axes: `repeat` (from
+/// `SeedPolicy::Repeats`) and `seed` (from `SeedPolicy::List`).
+fn is_repeat_axis(axis: &str) -> bool {
+    axis == "repeat" || axis == "seed"
+}
+
+/// A record's axis labels with the synthetic repeat-style axis stripped —
+/// the identity of its repeat group.
 fn non_repeat_axes(record: &CellRecord) -> Vec<(String, String)> {
-    record.axes.iter().filter(|(axis, _)| axis != "repeat").cloned().collect()
+    record.axes.iter().filter(|(axis, _)| !is_repeat_axis(axis)).cloned().collect()
 }
 
 /// One repeat group: the non-repeat axis labels identifying it, plus the
 /// final accuracies of its repeats in cell order.
 type RepeatGroup = (Vec<(String, String)>, Vec<f64>);
 
-/// `Some(groups)` when the records carry a `repeat` axis: final accuracies
-/// grouped by the non-repeat axis labels, in first-appearance order.
+/// `Some(groups)` when the records carry a repeat-style axis (`repeat` or
+/// `seed`) with at least two repeats: final accuracies grouped by the
+/// non-repeat axis labels, in first-appearance order. A single repeat has
+/// nothing to aggregate, so it yields `None`.
 fn repeat_groups(records: &[CellRecord]) -> Option<Vec<RepeatGroup>> {
-    if !records.iter().any(|r| r.axes.iter().any(|(axis, _)| axis == "repeat")) {
+    if !records.iter().any(|r| r.axes.iter().any(|(axis, _)| is_repeat_axis(axis))) {
         return None;
     }
     let mut groups: Vec<RepeatGroup> = Vec::new();
@@ -149,6 +157,9 @@ fn repeat_groups(records: &[CellRecord]) -> Option<Vec<RepeatGroup>> {
             Some((_, accs)) => accs.push(record.summary.final_accuracy),
             None => groups.push((key, vec![record.summary.final_accuracy])),
         }
+    }
+    if groups.iter().all(|(_, accs)| accs.len() < 2) {
+        return None;
     }
     Some(groups)
 }
@@ -299,12 +310,12 @@ fn axis_labels(records: &[CellRecord], axis: &str) -> Vec<String> {
 
 /// `Some((row_axis, col_axis))` when exactly two *swept* axes have ≥ 2
 /// values — the shape a paper-style pivot renders faithfully. The
-/// synthetic `repeat` axis does not count: repeats of one row/column pair
-/// collapse into the pivot's mean instead.
+/// synthetic repeat-style axes (`repeat`, `seed`) do not count: repeats of
+/// one row/column pair collapse into the pivot's mean instead.
 fn pivot_axes(records: &[CellRecord]) -> Option<(String, String)> {
     let swept: Vec<String> = axis_names(records)
         .into_iter()
-        .filter(|axis| axis != "repeat" && axis_labels(records, axis).len() >= 2)
+        .filter(|axis| !is_repeat_axis(axis) && axis_labels(records, axis).len() >= 2)
         .collect();
     match swept.as_slice() {
         [rows, cols] => Some((rows.clone(), cols.clone())),
@@ -486,6 +497,71 @@ mod tests {
             assert!((mean - expected_mean).abs() < 1e-12, "line {line}: mean {mean}");
             assert!((std - expected_std).abs() < 1e-12, "line {line}: std {std}");
         }
+    }
+
+    #[test]
+    fn seed_list_axis_aggregates_like_repeats() {
+        // SeedPolicy::List gives cells a `seed` axis; it must behave like
+        // the `repeat` axis: excluded from the pivot, aggregated in the
+        // mean ± std table and the CSV repeat columns.
+        let mut spec = crate::registry::get("smoke/tiny").unwrap();
+        spec.seed = crate::spec::SeedPolicy::List { seeds: vec![1, 2] };
+        let records: Vec<CellRecord> = spec
+            .cells()
+            .into_iter()
+            .map(|c| CellRecord {
+                scenario: spec.name.clone(),
+                cell: c.index,
+                key: c.key.clone(),
+                axes: c.axes.clone(),
+                config: c.config.clone(),
+                summary: RunSummary {
+                    // Seed-1 cells score 0.0, seed-2 cells 1.0.
+                    final_accuracy: (c.index / 4) as f64,
+                    sigma: 0.25,
+                    lr: 0.2,
+                    iterations: 6,
+                    delta: 0.0,
+                    defense_stats: Default::default(),
+                    history: vec![],
+                },
+            })
+            .collect();
+        let md = markdown(&spec, &records);
+        assert!(md.contains("attack \\ defense"), "pivot missing: {md}");
+        assert!(!md.contains("seed \\"), "{md}");
+        assert!(md.contains("across 2 repeats (mean ± sample std)"), "{md}");
+        assert_eq!(md.matches(" 0.500 |").count(), 4, "{md}");
+        let text = csv(&records);
+        assert!(text.lines().nth(1).unwrap().contains(",0.5,"), "{text}");
+    }
+
+    #[test]
+    fn single_seed_list_skips_the_aggregation_table() {
+        let mut spec = crate::registry::get("smoke/tiny").unwrap();
+        spec.seed = crate::spec::SeedPolicy::List { seeds: vec![7] };
+        let records: Vec<CellRecord> = spec
+            .cells()
+            .into_iter()
+            .map(|c| CellRecord {
+                scenario: spec.name.clone(),
+                cell: c.index,
+                key: c.key.clone(),
+                axes: c.axes.clone(),
+                config: c.config.clone(),
+                summary: RunSummary {
+                    final_accuracy: 0.5,
+                    sigma: 0.25,
+                    lr: 0.2,
+                    iterations: 6,
+                    delta: 0.0,
+                    defense_stats: Default::default(),
+                    history: vec![],
+                },
+            })
+            .collect();
+        let md = markdown(&spec, &records);
+        assert!(!md.contains("mean ± sample std"), "nothing to aggregate: {md}");
     }
 
     #[test]

@@ -13,7 +13,7 @@ use dpbfl::simulation::worker_seed;
 use serde::{Deserialize, Serialize, Value};
 
 /// How the grid assigns each cell's master RNG seed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SeedPolicy {
     /// Every cell runs with this exact seed — the paper-table style: all
     /// cells see the same data, and columns differ only in the swept axes
@@ -40,6 +40,16 @@ pub enum SeedPolicy {
         /// Number of repeats (the extra axis length).
         repeats: usize,
     },
+    /// Like [`SeedPolicy::Repeats`], but with the seeds given **verbatim**:
+    /// repeat `r` runs every cell with `seeds[r]`. This is the paper's own
+    /// policy — its tables average over the literal seeds {1, 2, 3} — and
+    /// the only way to reproduce such runs exactly, since derived schemes
+    /// cannot hit chosen seed values. Cells carry a `seed` axis labeled
+    /// with the seed value.
+    List {
+        /// The exact master seeds, one repeat per entry.
+        seeds: Vec<u64>,
+    },
 }
 
 /// The sweep axes. Every axis is optional: an omitted (or `null`) axis keeps
@@ -61,12 +71,138 @@ pub struct GridSpec {
     pub epsilons: Option<Vec<Option<f64>>>,
     /// Data distributions to sweep (`true` = i.i.d., `false` = Algorithm 4).
     pub iid: Option<Vec<bool>>,
+    /// Worker upload protocols to sweep — the paper's protocol vs the
+    /// \[30\]-style clipped DP-SGD vs the non-private ablation vs the
+    /// \[77\]-style sign-DP substrate ([`WorkerProtocol::SignDp`] dispatches
+    /// to its own majority-vote loop).
+    pub protocols: Option<Vec<WorkerProtocol>>,
+    /// Dataset families to sweep, by name ([`SyntheticSpec::by_name`]):
+    /// `mnist-like`, `fashion-like`, `usps-like`, `colorectal-like`,
+    /// `kmnist-like`. Names are validated at parse time.
+    pub datasets: Option<Vec<String>>,
+    /// Labeled one-off rows appended after the cartesian cells. Each entry
+    /// overrides a handful of base-config fields at once — the shape of the
+    /// paper's method-comparison tables (Tables 1 and 3), whose rows vary
+    /// protocol, defense and privacy level *jointly* and therefore cannot
+    /// be a cartesian product. When `include` is the only thing present
+    /// (no swept axis), the grid consists of exactly these rows; when axes
+    /// are swept too, the rows ride along after the cartesian block.
+    pub include: Option<Vec<IncludeRow>>,
+}
+
+/// One labeled row of a method-comparison grid: a named bundle of
+/// base-config overrides (see [`GridSpec::include`]). Only the fields set
+/// here change; everything else comes from the scenario's base config. The
+/// row's cells carry a single `row` axis with this label.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct IncludeRow {
+    /// Row label (the `row` axis value in reports; must be unique).
+    pub label: String,
+    /// Override the dataset family, by [`SyntheticSpec::by_name`] name.
+    pub dataset: Option<String>,
+    /// Override the network architecture.
+    pub model: Option<ModelKind>,
+    /// Override the attack.
+    pub attack: Option<AttackSpec>,
+    /// Override the server defense.
+    pub defense: Option<DefenseKind>,
+    /// Override the worker upload protocol.
+    pub protocol: Option<WorkerProtocol>,
+    /// Override the honest worker count.
+    pub n_honest: Option<usize>,
+    /// Override the Byzantine worker count.
+    pub n_byzantine: Option<usize>,
+    /// Override the server's honest-fraction belief γ.
+    pub gamma: Option<f64>,
+    /// Override the privacy target to `Some(ε)`.
+    pub epsilon: Option<f64>,
+    /// Drop the ε target and pin the noise multiplier σ directly (the
+    /// non-private robust-baseline rows use `0.0`). Applied after
+    /// `epsilon`, so setting both leaves the ε target cleared.
+    pub fixed_sigma: Option<f64>,
+}
+
+impl IncludeRow {
+    /// Applies the row's overrides to a copy of the base config.
+    fn apply(&self, cfg: &mut SimulationConfig) {
+        if let Some(name) = &self.dataset {
+            cfg.dataset = resolve_dataset(name);
+        }
+        if let Some(model) = self.model {
+            cfg.model = model;
+        }
+        if let Some(attack) = &self.attack {
+            cfg.attack = attack.clone();
+        }
+        if let Some(defense) = &self.defense {
+            cfg.defense = defense.clone();
+        }
+        if let Some(protocol) = self.protocol {
+            cfg.protocol = protocol;
+        }
+        if let Some(n) = self.n_honest {
+            cfg.n_honest = n;
+        }
+        if let Some(n) = self.n_byzantine {
+            cfg.n_byzantine = n;
+        }
+        if let Some(gamma) = self.gamma {
+            cfg.defense_cfg.gamma = gamma;
+        }
+        if let Some(eps) = self.epsilon {
+            cfg.epsilon = Some(eps);
+        }
+        if let Some(sigma) = self.fixed_sigma {
+            cfg.epsilon = None;
+            cfg.dp.noise_multiplier = sigma;
+        }
+    }
 }
 
 /// The field names [`GridSpec`] accepts (kept next to the struct so the
 /// unknown-field check in [`ScenarioSpec::from_json`] cannot drift).
-const GRID_FIELDS: &[&str] =
-    &["models", "attacks", "defenses", "n_byzantine", "gammas", "epsilons", "iid"];
+const GRID_FIELDS: &[&str] = &[
+    "models",
+    "attacks",
+    "defenses",
+    "n_byzantine",
+    "gammas",
+    "epsilons",
+    "iid",
+    "protocols",
+    "datasets",
+    "include",
+];
+
+/// The field names [`IncludeRow`] accepts.
+const INCLUDE_FIELDS: &[&str] = &[
+    "label",
+    "dataset",
+    "model",
+    "attack",
+    "defense",
+    "protocol",
+    "n_honest",
+    "n_byzantine",
+    "gamma",
+    "epsilon",
+    "fixed_sigma",
+];
+
+/// The [`WorkerProtocol`] variant names (for parse-time axis validation).
+const PROTOCOL_VARIANTS: &[&str] = &["PaperDp", "ClippedDp", "Plain", "SignDp"];
+
+/// Resolves a dataset family name, panicking with a actionable message on
+/// an unknown name (parse-time checks and [`ScenarioSpec::validate`] both
+/// reject unknown names before any expansion path can reach this).
+fn resolve_dataset(name: &str) -> SyntheticSpec {
+    SyntheticSpec::by_name(name).unwrap_or_else(|| {
+        panic!(
+            "unknown dataset family `{name}` (expected one of: {}); validate the spec first",
+            SyntheticSpec::family_names().join(", ")
+        )
+    })
+}
 
 /// A full declarative experiment: metadata + base config + sweep axes.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -168,87 +304,122 @@ impl Cell {
 }
 
 impl ScenarioSpec {
-    /// Expands the grid into runnable cells (cartesian product of the axes,
-    /// repeat axis outermost, then model, attack, defense, `n_byzantine`,
-    /// γ, ε, partition).
+    /// True when any cartesian axis is swept.
+    fn any_axis_swept(&self) -> bool {
+        let g = &self.grid;
+        g.models.is_some()
+            || g.attacks.is_some()
+            || g.defenses.is_some()
+            || g.n_byzantine.is_some()
+            || g.gammas.is_some()
+            || g.epsilons.is_some()
+            || g.iid.is_some()
+            || g.protocols.is_some()
+            || g.datasets.is_some()
+    }
+
+    /// The grid's include rows (empty slice when absent).
+    fn include_rows(&self) -> &[IncludeRow] {
+        self.grid.include.as_deref().unwrap_or(&[])
+    }
+
+    /// True when the cartesian block contributes cells: always, except when
+    /// `include` rows are present and *no* axis is swept — then the grid is
+    /// exactly the row list (a pure method-comparison table) and no bare
+    /// base cell is emitted.
+    fn has_cartesian_block(&self) -> bool {
+        self.any_axis_swept() || self.include_rows().is_empty()
+    }
+
+    /// The swept axes as a list of (axis values) lists, in expansion order:
+    /// model, attack, defense, `n_byzantine`, γ, ε, partition, protocol,
+    /// dataset. Omitted axes contribute nothing.
+    fn swept_axes(&self) -> Vec<Vec<AxisSetting>> {
+        let mut axes: Vec<Vec<AxisSetting>> = Vec::new();
+        let mut push = |values: Option<Vec<AxisSetting>>| axes.extend(values);
+        let g = &self.grid;
+        push(g.models.as_ref().map(|v| v.iter().map(|m| AxisSetting::Model(*m)).collect()));
+        push(g.attacks.as_ref().map(|v| v.iter().cloned().map(AxisSetting::Attack).collect()));
+        push(g.defenses.as_ref().map(|v| v.iter().cloned().map(AxisSetting::Defense).collect()));
+        push(
+            g.n_byzantine.as_ref().map(|v| v.iter().map(|n| AxisSetting::Byzantine(*n)).collect()),
+        );
+        push(g.gammas.as_ref().map(|v| v.iter().map(|g| AxisSetting::Gamma(*g)).collect()));
+        push(g.epsilons.as_ref().map(|v| v.iter().map(|e| AxisSetting::Epsilon(*e)).collect()));
+        push(g.iid.as_ref().map(|v| v.iter().map(|i| AxisSetting::Partition(*i)).collect()));
+        push(g.protocols.as_ref().map(|v| v.iter().map(|p| AxisSetting::Protocol(*p)).collect()));
+        push(g.datasets.as_ref().map(|v| v.iter().cloned().map(AxisSetting::Dataset).collect()));
+        axes
+    }
+
+    /// Expands the grid into runnable cells: the cartesian product of the
+    /// axes (repeat/seed axis outermost, then model, attack, defense,
+    /// `n_byzantine`, γ, ε, partition, protocol, dataset — innermost varies
+    /// fastest), followed by the `include` rows, per repeat.
     pub fn cells(&self) -> Vec<Cell> {
-        let repeats: Vec<Option<usize>> = match self.seed {
-            SeedPolicy::Repeats { repeats, .. } => (0..repeats).map(Some).collect(),
-            _ => vec![None],
+        let n_repeats = match &self.seed {
+            SeedPolicy::Repeats { repeats, .. } => *repeats,
+            SeedPolicy::List { seeds } => seeds.len(),
+            _ => 1,
         };
-        let models = axis_values(&self.grid.models);
-        let attacks = axis_values(&self.grid.attacks);
-        let defenses = axis_values(&self.grid.defenses);
-        let byzantines = axis_values(&self.grid.n_byzantine);
-        let gammas = axis_values(&self.grid.gammas);
-        let epsilons = axis_values(&self.grid.epsilons);
-        let iids = axis_values(&self.grid.iid);
-        let mut cells = Vec::with_capacity(self.n_cells());
-        for r in &repeats {
-            for m in &models {
-                for a in &attacks {
-                    for de in &defenses {
-                        for nb in &byzantines {
-                            for g in &gammas {
-                                for e in &epsilons {
-                                    for i in &iids {
-                                        let index = cells.len();
-                                        let mut cfg = self.base.clone();
-                                        let mut axes: Vec<(String, String)> = Vec::new();
-                                        if let Some(r) = r {
-                                            axes.push(("repeat".into(), r.to_string()));
-                                        }
-                                        if let Some(m) = m {
-                                            cfg.model = *m;
-                                            axes.push(("model".into(), model_label(m)));
-                                        }
-                                        if let Some(a) = a {
-                                            cfg.attack = a.clone();
-                                            axes.push(("attack".into(), a.name()));
-                                        }
-                                        if let Some(de) = de {
-                                            cfg.defense = de.clone();
-                                            axes.push(("defense".into(), de.name()));
-                                        }
-                                        if let Some(nb) = nb {
-                                            cfg.n_byzantine = *nb;
-                                            axes.push(("n_byzantine".into(), nb.to_string()));
-                                        }
-                                        if let Some(g) = g {
-                                            cfg.defense_cfg.gamma = *g;
-                                            axes.push(("gamma".into(), format!("{g}")));
-                                        }
-                                        if let Some(e) = e {
-                                            cfg.epsilon = *e;
-                                            let label = match e {
-                                                Some(v) => format!("{v}"),
-                                                None => "none".into(),
-                                            };
-                                            axes.push(("epsilon".into(), label));
-                                        }
-                                        if let Some(i) = i {
-                                            cfg.iid = *i;
-                                            let label =
-                                                if *i { "iid" } else { "non-iid" }.to_string();
-                                            axes.push(("partition".into(), label));
-                                        }
-                                        cfg.seed = match self.seed {
-                                            SeedPolicy::Fixed { seed } => seed,
-                                            SeedPolicy::PerCell { master } => {
-                                                worker_seed(master, index)
-                                            }
-                                            SeedPolicy::Repeats { master, .. } => {
-                                                worker_seed(master, r.unwrap_or(0))
-                                            }
-                                        };
-                                        let key = content_key(&cfg);
-                                        cells.push(Cell { index, key, config: cfg, axes });
-                                    }
-                                }
-                            }
-                        }
-                    }
+        // All cartesian combinations, one Vec<&AxisSetting> each, built by
+        // folding the axes left to right (later axes vary fastest — the
+        // nested-loop order).
+        let axes = self.swept_axes();
+        let mut combos: Vec<Vec<&AxisSetting>> = vec![Vec::new()];
+        for axis in &axes {
+            combos = combos
+                .into_iter()
+                .flat_map(|combo| {
+                    axis.iter().map(move |value| {
+                        let mut combo = combo.clone();
+                        combo.push(value);
+                        combo
+                    })
+                })
+                .collect();
+        }
+        // The repeat/seed axis label (if any) and the cell's master seed.
+        let seed_for = |r: usize, index: usize| -> (Option<(String, String)>, u64) {
+            match &self.seed {
+                SeedPolicy::Fixed { seed } => (None, *seed),
+                SeedPolicy::PerCell { master } => (None, worker_seed(*master, index)),
+                SeedPolicy::Repeats { master, .. } => {
+                    (Some(("repeat".into(), r.to_string())), worker_seed(*master, r))
                 }
+                SeedPolicy::List { seeds } => {
+                    (Some(("seed".into(), seeds[r].to_string())), seeds[r])
+                }
+            }
+        };
+        let mut cells = Vec::with_capacity(self.n_cells());
+        for r in 0..n_repeats {
+            if self.has_cartesian_block() {
+                for combo in &combos {
+                    let index = cells.len();
+                    let mut cfg = self.base.clone();
+                    let mut axes: Vec<(String, String)> = Vec::new();
+                    let (seed_axis, seed) = seed_for(r, index);
+                    axes.extend(seed_axis);
+                    for setting in combo {
+                        axes.push(setting.apply(&mut cfg));
+                    }
+                    cfg.seed = seed;
+                    let key = content_key(&cfg);
+                    cells.push(Cell { index, key, config: cfg, axes });
+                }
+            }
+            for row in self.include_rows() {
+                let index = cells.len();
+                let mut cfg = self.base.clone();
+                let mut axes: Vec<(String, String)> = Vec::new();
+                let (seed_axis, seed) = seed_for(r, index);
+                axes.extend(seed_axis);
+                row.apply(&mut cfg);
+                axes.push(("row".into(), row.label.clone()));
+                cfg.seed = seed;
+                let key = content_key(&cfg);
+                cells.push(Cell { index, key, config: cfg, axes });
             }
         }
         cells
@@ -256,18 +427,25 @@ impl ScenarioSpec {
 
     /// The number of cells [`ScenarioSpec::cells`] will produce.
     pub fn n_cells(&self) -> usize {
-        let repeat = match self.seed {
-            SeedPolicy::Repeats { repeats, .. } => repeats,
+        let repeat = match &self.seed {
+            SeedPolicy::Repeats { repeats, .. } => *repeats,
+            SeedPolicy::List { seeds } => seeds.len(),
             _ => 1,
         };
-        repeat
-            * axis_len(&self.grid.models)
-            * axis_len(&self.grid.attacks)
-            * axis_len(&self.grid.defenses)
-            * axis_len(&self.grid.n_byzantine)
-            * axis_len(&self.grid.gammas)
-            * axis_len(&self.grid.epsilons)
-            * axis_len(&self.grid.iid)
+        let cartesian = if self.has_cartesian_block() {
+            axis_len(&self.grid.models)
+                * axis_len(&self.grid.attacks)
+                * axis_len(&self.grid.defenses)
+                * axis_len(&self.grid.n_byzantine)
+                * axis_len(&self.grid.gammas)
+                * axis_len(&self.grid.epsilons)
+                * axis_len(&self.grid.iid)
+                * axis_len(&self.grid.protocols)
+                * axis_len(&self.grid.datasets)
+        } else {
+            0
+        };
+        repeat * (cartesian + self.include_rows().len())
     }
 
     /// Semantic checks beyond what deserialization enforces. Returns one
@@ -277,8 +455,14 @@ impl ScenarioSpec {
         if self.name.is_empty() {
             problems.push("scenario name is empty".into());
         }
-        if let SeedPolicy::Repeats { repeats: 0, .. } = self.seed {
-            problems.push("seed.Repeats.repeats must be at least 1".into());
+        match &self.seed {
+            SeedPolicy::Repeats { repeats: 0, .. } => {
+                problems.push("seed.Repeats.repeats must be at least 1".into());
+            }
+            SeedPolicy::List { seeds } if seeds.is_empty() => {
+                problems.push("seed.List.seeds must name at least one seed".into());
+            }
+            _ => {}
         }
         for (axis, len) in [
             ("models", self.grid.models.as_ref().map(Vec::len)),
@@ -288,10 +472,37 @@ impl ScenarioSpec {
             ("gammas", self.grid.gammas.as_ref().map(Vec::len)),
             ("epsilons", self.grid.epsilons.as_ref().map(Vec::len)),
             ("iid", self.grid.iid.as_ref().map(Vec::len)),
+            ("protocols", self.grid.protocols.as_ref().map(Vec::len)),
+            ("datasets", self.grid.datasets.as_ref().map(Vec::len)),
+            ("include", self.grid.include.as_ref().map(Vec::len)),
         ] {
             if len == Some(0) {
                 problems.push(format!("grid.{axis}: present but empty (grid has zero cells)"));
             }
+        }
+        // Dataset names and include-row labels, before any expansion (an
+        // unknown name would make `cells()` panic).
+        for (i, name) in self.grid.datasets.iter().flatten().enumerate() {
+            if SyntheticSpec::by_name(name).is_none() {
+                problems.push(unknown_dataset(&format!("grid.datasets[{i}]"), name));
+            }
+        }
+        let mut labels: Vec<&str> = Vec::new();
+        for (i, row) in self.include_rows().iter().enumerate() {
+            if row.label.is_empty() {
+                problems.push(format!("grid.include[{i}]: row label is empty"));
+            } else if labels.contains(&row.label.as_str()) {
+                problems.push(format!("grid.include[{i}]: duplicate row label `{}`", row.label));
+            }
+            labels.push(&row.label);
+            if let Some(name) = &row.dataset {
+                if SyntheticSpec::by_name(name).is_none() {
+                    problems.push(unknown_dataset(&format!("grid.include[{i}].dataset"), name));
+                }
+            }
+        }
+        if !problems.is_empty() {
+            return problems;
         }
         let cells = self.cells();
         for cell in &cells {
@@ -315,6 +526,23 @@ impl ScenarioSpec {
                 let zero_noise = c.epsilon.is_none() && c.dp.noise_multiplier <= 0.0;
                 if plain || zero_noise {
                     problems.push(at("two-stage defense requires DP noise (σ > 0)".into()));
+                }
+            }
+            if matches!(c.protocol, WorkerProtocol::SignDp { .. }) {
+                if c.defense != DefenseKind::NoDefense {
+                    problems.push(at(
+                        "the sign-DP substrate runs its own majority-vote server loop; \
+                         its defense must be NoDefense"
+                            .into(),
+                    ));
+                }
+                // Rejected rather than ignored: a sign-DP cell labeled with
+                // an attack would run the identical structural-inversion loop
+                // and report rows implying the attack was actually mounted.
+                if c.attack != AttackSpec::None {
+                    problems.push(at("the sign-DP substrate's Byzantine behavior is structural \
+                         sign-inversion; its attack must be None"
+                        .into()));
                 }
             }
         }
@@ -343,9 +571,38 @@ impl ScenarioSpec {
         check_known_fields(&value, "ScenarioSpec", SPEC_FIELDS)?;
         if let Some(grid) = value.get("grid") {
             check_known_fields(grid, "ScenarioSpec.grid", GRID_FIELDS)?;
+            if let Some(Value::Arr(entries)) = grid.get("protocols") {
+                for (i, entry) in entries.iter().enumerate() {
+                    check_protocol_name(entry, &format!("ScenarioSpec.grid.protocols[{i}]"))?;
+                }
+            }
+            if let Some(Value::Arr(entries)) = grid.get("datasets") {
+                for (i, entry) in entries.iter().enumerate() {
+                    check_dataset_name(entry, &format!("ScenarioSpec.grid.datasets[{i}]"))?;
+                }
+            }
+            if let Some(Value::Arr(entries)) = grid.get("include") {
+                for (i, entry) in entries.iter().enumerate() {
+                    let at = format!("ScenarioSpec.grid.include[{i}]");
+                    check_known_fields(entry, &at, INCLUDE_FIELDS)?;
+                    if let Some(protocol) = entry.get("protocol") {
+                        if !matches!(protocol, Value::Null) {
+                            check_protocol_name(protocol, &format!("{at}.protocol"))?;
+                        }
+                    }
+                    if let Some(dataset) = entry.get("dataset") {
+                        if !matches!(dataset, Value::Null) {
+                            check_dataset_name(dataset, &format!("{at}.dataset"))?;
+                        }
+                    }
+                }
+            }
         }
         if let Some(base) = value.get("base") {
             check_known_fields(base, "ScenarioSpec.base", BASE_FIELDS)?;
+            if let Some(protocol) = base.get("protocol") {
+                check_protocol_name(protocol, "ScenarioSpec.base.protocol")?;
+            }
             if let Some(dp) = base.get("dp") {
                 check_known_fields(dp, "ScenarioSpec.base.dp", DP_FIELDS)?;
             }
@@ -370,6 +627,44 @@ impl ScenarioSpec {
     }
 }
 
+/// The "unknown dataset family" message (shared by parse-time and
+/// validate-time checks so the two never drift apart).
+fn unknown_dataset(at: &str, name: &str) -> String {
+    format!(
+        "{at}: unknown dataset family `{name}` (expected one of: {})",
+        SyntheticSpec::family_names().join(", ")
+    )
+}
+
+/// Parse-time check of one protocol axis value: the variant name must be a
+/// real [`WorkerProtocol`] variant. Without this, an unknown *data* variant
+/// (`{"ClippedDpX": …}`) would only fail deep in deserialization with a
+/// generic shape message instead of naming the offending value and path.
+fn check_protocol_name(value: &Value, at: &str) -> Result<(), String> {
+    let name = match value {
+        Value::Str(s) => Some(s.as_str()),
+        Value::Obj(fields) if fields.len() == 1 => Some(fields[0].0.as_str()),
+        _ => None,
+    };
+    match name {
+        Some(n) if PROTOCOL_VARIANTS.contains(&n) => Ok(()),
+        Some(n) => Err(format!(
+            "{at}: unknown protocol `{n}` (expected one of: {})",
+            PROTOCOL_VARIANTS.join(", ")
+        )),
+        None => Err(format!("{at}: expected a protocol variant (string or single-key object)")),
+    }
+}
+
+/// Parse-time check of one dataset axis value: must be a known family name.
+fn check_dataset_name(value: &Value, at: &str) -> Result<(), String> {
+    match value {
+        Value::Str(s) if SyntheticSpec::by_name(s).is_some() => Ok(()),
+        Value::Str(s) => Err(unknown_dataset(at, s)),
+        _ => Err(format!("{at}: expected a dataset family name string")),
+    }
+}
+
 /// Rejects object keys outside `known`, naming the offender and its context.
 fn check_known_fields(value: &Value, at: &str, known: &[&str]) -> Result<(), String> {
     if let Value::Obj(fields) = value {
@@ -385,11 +680,75 @@ fn check_known_fields(value: &Value, at: &str, known: &[&str]) -> Result<(), Str
     Ok(())
 }
 
-/// `None` (axis not swept) becomes the single pass-through value.
-fn axis_values<T: Clone>(axis: &Option<Vec<T>>) -> Vec<Option<T>> {
-    match axis {
-        None => vec![None],
-        Some(values) => values.iter().cloned().map(Some).collect(),
+/// One swept-axis value: applying it to a config yields the
+/// `(axis, label)` pair the cell records.
+#[derive(Debug, Clone)]
+enum AxisSetting {
+    /// Network architecture.
+    Model(ModelKind),
+    /// Attack mounted by the Byzantine workers.
+    Attack(AttackSpec),
+    /// Server defense.
+    Defense(DefenseKind),
+    /// Byzantine worker count.
+    Byzantine(usize),
+    /// Server honest-fraction belief γ.
+    Gamma(f64),
+    /// Privacy target (`None` = use the configured noise multiplier).
+    Epsilon(Option<f64>),
+    /// Data distribution (`true` = i.i.d.).
+    Partition(bool),
+    /// Worker upload protocol.
+    Protocol(WorkerProtocol),
+    /// Dataset family name.
+    Dataset(String),
+}
+
+impl AxisSetting {
+    /// Applies the value to `cfg`, returning the cell's axis label pair.
+    fn apply(&self, cfg: &mut SimulationConfig) -> (String, String) {
+        match self {
+            AxisSetting::Model(m) => {
+                cfg.model = *m;
+                ("model".into(), model_label(m))
+            }
+            AxisSetting::Attack(a) => {
+                cfg.attack = a.clone();
+                ("attack".into(), a.name())
+            }
+            AxisSetting::Defense(d) => {
+                cfg.defense = d.clone();
+                ("defense".into(), d.name())
+            }
+            AxisSetting::Byzantine(n) => {
+                cfg.n_byzantine = *n;
+                ("n_byzantine".into(), n.to_string())
+            }
+            AxisSetting::Gamma(g) => {
+                cfg.defense_cfg.gamma = *g;
+                ("gamma".into(), format!("{g}"))
+            }
+            AxisSetting::Epsilon(e) => {
+                cfg.epsilon = *e;
+                let label = match e {
+                    Some(v) => format!("{v}"),
+                    None => "none".into(),
+                };
+                ("epsilon".into(), label)
+            }
+            AxisSetting::Partition(i) => {
+                cfg.iid = *i;
+                ("partition".into(), if *i { "iid" } else { "non-iid" }.into())
+            }
+            AxisSetting::Protocol(p) => {
+                cfg.protocol = *p;
+                ("protocol".into(), p.name())
+            }
+            AxisSetting::Dataset(name) => {
+                cfg.dataset = resolve_dataset(name);
+                ("dataset".into(), name.clone())
+            }
+        }
     }
 }
 
@@ -509,6 +868,216 @@ mod tests {
     }
 
     #[test]
+    fn protocol_and_dataset_axes_expand_and_label() {
+        let grid = GridSpec {
+            protocols: Some(vec![
+                WorkerProtocol::PaperDp,
+                WorkerProtocol::ClippedDp { clip: 1.0 },
+                WorkerProtocol::Plain,
+            ]),
+            datasets: Some(vec!["mnist-like".into(), "fashion-like".into()]),
+            ..GridSpec::default()
+        };
+        let s = spec(grid, SeedPolicy::Fixed { seed: 3 });
+        assert_eq!(s.n_cells(), 6);
+        let cells = s.cells();
+        assert_eq!(cells.len(), 6);
+        // Dataset is the innermost axis (varies fastest).
+        assert_eq!(cells[0].config.dataset.name, "mnist-like");
+        assert_eq!(cells[1].config.dataset.name, "fashion-like");
+        assert_eq!(cells[0].config.protocol, WorkerProtocol::PaperDp);
+        assert_eq!(cells[2].config.protocol, WorkerProtocol::ClippedDp { clip: 1.0 });
+        assert_eq!(cells[0].axis("protocol"), Some("paper-dp"));
+        assert_eq!(cells[2].axis("protocol"), Some("clipped-dp(C=1)"));
+        assert_eq!(cells[1].axis("dataset"), Some("fashion-like"));
+        assert!(s.validate().is_empty(), "{:?}", s.validate());
+    }
+
+    #[test]
+    fn include_rows_append_labeled_override_cells() {
+        // Axes + include: the row rides along after the cartesian block.
+        let grid = GridSpec {
+            gammas: Some(vec![0.3, 0.5]),
+            include: Some(vec![IncludeRow {
+                label: "krum".into(),
+                defense: Some(DefenseKind::Robust { rule: AggregatorKind::Krum { f: 2 } }),
+                protocol: Some(WorkerProtocol::Plain),
+                fixed_sigma: Some(0.0),
+                ..IncludeRow::default()
+            }]),
+            ..GridSpec::default()
+        };
+        let s = spec(grid, SeedPolicy::Fixed { seed: 3 });
+        assert_eq!(s.n_cells(), 3);
+        let cells = s.cells();
+        let row = &cells[2];
+        assert_eq!(row.axis("row"), Some("krum"));
+        assert_eq!(row.config.protocol, WorkerProtocol::Plain);
+        assert_eq!(row.config.epsilon, None, "fixed_sigma clears the ε target");
+        assert_eq!(row.config.dp.noise_multiplier, 0.0);
+        assert!(matches!(row.config.defense, DefenseKind::Robust { .. }));
+
+        // Include-only grid: no bare base cell is emitted.
+        let only = spec(
+            GridSpec {
+                include: Some(vec![
+                    IncludeRow { label: "a".into(), ..IncludeRow::default() },
+                    IncludeRow {
+                        label: "b".into(),
+                        n_byzantine: Some(0),
+                        attack: Some(AttackSpec::None),
+                        ..IncludeRow::default()
+                    },
+                ]),
+                ..GridSpec::default()
+            },
+            SeedPolicy::Fixed { seed: 3 },
+        );
+        assert_eq!(only.n_cells(), 2);
+        let cells = only.cells();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].axis("row"), Some("a"));
+        assert_eq!(cells[1].config.n_byzantine, 0);
+    }
+
+    #[test]
+    fn include_row_validation_catches_labels_and_dataset_names() {
+        let bad = spec(
+            GridSpec {
+                include: Some(vec![
+                    IncludeRow { label: "x".into(), ..IncludeRow::default() },
+                    IncludeRow {
+                        label: "x".into(),
+                        dataset: Some("cifar-like".into()),
+                        ..IncludeRow::default()
+                    },
+                    IncludeRow { label: String::new(), ..IncludeRow::default() },
+                ]),
+                ..GridSpec::default()
+            },
+            SeedPolicy::Fixed { seed: 1 },
+        );
+        let problems = bad.validate();
+        assert!(problems.iter().any(|p| p.contains("duplicate row label `x`")), "{problems:?}");
+        assert!(problems.iter().any(|p| p.contains("unknown dataset family `cifar-like`")));
+        assert!(problems.iter().any(|p| p.contains("row label is empty")), "{problems:?}");
+
+        let unknown_axis_name = spec(
+            GridSpec { datasets: Some(vec!["imagenet".into()]), ..GridSpec::default() },
+            SeedPolicy::Fixed { seed: 1 },
+        );
+        let problems = unknown_axis_name.validate();
+        assert!(
+            problems.iter().any(|p| p.contains("grid.datasets[0]")
+                && p.contains("unknown dataset family `imagenet`")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn seed_list_policy_assigns_verbatim_seeds() {
+        let grid = GridSpec { iid: Some(vec![true, false]), ..GridSpec::default() };
+        let s = spec(grid, SeedPolicy::List { seeds: vec![1, 2, 3] });
+        assert_eq!(s.n_cells(), 6);
+        let cells = s.cells();
+        let seeds: Vec<u64> = cells.iter().map(|c| c.config.seed).collect();
+        assert_eq!(seeds, vec![1, 1, 2, 2, 3, 3], "repeat axis outermost, seeds verbatim");
+        assert_eq!(cells[0].axis("seed"), Some("1"));
+        assert_eq!(cells[4].axis("seed"), Some("3"));
+        assert!(s.validate().is_empty(), "{:?}", s.validate());
+
+        let empty = spec(GridSpec::default(), SeedPolicy::List { seeds: vec![] });
+        assert!(empty.validate().iter().any(|p| p.contains("seed.List.seeds")));
+    }
+
+    #[test]
+    fn sign_dp_cells_must_run_undefended_and_unattacked() {
+        let mut s = spec(GridSpec::default(), SeedPolicy::Fixed { seed: 1 });
+        s.base.protocol = WorkerProtocol::SignDp { lr: 0.002, flip_prob: 0.25 };
+        s.base.defense = DefenseKind::TwoStage;
+        s.base.attack = AttackSpec::Gaussian;
+        let problems = s.validate();
+        assert!(problems.iter().any(|p| p.contains("majority-vote")), "{problems:?}");
+        // The sign-DP loop ignores cfg.attack (Byzantine behavior is
+        // structural sign-inversion); an attack label would misrepresent
+        // what ran, so it is rejected rather than silently ignored.
+        assert!(problems.iter().any(|p| p.contains("sign-inversion")), "{problems:?}");
+        s.base.defense = DefenseKind::NoDefense;
+        s.base.attack = AttackSpec::None;
+        assert!(s.validate().is_empty(), "{:?}", s.validate());
+    }
+
+    #[test]
+    fn unknown_protocol_and_dataset_axis_values_fail_at_parse_time() {
+        let s = spec(
+            GridSpec {
+                // ClippedDp: its serialized name differs from the base
+                // config's `"PaperDp"`, so the replacement below cannot hit
+                // `base.protocol` first.
+                protocols: Some(vec![WorkerProtocol::ClippedDp { clip: 1.5 }]),
+                datasets: Some(vec!["mnist-like".into()]),
+                ..GridSpec::default()
+            },
+            SeedPolicy::Fixed { seed: 1 },
+        );
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(ScenarioSpec::from_json(&json).is_ok(), "fixture must parse");
+
+        let bad = json.replacen("\"ClippedDp\"", "\"ClippedDpX\"", 1);
+        assert_ne!(bad, json);
+        let err = ScenarioSpec::from_json(&bad).unwrap_err();
+        assert!(err.contains("ScenarioSpec.grid.protocols[0]"), "{err}");
+        assert!(err.contains("unknown protocol `ClippedDpX`"), "{err}");
+        assert!(err.contains("SignDp"), "expected-variant list missing: {err}");
+
+        let bad = json.replacen("\"PaperDp\"", "\"PaperDP\"", 1);
+        assert_ne!(bad, json);
+        let err = ScenarioSpec::from_json(&bad).unwrap_err();
+        assert!(err.contains("ScenarioSpec.base.protocol"), "{err}");
+        assert!(err.contains("unknown protocol `PaperDP`"), "{err}");
+
+        let bad = json.replacen("[\"mnist-like\"]", "[\"mnist\"]", 1);
+        assert_ne!(bad, json);
+        let err = ScenarioSpec::from_json(&bad).unwrap_err();
+        assert!(err.contains("ScenarioSpec.grid.datasets[0]"), "{err}");
+        assert!(err.contains("unknown dataset family `mnist`"), "{err}");
+        assert!(err.contains("mnist-like"), "expected-family list missing: {err}");
+    }
+
+    #[test]
+    fn include_row_fields_are_checked_at_parse_time() {
+        let s = spec(
+            GridSpec {
+                include: Some(vec![IncludeRow {
+                    label: "sign".into(),
+                    protocol: Some(WorkerProtocol::SignDp { lr: 0.002, flip_prob: 0.25 }),
+                    dataset: Some("usps-like".into()),
+                    ..IncludeRow::default()
+                }]),
+                ..GridSpec::default()
+            },
+            SeedPolicy::Fixed { seed: 1 },
+        );
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(ScenarioSpec::from_json(&json).is_ok(), "fixture must parse");
+
+        let bad = json.replacen("\"SignDp\"", "\"SignDP\"", 1);
+        let err = ScenarioSpec::from_json(&bad).unwrap_err();
+        assert!(err.contains("ScenarioSpec.grid.include[0].protocol"), "{err}");
+        assert!(err.contains("unknown protocol `SignDP`"), "{err}");
+
+        let bad = json.replacen("\"usps-like\"", "\"usps\"", 1);
+        let err = ScenarioSpec::from_json(&bad).unwrap_err();
+        assert!(err.contains("ScenarioSpec.grid.include[0].dataset"), "{err}");
+        assert!(err.contains("unknown dataset family `usps`"), "{err}");
+
+        let bad = json.replacen("\"fixed_sigma\"", "\"fixed_sigm\"", 1);
+        let err = ScenarioSpec::from_json(&bad).unwrap_err();
+        assert!(err.contains("unknown field `fixed_sigm`"), "{err}");
+        assert!(err.contains("ScenarioSpec.grid.include[0]"), "{err}");
+    }
+
+    #[test]
     fn content_key_tracks_config_identity() {
         let a = tiny_base();
         let mut b = tiny_base();
@@ -580,10 +1149,14 @@ mod tests {
             let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
             assert_eq!(keys, expected, "{at}");
         }
-        let s = spec(GridSpec::default(), SeedPolicy::Fixed { seed: 1 });
+        let mut s = spec(GridSpec::default(), SeedPolicy::Fixed { seed: 1 });
+        s.grid.include = Some(vec![IncludeRow { label: "x".into(), ..IncludeRow::default() }]);
         let spec_value = serde::Serialize::to_value(&s);
         assert_keys(&spec_value, SPEC_FIELDS, "ScenarioSpec");
-        assert_keys(spec_value.get("grid").unwrap(), GRID_FIELDS, "grid");
+        let grid = spec_value.get("grid").unwrap();
+        assert_keys(grid, GRID_FIELDS, "grid");
+        let Some(Value::Arr(include)) = grid.get("include") else { panic!("include serialized") };
+        assert_keys(&include[0], INCLUDE_FIELDS, "include row");
         let base = spec_value.get("base").unwrap();
         assert_keys(base, BASE_FIELDS, "base");
         assert_keys(base.get("dp").unwrap(), DP_FIELDS, "dp");

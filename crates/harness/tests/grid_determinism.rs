@@ -120,6 +120,77 @@ fn killed_grid_resumes_without_recomputing_finished_cells() {
 }
 
 #[test]
+fn protocol_axis_grid_is_bit_identical_across_threads_and_to_standalone_runs() {
+    // The protocol axis crossed with two attacks (2×2), plus a sign-DP
+    // include row (the majority-vote loop ignores a shared preparation
+    // entirely, and validate() requires attack = None for it, so it rides
+    // along as a labeled row rather than a protocol-axis value). All three
+    // runnable substrates are covered; the grid must stay byte-identical
+    // at any thread count and every cell must equal a standalone
+    // `simulation::run` of its config.
+    let mut base =
+        SimulationConfig::quick(SyntheticSpec::mnist_like(), ModelKind::SmallMlp { hidden: 8 });
+    base.per_worker = 96;
+    base.test_count = 128;
+    base.n_honest = 3;
+    base.n_byzantine = 2;
+    base.epochs = 1.0;
+    base.epsilon = None;
+    base.dp.noise_multiplier = 0.5;
+    let spec = dpbfl_harness::ScenarioSpec {
+        name: "test/protocol_axis".into(),
+        title: "protocol-axis determinism".into(),
+        notes: String::new(),
+        seed: dpbfl_harness::SeedPolicy::Fixed { seed: 5 },
+        base,
+        grid: dpbfl_harness::GridSpec {
+            attacks: Some(vec![AttackSpec::Gaussian, AttackSpec::LabelFlip]),
+            protocols: Some(vec![WorkerProtocol::PaperDp, WorkerProtocol::ClippedDp { clip: 0.8 }]),
+            include: Some(vec![dpbfl_harness::IncludeRow {
+                label: "sign-dp".into(),
+                protocol: Some(WorkerProtocol::SignDp { lr: 0.002, flip_prob: 0.25 }),
+                attack: Some(AttackSpec::None),
+                ..dpbfl_harness::IncludeRow::default()
+            }]),
+            ..dpbfl_harness::GridSpec::default()
+        },
+    };
+    assert_eq!(spec.n_cells(), 5);
+    assert!(spec.validate().is_empty(), "{:?}", spec.validate());
+
+    let out1 = temp_out("protocol-threads1");
+    let out4 = temp_out("protocol-threads4");
+    let single = run_grid(&spec, &opts(&out1, 1, false)).expect("1-thread grid");
+    let multi = run_grid(&spec, &opts(&out4, 4, false)).expect("4-thread grid");
+    let bytes1 = std::fs::read(&single.jsonl_path).expect("sink written");
+    let bytes4 = std::fs::read(&multi.jsonl_path).expect("sink written");
+    assert!(!bytes1.is_empty());
+    assert_eq!(bytes1, bytes4, "JSONL must not depend on the thread count");
+
+    for (cell, record) in spec.cells().iter().zip(&single.records) {
+        let standalone = dpbfl::simulation::run(&cell.config);
+        assert_eq!(
+            standalone.final_accuracy.to_bits(),
+            record.summary.final_accuracy.to_bits(),
+            "cell {} ({:?}) diverged from a standalone run",
+            cell.index,
+            cell.axes,
+        );
+        assert_eq!(standalone.history.len(), record.summary.history.len());
+        for (a, b) in standalone.history.iter().zip(&record.summary.history) {
+            assert_eq!(a.accuracy.to_bits(), b.accuracy.to_bits(), "cell {}", cell.index);
+        }
+    }
+    // The protocols genuinely differ: the paper substrate and the clipped
+    // substrate see the same data but produce different uploads.
+    let acc = |i: usize| single.records[i].summary.final_accuracy;
+    assert_ne!(acc(0), acc(1), "PaperDp and ClippedDp must not coincide");
+
+    std::fs::remove_dir_all(&out1).ok();
+    std::fs::remove_dir_all(&out4).ok();
+}
+
+#[test]
 fn per_cell_seed_policy_gives_cells_independent_data() {
     // Same grid, PerCell seeds: cells no longer share preparations, and the
     // runner must still match standalone runs.

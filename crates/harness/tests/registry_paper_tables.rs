@@ -1,0 +1,156 @@
+//! The registry's Table-1/Table-3 scenarios reproduce the pre-registry
+//! hand-coded bench binaries **verbatim**.
+//!
+//! Before this grid existed, `crates/bench/src/bin/table1_matrix.rs` and
+//! `table3_vs_sign_dp.rs` built their configs by hand (at the bench
+//! harness's reduced scale). Those constructions are replicated here, and
+//! every registry cell is asserted to resolve to a bit-identical
+//! configuration — which, by the determinism contract (a run is a pure
+//! function of its resolved config; guarded end to end by
+//! `grid_determinism.rs`), pins the registry scenarios to the exact
+//! accuracies the deleted binaries produced.
+
+use dpbfl::baseline::{guerraoui_style, SignDpConfig};
+use dpbfl::prelude::*;
+use dpbfl_harness::{registry, Cell};
+
+/// The reduced-scale MNIST config of the bench harness (`Scale::from_env`
+/// without `DPBFL_FULL`), exactly as `scale.config("mnist")` built it.
+fn scale_mnist() -> SimulationConfig {
+    let mut cfg = SimulationConfig::quick(SyntheticSpec::mnist_like(), ModelKind::Mlp784);
+    cfg.per_worker = 500;
+    cfg.n_honest = 10;
+    cfg.epochs = 6.0;
+    cfg.test_count = 400;
+    cfg
+}
+
+/// The pre-registry binaries ran every config through `run_seeds(cfg, [1])`,
+/// which pins the seed before running.
+fn with_seed_1(mut cfg: SimulationConfig) -> SimulationConfig {
+    cfg.seed = 1;
+    cfg
+}
+
+/// Bit-identical configs serialize identically (`SimulationConfig` has no
+/// `PartialEq`; canonical JSON equality is exactly what the content-keyed
+/// sink uses for identity).
+fn assert_config_eq(cell: &Cell, expected: &SimulationConfig) {
+    assert_eq!(
+        serde_json::to_string(&cell.config).unwrap(),
+        serde_json::to_string(expected).unwrap(),
+        "cell `{}` diverged from the pre-registry construction",
+        cell.axes.iter().map(|(k, v)| format!("{k}={v}")).collect::<Vec<_>>().join(" "),
+    );
+}
+
+fn cell_by_label<'a>(cells: &'a [Cell], label: &str) -> &'a Cell {
+    cells
+        .iter()
+        .find(|c| c.axis("row") == Some(label))
+        .unwrap_or_else(|| panic!("row `{label}` missing"))
+}
+
+/// `table1_matrix`'s old `base(byz_mult)` closure.
+fn table1_base(byz_mult: f64) -> SimulationConfig {
+    let mut cfg = scale_mnist();
+    cfg.epsilon = Some(1.0);
+    cfg.n_byzantine = (cfg.n_honest as f64 * byz_mult).round() as usize;
+    cfg.attack = if cfg.n_byzantine > 0 { AttackSpec::LabelFlip } else { AttackSpec::None };
+    cfg
+}
+
+#[test]
+fn table1_matrix_cells_equal_the_pre_registry_configs() {
+    let spec = registry::get("paper/table1_matrix").unwrap();
+    let cells = spec.cells();
+    assert_eq!(cells.len(), 8);
+
+    // Reference row: DP training, zero Byzantine workers.
+    assert_config_eq(cell_by_label(&cells, "reference"), &with_seed_1(table1_base(0.0)));
+
+    // Non-private robust rows: plain uploads, zero noise, one rule each
+    // (Krum's f and the trim width were derived from the 60 % cohort).
+    for (label, rule) in [
+        ("krum", AggregatorKind::Krum { f: 15 }),
+        ("coord-median", AggregatorKind::CoordinateMedian),
+        ("trimmed-mean", AggregatorKind::TrimmedMean { trim: 25 / 2 - 1 }),
+        ("rfa", AggregatorKind::GeometricMedian),
+    ] {
+        let mut cfg = table1_base(1.5);
+        cfg.protocol = WorkerProtocol::Plain;
+        cfg.epsilon = None;
+        cfg.dp.noise_multiplier = 0.0;
+        cfg.defense = DefenseKind::Robust { rule };
+        assert_config_eq(cell_by_label(&cells, label), &with_seed_1(cfg));
+    }
+
+    // [30]-style clipping DP-SGD + Krum.
+    let dp_krum = guerraoui_style(table1_base(1.5), 1.0, AggregatorKind::Krum { f: 15 });
+    assert_config_eq(cell_by_label(&cells, "dp-sgd+krum"), &with_seed_1(dp_krum));
+
+    // Ours: two-stage at γ = the true honest fraction.
+    let mut ours = table1_base(1.5);
+    ours.defense = DefenseKind::TwoStage;
+    ours.defense_cfg.gamma = ours.n_honest as f64 / ours.n_total() as f64;
+    assert_config_eq(cell_by_label(&cells, "two-stage"), &with_seed_1(ours));
+
+    // [77]-style sign-DP: the old binary built a SignDpConfig directly;
+    // the registry cell must resolve to that exact baseline config.
+    let old = SignDpConfig {
+        dataset: SyntheticSpec::mnist_like(),
+        model: ModelKind::SmallMlp { hidden: 16 },
+        per_worker: 500,
+        test_count: 400,
+        n_honest: 10,
+        n_byzantine: (10.0f64 * 1.5).round() as usize,
+        epochs: 6.0,
+        lr: 0.002,
+        batch_size: 16,
+        flip_prob: SignDpConfig::flip_prob_for_epsilon(1.0),
+        seed: 1,
+    };
+    let sign_cell = cell_by_label(&cells, "sign-dp");
+    assert_eq!(SignDpConfig::from_simulation(&sign_cell.config), Some(old));
+}
+
+#[test]
+fn table3_sign_dp_cells_equal_the_pre_registry_configs() {
+    let spec = registry::get("paper/table3_sign_dp").unwrap();
+    let cells = spec.cells();
+    assert_eq!(cells.len(), 4);
+    let base_cfg = scale_mnist();
+
+    // The [77] rows: total budget ε split linearly across the run's
+    // rounds, exactly as the old binary derived the flip probability.
+    for (label, eps_total) in [("sign-dp(eps=0.21)", 0.21f64), ("sign-dp(eps=0.4)", 0.40)] {
+        let rounds = (base_cfg.epochs * base_cfg.per_worker as f64 / 16.0).ceil();
+        let old = SignDpConfig {
+            dataset: base_cfg.dataset.clone(),
+            model: ModelKind::SmallMlp { hidden: 16 },
+            per_worker: base_cfg.per_worker,
+            test_count: base_cfg.test_count,
+            n_honest: base_cfg.n_honest,
+            n_byzantine: (base_cfg.n_honest as f64 / 9.0).round().max(1.0) as usize,
+            epochs: base_cfg.epochs,
+            lr: 0.002,
+            batch_size: 16,
+            flip_prob: SignDpConfig::flip_prob_for_epsilon(eps_total / rounds),
+            seed: 1,
+        };
+        let cell = cell_by_label(&cells, label);
+        assert_eq!(SignDpConfig::from_simulation(&cell.config), Some(old), "{label}");
+    }
+
+    // Ours at 40 % and 60 % Byzantine, ε = 0.125.
+    for (label, byz_pct) in [("ours(byz=40%)", 40usize), ("ours(byz=60%)", 60)] {
+        let mut cfg = scale_mnist();
+        cfg.epsilon = Some(0.125);
+        cfg.n_byzantine =
+            (cfg.n_honest as f64 * byz_pct as f64 / (100.0 - byz_pct as f64)).round() as usize;
+        cfg.attack = AttackSpec::Gaussian;
+        cfg.defense = DefenseKind::TwoStage;
+        cfg.defense_cfg.gamma = cfg.n_honest as f64 / cfg.n_total() as f64;
+        assert_config_eq(cell_by_label(&cells, label), &with_seed_1(cfg));
+    }
+}

@@ -91,15 +91,19 @@ fn model_kind_every_variant() {
 
 #[test]
 fn protocol_and_config_enums_every_variant() {
-    for protocol in
-        [WorkerProtocol::PaperDp, WorkerProtocol::ClippedDp { clip: 1.5 }, WorkerProtocol::Plain]
-    {
+    for protocol in [
+        WorkerProtocol::PaperDp,
+        WorkerProtocol::ClippedDp { clip: 1.5 },
+        WorkerProtocol::Plain,
+        WorkerProtocol::SignDp { lr: 0.002, flip_prob: 0.269 },
+    ] {
         roundtrip(&protocol);
     }
     for policy in [
         SeedPolicy::Fixed { seed: 1 },
         SeedPolicy::PerCell { master: 42 },
         SeedPolicy::Repeats { master: 7, repeats: 3 },
+        SeedPolicy::List { seeds: vec![1, 2, 3] },
     ] {
         roundtrip(&policy);
     }

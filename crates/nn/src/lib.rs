@@ -10,8 +10,8 @@
 //! convolutions — whose outputs are bit-identical to the per-example path by
 //! construction (guarded by `tests/batched_parity.rs`).
 //!
-//! * [`layer`] — the [`Layer`](layer::Layer) trait and the closed
-//!   [`AnyLayer`](layer::AnyLayer) set (models are plain `Clone` values: every
+//! * [`layer`] — the [`layer::Layer`] trait and the closed
+//!   [`layer::AnyLayer`] set (models are plain `Clone` values: every
 //!   simulated worker owns a replica, like a real federated deployment).
 //! * Concrete layers: [`linear`], [`conv`], [`norm`] (affine-free GroupNorm),
 //!   [`activation`] (ELU/ReLU), [`pool`], [`residual`].

@@ -25,7 +25,7 @@ const EVAL_BATCH: usize = 64;
 /// Classification accuracy of `model` over `(features, labels)` where
 /// `features` holds examples of length `example_len` back to back.
 ///
-/// Runs in [`EVAL_BATCH`]-sized batched forward passes; per-example logits
+/// Runs in 64-wide batched forward passes (`EVAL_BATCH`); per-example logits
 /// (and therefore the returned accuracy) are bit-identical to evaluating one
 /// example at a time.
 pub fn accuracy(model: &mut Sequential, features: &[f32], labels: &[usize]) -> f64 {

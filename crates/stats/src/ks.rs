@@ -297,7 +297,7 @@ impl KsGaussianScreen {
     ///
     /// The map is monotone in `x`, which is all the envelope argument needs:
     /// the effective boundaries it induces differ from the nominal `t_j` by
-    /// at most a few ulps, covered by [`STAT_GUARD`].
+    /// at most a few ulps, covered by the `STAT_GUARD` margin.
     #[inline]
     pub fn bucket_of(&self, x: f32) -> usize {
         let z = (x as f64 - self.x_lo) * self.inv_w;
