@@ -26,6 +26,22 @@ pub enum StepNormalization {
     SelectedCount,
 }
 
+/// How the streaming defense fold retains stage-1 survivors until the
+/// round's selection resolves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum UploadRetention {
+    /// Keep each accepted upload verbatim (`f32`). The streaming pipeline is
+    /// bit-identical to the materialized one under this mode.
+    #[default]
+    Exact,
+    /// Re-encode each accepted upload as a scale + `i16` codes
+    /// (`dpbfl_tensor::quant::QuantizedVec`), halving retained bytes at the
+    /// extreme cohort tail. Deterministic but lossy: opt-in per scenario,
+    /// never used by the pinned paper grids (it trades bit-parity with the
+    /// materialized path for memory).
+    Quantized,
+}
+
 /// Per-worker DP training hyper-parameters (paper Algorithm 1).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DpSgdConfig {
@@ -92,6 +108,17 @@ pub struct DefenseConfig {
     /// bit-identical either way — the flag exists so tests and audits can
     /// run the decision-equivalence oracle end to end.
     pub ks_fast_path: bool,
+    /// Whether the two-stage defense runs as a fold over the upload stream
+    /// (`true`, the production path: uploads are produced, first-stage
+    /// filtered and scored one at a time, and only stage-1 survivors are
+    /// retained) or materializes the full `n×d` upload matrix (`false`, the
+    /// reference path). Results are bit-identical under
+    /// [`UploadRetention::Exact`]; attacks that need the whole benign cohort at once (OptLMP,
+    /// "a little", inner-product, adaptive) fall back to the materialized
+    /// path regardless of this flag.
+    pub streaming_fold: bool,
+    /// How the streaming fold retains stage-1 survivors.
+    pub retention: UploadRetention,
 }
 
 impl Default for DefenseConfig {
@@ -106,6 +133,8 @@ impl Default for DefenseConfig {
             weighting: WeightScheme::default(),
             first_stage_enabled: true,
             ks_fast_path: true,
+            streaming_fold: true,
+            retention: UploadRetention::default(),
         }
     }
 }
@@ -131,6 +160,8 @@ mod tests {
         assert!((def.norm_test_stds - 3.0).abs() < 1e-12);
         assert!(def.first_stage_enabled);
         assert!(def.ks_fast_path, "production default is the sort-free fast path");
+        assert!(def.streaming_fold, "production default is the streaming fold");
+        assert_eq!(def.retention, UploadRetention::Exact, "bit-exact retention by default");
     }
 
     #[test]

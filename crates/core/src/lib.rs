@@ -70,12 +70,14 @@ pub mod worker;
 pub mod prelude {
     pub use crate::aggregator::AggregatorKind;
     pub use crate::attack::AttackSpec;
-    pub use crate::config::{DefenseConfig, DpSgdConfig, MomentumReset, StepNormalization};
+    pub use crate::config::{
+        DefenseConfig, DpSgdConfig, MomentumReset, StepNormalization, UploadRetention,
+    };
     pub use crate::first_stage::{FirstStage, FirstStageVerdict, KsScratch};
     pub use crate::second_stage::{ScoringRule, SecondStage, WeightScheme};
     pub use crate::simulation::{
-        prepare, run, run_prepared, DefenseKind, EvalPoint, ModelKind, PreparedRun, RunResult,
-        RunSummary, SimulationConfig, WorkerProtocol,
+        prepare, run, run_prepared, DefenseKind, EvalPoint, ModelKind, PreparedRun, Provisioning,
+        RunResult, RunSummary, SimulationConfig, WorkerProtocol,
     };
     pub use crate::worker::DpWorker;
     pub use dpbfl_data::SyntheticSpec;

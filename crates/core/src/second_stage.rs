@@ -90,7 +90,13 @@ impl SecondStage {
 
     /// Number of uploads selected per round, `⌈γn⌉`.
     pub fn select_count(&self) -> usize {
-        ((self.gamma * self.scores.len() as f64).ceil() as usize).clamp(1, self.scores.len())
+        self.select_count_for(self.scores.len())
+    }
+
+    /// Selection count for a cohort of `m` uploads, `⌈γm⌉` (reduces to
+    /// [`Self::select_count`] at full participation).
+    pub fn select_count_for(&self, m: usize) -> usize {
+        ((self.gamma * m as f64).ceil() as usize).clamp(1, m)
     }
 
     /// The accumulated score list `S` (read-only view).
@@ -108,61 +114,105 @@ impl SecondStage {
     /// neither panic the sort, win selection, nor poison the accumulator.
     pub fn select(&mut self, uploads: &[Vec<f32>], server_grad: &[f32]) -> SelectionResult {
         assert_eq!(uploads.len(), self.scores.len(), "upload count changed mid-training");
-        let n = uploads.len();
+        let cohort: Vec<usize> = (0..uploads.len()).collect();
+        self.select_for(&cohort, uploads, server_grad)
+    }
+
+    /// [`Self::select`] restricted to a sampled cohort: `uploads[k]` is the
+    /// upload of worker `cohort[k]`. `cohort` must be sorted ascending and
+    /// duplicate-free (the per-round sampler guarantees both).
+    ///
+    /// With the identity cohort this is bit-identical to [`Self::select`]
+    /// (which delegates here): scoring, thresholding, accumulation order and
+    /// selection ties all reduce to the un-sampled originals.
+    pub fn select_for(
+        &mut self,
+        cohort: &[usize],
+        uploads: &[Vec<f32>],
+        server_grad: &[f32],
+    ) -> SelectionResult {
+        assert_eq!(uploads.len(), cohort.len(), "upload count changed mid-training");
+        let m = cohort.len();
         let d = server_grad.len();
-        let keep = self.select_count();
 
         // Lines 6–8: score each upload against the server gradient — one
-        // matrix–vector product of the packed n×d upload matrix against g_s
-        // instead of n pointer-chasing dots. `matvec_rows_f64` reproduces
+        // matrix–vector product of the packed m×d upload matrix against g_s
+        // instead of m pointer-chasing dots. `matvec_rows_f64` reproduces
         // `vecops::dot`'s f64 accumulation order exactly, so scores are
-        // bit-identical to the serial loop.
+        // bit-identical to the serial loop (and to the streaming fold's
+        // per-upload dots).
         self.packed.clear();
-        self.packed.reserve(n * d);
+        self.packed.reserve(m * d);
         for g in uploads {
             assert_eq!(g.len(), d, "upload/server-gradient dimension mismatch");
             self.packed.extend_from_slice(g);
         }
-        let mut round_scores = vec![0.0f64; n];
-        matvec_rows_f64(&self.packed, server_grad, &mut round_scores, n, d);
+        let mut cohort_scores = vec![0.0f64; m];
+        matvec_rows_f64(&self.packed, server_grad, &mut cohort_scores, m, d);
         if self.scoring == ScoringRule::Cosine {
             let nb = vecops::l2_norm(server_grad);
-            for (r, g) in round_scores.iter_mut().zip(uploads) {
+            for (r, g) in cohort_scores.iter_mut().zip(uploads) {
                 let na = vecops::l2_norm(g);
                 *r = if na == 0.0 || nb == 0.0 { 0.0 } else { *r / (na * nb) };
             }
         }
-        for r in round_scores.iter_mut() {
+        for r in cohort_scores.iter_mut() {
             if !r.is_finite() {
                 *r = 0.0;
             }
         }
+        let mut round_scores = vec![0.0f64; self.scores.len()];
+        for (&i, &r) in cohort.iter().zip(&cohort_scores) {
+            round_scores[i] = r;
+        }
+        self.select_scored(cohort, round_scores)
+    }
 
-        // Line 9: μ̂ = mean of the top ⌈γn⌉ scores this round.
-        let mut sorted = round_scores.clone();
+    /// Algorithm 3 lines 9–14 on already-computed round scores: the entry
+    /// point of the streaming pipeline, which scores each upload as it
+    /// arrives and only hands the score vector here.
+    ///
+    /// `round_scores` is full-length (one slot per worker); entries off the
+    /// cohort are ignored. Scores must already be sanitized (non-finite
+    /// mapped to 0) — [`Self::select_for`] and the streaming fold both do.
+    pub fn select_scored(
+        &mut self,
+        cohort: &[usize],
+        mut round_scores: Vec<f64>,
+    ) -> SelectionResult {
+        assert!(!cohort.is_empty(), "cohort must be non-empty");
+        assert_eq!(round_scores.len(), self.scores.len(), "round-score length changed");
+        debug_assert!(cohort.windows(2).all(|w| w[0] < w[1]), "cohort must be sorted + distinct");
+        debug_assert!(cohort.last().is_none_or(|&i| i < self.scores.len()));
+        let keep = self.select_count_for(cohort.len());
+
+        // Line 9: μ̂ = mean of the round's top ⌈γ·|cohort|⌉ scores.
+        let mut sorted: Vec<f64> = cohort.iter().map(|&i| round_scores[i]).collect();
         sorted.sort_unstable_by(|a, b| b.total_cmp(a));
         let threshold = sorted[..keep].iter().sum::<f64>() / keep as f64;
 
         // Lines 10–13: suppress below-threshold (and, as hardening, negative)
         // scores, accumulate the rest — so accumulated scores are
-        // non-negative and non-decreasing by construction.
-        for (s, r) in self.scores.iter_mut().zip(round_scores.iter_mut()) {
+        // non-negative and non-decreasing by construction. Iteration is in
+        // cohort (= index) order, matching the un-sampled accumulation order.
+        for &i in cohort {
+            let r = &mut round_scores[i];
             if *r < threshold || *r <= 0.0 {
                 *r = 0.0;
             }
-            *s += *r;
+            self.scores[i] += *r;
         }
 
-        // Line 14: top ⌈γn⌉ accumulated scores form the selected set. The
-        // stable sort breaks ties by worker index, keeping selection
-        // deterministic.
-        let mut order: Vec<usize> = (0..n).collect();
+        // Line 14: top ⌈γ·|cohort|⌉ accumulated scores among cohort members
+        // form the selected set. The stable sort breaks ties by worker
+        // index, keeping selection deterministic.
+        let mut order: Vec<usize> = cohort.to_vec();
         order.sort_by(|&a, &b| self.scores[b].total_cmp(&self.scores[a]));
         let mut selected = order[..keep].to_vec();
         selected.sort_unstable();
 
         // Weights: binary per the paper, or score-proportional (ablation).
-        let mut weights = vec![0.0f64; n];
+        let mut weights = vec![0.0f64; self.scores.len()];
         match self.weighting {
             WeightScheme::Binary => {
                 for &i in &selected {
@@ -345,6 +395,83 @@ mod tests {
         let mut stage = SecondStage::new(2, 0.5);
         stage.select(&uploads, &server);
         assert_eq!(stage.accumulated_scores(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn identity_cohort_matches_select_bitwise() {
+        let d = 6;
+        let server = unit(d, 1.0);
+        let uploads = vec![unit(d, 3.0), unit(d, -1.0), unit(d, 2.0), unit(d, 0.5)];
+        let mut a = SecondStage::new(4, 0.5);
+        let mut b = SecondStage::new(4, 0.5);
+        let cohort: Vec<usize> = (0..4).collect();
+        for _ in 0..3 {
+            let ra = a.select(&uploads, &server);
+            let rb = b.select_for(&cohort, &uploads, &server);
+            assert_eq!(ra.selected, rb.selected);
+            assert_eq!(ra.threshold.to_bits(), rb.threshold.to_bits());
+            for (x, y) in ra.round_scores.iter().zip(&rb.round_scores) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            for (x, y) in ra.weights.iter().zip(&rb.weights) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        for (x, y) in a.accumulated_scores().iter().zip(b.accumulated_scores()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn cohort_selection_stays_inside_the_cohort() {
+        let d = 4;
+        let server = unit(d, 1.0);
+        // Workers 0 and 3 sit out this round; only 1, 2, 4 upload.
+        let cohort = vec![1usize, 2, 4];
+        let uploads = vec![unit(d, 5.0), unit(d, 1.0), unit(d, 3.0)];
+        let mut stage = SecondStage::new(5, 0.5);
+        let res = stage.select_for(&cohort, &uploads, &server);
+        // keep = ⌈0.5·3⌉ = 2. Threshold = mean of top 2 scores = (5+3)/2 = 4
+        // suppresses workers 2 and 4 to zero, so the selection is worker 1
+        // plus the lowest-index zero-score cohort member (stable tie-break).
+        assert_eq!(res.selected, vec![1, 2]);
+        assert_eq!(res.threshold, 4.0);
+        // Off-cohort workers accumulate nothing and carry zero weight.
+        assert_eq!(stage.accumulated_scores()[0], 0.0);
+        assert_eq!(stage.accumulated_scores()[3], 0.0);
+        assert_eq!(res.weights[0], 0.0);
+        assert_eq!(res.weights[3], 0.0);
+        assert_eq!(res.round_scores[0], 0.0);
+    }
+
+    #[test]
+    fn select_scored_matches_select_for() {
+        // The streaming entry point: handing pre-computed scores to
+        // `select_scored` must equal `select_for` computing them itself.
+        let d = 4;
+        let server = unit(d, 1.0);
+        let cohort = vec![0usize, 2, 3];
+        let uploads = vec![unit(d, 2.0), unit(d, -1.0), unit(d, 4.0)];
+        let mut a = SecondStage::new(4, 0.5);
+        let mut b = SecondStage::new(4, 0.5);
+        let ra = a.select_for(&cohort, &uploads, &server);
+        let mut scores = vec![0.0f64; 4];
+        for (&i, u) in cohort.iter().zip(&uploads) {
+            scores[i] = vecops::dot(u, &server);
+        }
+        let rb = b.select_scored(&cohort, scores);
+        assert_eq!(ra.selected, rb.selected);
+        assert_eq!(ra.threshold.to_bits(), rb.threshold.to_bits());
+        for (x, y) in a.accumulated_scores().iter().zip(b.accumulated_scores()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "upload count changed")]
+    fn select_for_rejects_cohort_upload_mismatch() {
+        let mut stage = SecondStage::new(5, 0.5);
+        let _ = stage.select_for(&[0, 1, 2], &[vec![0.0; 2]], &[0.0, 0.0]);
     }
 
     #[test]

@@ -10,15 +10,17 @@
 
 use crate::aggregator::AggregatorKind;
 use crate::attack::{craft_uploads, AttackContext, AttackSpec};
-use crate::config::{DefenseConfig, DpSgdConfig, StepNormalization};
+use crate::config::{DefenseConfig, DpSgdConfig, StepNormalization, UploadRetention};
 use crate::first_stage::{FirstStage, KsScratch};
-use crate::second_stage::SecondStage;
+use crate::second_stage::{ScoringRule, SecondStage};
 use crate::worker::DpWorker;
 use dpbfl_data::{
     flip_labels, iid_partition, non_iid_partition, sample_auxiliary, Dataset, SyntheticSpec,
 };
 use dpbfl_dp::{paper_delta, RdpAccountant};
 use dpbfl_nn::{accuracy, zoo, CrossEntropyLoss, Sequential};
+use dpbfl_stats::{gaussian_vector, sample_without_replacement};
+use dpbfl_tensor::quant::QuantizedVec;
 use dpbfl_tensor::vecops;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -139,6 +141,23 @@ impl DefenseKind {
     }
 }
 
+/// How client training data is provisioned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Provisioning {
+    /// The paper's setup: [`prepare`] synthesizes one pooled training set and
+    /// partitions it across long-lived workers whose momentum persists over
+    /// the rounds they participate in.
+    #[default]
+    Pooled,
+    /// Million-client mode: no pooled set exists. Each *sampled* client
+    /// synthesizes its own local shard on demand (a pure function of the
+    /// master seed and the client index, stable across rounds) and trains as
+    /// a fresh worker — cold momentum per participation. Only sensible
+    /// together with client sampling; memory per round is
+    /// `O(cohort)`, never `O(n)`.
+    OnDemand,
+}
+
 /// Full experiment configuration.
 ///
 /// Serializes to/from JSON (the `dpbfl-harness` scenario format embeds it
@@ -186,6 +205,13 @@ pub struct SimulationConfig {
     pub seed: u64,
     /// Evaluate every this many iterations (0 = only at epoch boundaries).
     pub eval_every: usize,
+    /// Per-round client sampling fraction `q ∈ (0, 1]`: each round draws a
+    /// cohort of `⌈q·n⌉` workers from a dedicated sampling RNG stream.
+    /// `q = 1` reproduces full participation bit-exactly (the identity
+    /// cohort, no sampling draw at all).
+    pub sampling: f64,
+    /// How client training data is provisioned.
+    pub provisioning: Provisioning,
 }
 
 impl SimulationConfig {
@@ -212,6 +238,8 @@ impl SimulationConfig {
             ood_auxiliary: false,
             seed: 1,
             eval_every: 0,
+            sampling: 1.0,
+            provisioning: Provisioning::default(),
         }
     }
 
@@ -340,16 +368,15 @@ impl PreparedRun {
     /// Canonical cache key: two configs with equal keys produce bit-identical
     /// [`PreparedRun`]s. Everything [`prepare`] reads is in the key.
     pub fn cache_key(cfg: &SimulationConfig) -> String {
-        let needs_poisoned = cfg.attack.needs_poisoned_workers();
-        let n_data_workers = cfg.n_honest + if needs_poisoned { cfg.n_byzantine } else { 0 };
         let key = PrepKey {
             dataset: cfg.dataset.clone(),
             seed: cfg.seed,
             per_worker: cfg.per_worker,
             test_count: cfg.test_count,
             iid: cfg.iid,
-            n_data_workers,
+            n_data_workers: data_worker_count(cfg),
             aux_per_class: cfg.defense_cfg.aux_per_class,
+            provisioning: cfg.provisioning,
         };
         serde_json::to_string(&key).expect("prep key serializes")
     }
@@ -366,19 +393,39 @@ struct PrepKey {
     iid: bool,
     n_data_workers: usize,
     aux_per_class: usize,
+    provisioning: Provisioning,
+}
+
+/// Number of workers whose local datasets come from the pooled training set
+/// (0 under on-demand provisioning: every sampled client synthesizes its own
+/// shard inside the round loop).
+fn data_worker_count(cfg: &SimulationConfig) -> usize {
+    match cfg.provisioning {
+        Provisioning::OnDemand => 0,
+        Provisioning::Pooled => {
+            cfg.n_honest + if cfg.attack.needs_poisoned_workers() { cfg.n_byzantine } else { 0 }
+        }
+    }
 }
 
 /// Synthesizes and partitions the run's data (the expensive, model-free
 /// prefix of [`run`]).
 pub fn prepare(cfg: &SimulationConfig) -> PreparedRun {
     let mut master = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9e3779b97f4a7c15));
-    let needs_poisoned = cfg.attack.needs_poisoned_workers();
-    let n_data_workers = cfg.n_honest + if needs_poisoned { cfg.n_byzantine } else { 0 };
-    let train = cfg.dataset.generate(n_data_workers * cfg.per_worker, cfg.seed);
-    let parts = if cfg.iid {
-        iid_partition(&mut master, train.len(), n_data_workers)
+    let n_data_workers = data_worker_count(cfg);
+    let (train, parts) = if cfg.provisioning == Provisioning::OnDemand {
+        // No pooled set exists: clients synthesize shards on demand, so the
+        // master stream skips the partition draws entirely and proceeds
+        // straight to auxiliary sampling.
+        (cfg.dataset.generate(0, cfg.seed), Vec::new())
     } else {
-        non_iid_partition(&mut master, &train.labels, train.num_classes, n_data_workers)
+        let train = cfg.dataset.generate(n_data_workers * cfg.per_worker, cfg.seed);
+        let parts = if cfg.iid {
+            iid_partition(&mut master, train.len(), n_data_workers)
+        } else {
+            non_iid_partition(&mut master, &train.labels, train.num_classes, n_data_workers)
+        };
+        (train, parts)
     };
     let test = cfg.dataset.generate(cfg.test_count, cfg.seed.wrapping_add(0x7e57));
     let validation = cfg.dataset.generate(
@@ -386,6 +433,25 @@ pub fn prepare(cfg: &SimulationConfig) -> PreparedRun {
         cfg.seed.wrapping_add(0xa0c),
     );
     PreparedRun { train, parts, test, validation, master, n_data_workers }
+}
+
+/// The round's participating cohort: global worker indices, sorted ascending.
+///
+/// Full participation (`sampling == 1`) is the identity cohort and draws no
+/// randomness at all, so every pre-sampling config reproduces bit-exactly.
+/// Sub-sampled rounds draw `⌈q·n⌉` members from a dedicated per-round RNG
+/// stream (salt `0xc0407`, then [`worker_seed`] over the round index), so
+/// cohort membership never perturbs the worker, attack or data streams — and
+/// the draw happens sequentially before any parallel work, so cohorts are
+/// identical at every thread count.
+pub fn round_cohort(cfg: &SimulationConfig, round: usize) -> Vec<usize> {
+    let n_total = cfg.n_total();
+    if cfg.sampling >= 1.0 {
+        return (0..n_total).collect();
+    }
+    let m = ((cfg.sampling * n_total as f64).ceil() as usize).clamp(1, n_total);
+    let mut rng = StdRng::seed_from_u64(worker_seed(cfg.seed.wrapping_add(0xc0407), round));
+    sample_without_replacement(&mut rng, n_total, m)
 }
 
 /// Runs one full experiment.
@@ -410,6 +476,11 @@ pub fn run_prepared(cfg: &SimulationConfig, prep: &PreparedRun) -> RunResult {
     if matches!(cfg.protocol, WorkerProtocol::SignDp { .. }) {
         return crate::baseline::run_sign_dp_simulation(cfg);
     }
+    assert!(
+        cfg.sampling.is_finite() && cfg.sampling > 0.0 && cfg.sampling <= 1.0,
+        "sampling fraction must be in (0, 1], got {}",
+        cfg.sampling
+    );
 
     // ---- privacy calibration -------------------------------------------
     let (sigma, delta) = resolve_sigma(cfg);
@@ -419,8 +490,8 @@ pub fn run_prepared(cfg: &SimulationConfig, prep: &PreparedRun) -> RunResult {
 
     // ---- data (prepared) -------------------------------------------------
     let needs_poisoned = cfg.attack.needs_poisoned_workers();
-    let n_data_workers = cfg.n_honest + if needs_poisoned { cfg.n_byzantine } else { 0 };
-    assert_eq!(n_data_workers, prep.n_data_workers, "prepared data does not match config");
+    let pooled = cfg.provisioning == Provisioning::Pooled;
+    assert_eq!(data_worker_count(cfg), prep.n_data_workers, "prepared data does not match config");
     let train = &prep.train;
     let parts = &prep.parts;
     let test = &prep.test;
@@ -434,13 +505,17 @@ pub fn run_prepared(cfg: &SimulationConfig, prep: &PreparedRun) -> RunResult {
     let d = server_model.param_len();
     let mut params = server_model.params();
 
-    let mut honest: Vec<DpWorker> = (0..cfg.n_honest)
-        .map(|i| {
-            let data = train.subset(&parts[i]);
-            DpWorker::new(server_model.clone(), data, dp.clone(), worker_seed(cfg.seed, i))
-        })
-        .collect();
-    let mut poisoned: Vec<DpWorker> = if needs_poisoned {
+    let mut honest: Vec<DpWorker> = if pooled {
+        (0..cfg.n_honest)
+            .map(|i| {
+                let data = train.subset(&parts[i]);
+                DpWorker::new(server_model.clone(), data, dp.clone(), worker_seed(cfg.seed, i))
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let mut poisoned: Vec<DpWorker> = if pooled && needs_poisoned {
         (0..cfg.n_byzantine)
             .map(|j| {
                 let mut data = train.subset(&parts[cfg.n_honest + j]);
@@ -509,56 +584,104 @@ pub fn run_prepared(cfg: &SimulationConfig, prep: &PreparedRun) -> RunResult {
     let mut attack_rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0xa77ac4));
 
     for t in 0..iterations {
-        // Honest and poisoned protocol uploads, in parallel.
-        let benign = parallel_uploads(&mut honest, &params, cfg.protocol);
-        let poisoned_uploads = if needs_poisoned {
-            parallel_uploads(&mut poisoned, &params, cfg.protocol)
+        // The round's participants: drawn sequentially, before any parallel
+        // work. `split` partitions the sorted cohort into honest ([..split])
+        // and Byzantine ([split..]) members.
+        let cohort = round_cohort(cfg, t);
+        let split = cohort.partition_point(|&i| i < cfg.n_honest);
+        let (cohort_honest, cohort_byz) = cohort.split_at(split);
+
+        // The production two-stage path folds over the upload stream: one
+        // upload in flight per thread, only stage-1 survivors retained.
+        // Attacks that read the whole benign cohort at once (OptLMP, "a
+        // little", inner-product, adaptive) force the materialized reference
+        // path below.
+        let streaming = cfg.defense == DefenseKind::TwoStage
+            && cfg.defense_cfg.streaming_fold
+            && matches!(
+                cfg.attack,
+                AttackSpec::None | AttackSpec::Gaussian | AttackSpec::LabelFlip
+            );
+
+        if streaming {
+            let state = defense.as_mut().expect("two-stage state always built");
+            let update = state.step_streaming(
+                cfg,
+                &cohort,
+                split,
+                &mut honest,
+                &mut poisoned,
+                &params,
+                &mut stats,
+                lr,
+                &dp,
+                &mut attack_rng,
+                t,
+            );
+            vecops::add_assign(&mut params, &update);
         } else {
-            Vec::new()
-        };
+            // Honest and poisoned cohort uploads, in parallel.
+            let benign = if pooled {
+                let mut refs = cohort_refs(&mut honest, cohort_honest, 0);
+                parallel_uploads(&mut refs, &params, cfg.protocol)
+            } else {
+                on_demand_uploads(cfg, &server_model, &dp, cohort_honest, t, &params)
+            };
+            let poisoned_uploads = if needs_poisoned {
+                if pooled {
+                    let mut refs = cohort_refs(&mut poisoned, cohort_byz, cfg.n_honest);
+                    parallel_uploads(&mut refs, &params, cfg.protocol)
+                } else {
+                    on_demand_uploads(cfg, &server_model, &dp, cohort_byz, t, &params)
+                }
+            } else {
+                Vec::new()
+            };
 
-        // The omniscient adversary crafts its uploads.
-        let ctx = AttackContext {
-            benign_uploads: &benign,
-            d,
-            n_byzantine: cfg.n_byzantine,
-            noise_std: dp.effective_noise_std(),
-            round: t,
-            total_rounds: iterations,
-            poisoned_uploads: &poisoned_uploads,
-        };
-        let byzantine = craft_uploads(&cfg.attack, &ctx, &mut attack_rng);
+            // The omniscient adversary crafts its uploads (one per Byzantine
+            // cohort member).
+            let ctx = AttackContext {
+                benign_uploads: &benign,
+                d,
+                n_byzantine: cohort_byz.len(),
+                noise_std: dp.effective_noise_std(),
+                round: t,
+                total_rounds: iterations,
+                poisoned_uploads: &poisoned_uploads,
+            };
+            let byzantine = craft_uploads(&cfg.attack, &ctx, &mut attack_rng);
 
-        let mut uploads = benign;
-        uploads.extend(byzantine);
+            let mut uploads = benign;
+            uploads.extend(byzantine);
 
-        // Server step.
-        match (&cfg.defense, defense.as_mut()) {
-            (DefenseKind::NoDefense, _) => {
-                let refs: Vec<&[f32]> = uploads.iter().map(|u| u.as_slice()).collect();
-                let g = vecops::mean(&refs).expect("at least one worker");
-                vecops::axpy(-(lr as f32), &g, &mut params);
-            }
-            (DefenseKind::Robust { rule }, _) => {
-                let g = rule.aggregate(&uploads);
-                vecops::axpy(-(lr as f32), &g, &mut params);
-            }
-            (DefenseKind::TwoStage, Some(state)) => {
-                let update = state.step(cfg, &mut uploads, &params, &mut stats, lr, n_total);
-                vecops::add_assign(&mut params, &update);
-            }
-            (DefenseKind::TwoStage, None) => unreachable!("two-stage state always built"),
-            (DefenseKind::FlTrust, _) => {
-                let (aux, model, grad_buf) =
-                    fltrust_state.as_mut().expect("fltrust state always built");
-                model.set_params(&params);
-                let loss_fn = CrossEntropyLoss;
-                // Trust gradient in one batched forward/backward: the aux
-                // dataset's features are already the packed matrix.
-                model.batch_gradient_packed(&loss_fn, &aux.features, &aux.labels, grad_buf);
-                let refs: Vec<&[f32]> = uploads.iter().map(|u| u.as_slice()).collect();
-                let g = crate::aggregator_ext::fltrust(&refs, grad_buf);
-                vecops::axpy(-(lr as f32), &g, &mut params);
+            // Server step.
+            match (&cfg.defense, defense.as_mut()) {
+                (DefenseKind::NoDefense, _) => {
+                    let refs: Vec<&[f32]> = uploads.iter().map(|u| u.as_slice()).collect();
+                    let g = vecops::mean(&refs).expect("at least one worker");
+                    vecops::axpy(-(lr as f32), &g, &mut params);
+                }
+                (DefenseKind::Robust { rule }, _) => {
+                    let g = rule.aggregate(&uploads);
+                    vecops::axpy(-(lr as f32), &g, &mut params);
+                }
+                (DefenseKind::TwoStage, Some(state)) => {
+                    let update = state.step(cfg, &cohort, &mut uploads, &params, &mut stats, lr);
+                    vecops::add_assign(&mut params, &update);
+                }
+                (DefenseKind::TwoStage, None) => unreachable!("two-stage state always built"),
+                (DefenseKind::FlTrust, _) => {
+                    let (aux, model, grad_buf) =
+                        fltrust_state.as_mut().expect("fltrust state always built");
+                    model.set_params(&params);
+                    let loss_fn = CrossEntropyLoss;
+                    // Trust gradient in one batched forward/backward: the aux
+                    // dataset's features are already the packed matrix.
+                    model.batch_gradient_packed(&loss_fn, &aux.features, &aux.labels, grad_buf);
+                    let refs: Vec<&[f32]> = uploads.iter().map(|u| u.as_slice()).collect();
+                    let g = crate::aggregator_ext::fltrust(&refs, grad_buf);
+                    vecops::axpy(-(lr as f32), &g, &mut params);
+                }
             }
         }
 
@@ -587,17 +710,33 @@ struct TwoStageState {
     grad_buf: Vec<f32>,
 }
 
+/// What the streaming fold keeps of one upload after filtering and scoring.
+enum Retained {
+    /// Zeroed by the first stage: contributes literal `+0.0` to every score
+    /// and nothing to the update, so no bytes are kept.
+    Rejected,
+    /// Stage-1 survivor, kept verbatim (bit-identical path).
+    Exact(Vec<f32>),
+    /// Stage-1 survivor, re-encoded as scale + `i16` codes (lossy memory
+    /// mode, [`UploadRetention::Quantized`]).
+    Quantized(QuantizedVec),
+}
+
 impl TwoStageState {
-    /// Runs Algorithms 2 + 3 for one round; returns the (already
-    /// lr-scaled) parameter update.
+    /// Runs Algorithms 2 + 3 for one round over the materialized cohort
+    /// upload matrix; returns the (already lr-scaled) parameter update.
+    ///
+    /// `uploads[k]` is the upload of global worker `cohort[k]`; at full
+    /// participation the cohort is the identity and this is exactly the
+    /// pre-sampling pipeline.
     fn step(
         &mut self,
         cfg: &SimulationConfig,
+        cohort: &[usize],
         uploads: &mut [Vec<f32>],
         params: &[f32],
         stats: &mut DefenseStats,
         lr: f64,
-        n_total: usize,
     ) -> Vec<f32> {
         // First stage: test-and-zero every upload. The per-upload checks fan
         // out under rayon as one contiguous chunk per thread; each chunk owns
@@ -629,9 +768,9 @@ impl TwoStageState {
                 .collect();
             nested.into_iter().flatten().collect()
         };
-        for (i, &ok) in verdicts.iter().enumerate() {
+        for (k, &ok) in verdicts.iter().enumerate() {
             if !ok {
-                if i < cfg.n_honest {
+                if cohort[k] < cfg.n_honest {
                     stats.first_stage_rejected_honest += 1;
                 } else {
                     stats.first_stage_rejected_byzantine += 1;
@@ -653,27 +792,360 @@ impl TwoStageState {
         );
 
         // Second stage: score, threshold, accumulate, select.
-        let selection = self.second.select(uploads, &self.grad_buf);
+        let selection = self.second.select_for(cohort, uploads, &self.grad_buf);
         stats.total_selected += selection.selected.len() as u64;
         stats.byzantine_selected +=
             selection.selected.iter().filter(|&&i| i >= cfg.n_honest).count() as u64;
 
         // Model update: w ← w − η·(1/n)·Σ_{g∈G} g (Algorithm 1 line 14).
+        // `n` is the round's participant count — at full participation the
+        // total worker count, as the paper writes it.
         let denom = match cfg.defense_cfg.step_normalization {
-            StepNormalization::TotalWorkers => n_total as f64,
+            StepNormalization::TotalWorkers => cohort.len() as f64,
             StepNormalization::SelectedCount => selection.selected.len().max(1) as f64,
         };
         let d = params.len();
         let mut update = vec![0.0f64; d];
         for &i in &selection.selected {
             let w = selection.weights[i];
-            for (u, &g) in update.iter_mut().zip(&uploads[i]) {
+            let k = cohort.binary_search(&i).expect("selected index is in the cohort");
+            for (u, &g) in update.iter_mut().zip(&uploads[k]) {
                 *u += w * g as f64;
             }
         }
         let coef = -lr / denom;
         update.into_iter().map(|u| (u * coef) as f32).collect()
     }
+
+    /// The production streaming path: produce → filter → score → retain, one
+    /// upload in flight per thread, then select and update from what was
+    /// retained. Never materializes the `m×d` upload matrix for rejected
+    /// uploads; under [`UploadRetention::Quantized`] survivors are held at
+    /// half width too.
+    ///
+    /// Bit-parity with [`TwoStageState::step`] under
+    /// [`UploadRetention::Exact`]:
+    /// * the server gradient is hoisted ahead of upload production — bit-safe
+    ///   because its computation is RNG-free and reads only `params`, which
+    ///   no worker mutates;
+    /// * per-upload verdicts and scores are pure functions of the upload
+    ///   bits (`vecops::dot` accumulates in `f64` exactly like the
+    ///   materialized `matvec_rows_f64`), so the shard merge — concatenation
+    ///   in shard order — restores cohort order exactly and the result is
+    ///   independent of thread count;
+    /// * a rejected upload contributes the literal `+0.0` the materialized
+    ///   path gets from scoring the zeroed vector, and skipping it in the
+    ///   update sum skips only exact `+ w·0.0` terms (the `f64` accumulator
+    ///   never holds `-0.0`, so those additions are bit-exact no-ops).
+    #[allow(clippy::too_many_arguments)]
+    fn step_streaming(
+        &mut self,
+        cfg: &SimulationConfig,
+        cohort: &[usize],
+        split: usize,
+        honest: &mut [DpWorker],
+        poisoned: &mut [DpWorker],
+        params: &[f32],
+        stats: &mut DefenseStats,
+        lr: f64,
+        dp: &DpSgdConfig,
+        attack_rng: &mut StdRng,
+        round: usize,
+    ) -> Vec<f32> {
+        let (cohort_honest, cohort_byz) = cohort.split_at(split);
+        let d = params.len();
+        let pooled = cfg.provisioning == Provisioning::Pooled;
+
+        // Server's clean gradient from auxiliary data (Algorithm 3 line 4),
+        // hoisted ahead of the fold so every upload can be scored the moment
+        // it survives the first stage.
+        self.server_model.set_params(params);
+        let loss_fn = CrossEntropyLoss;
+        self.server_model.batch_gradient_packed(
+            &loss_fn,
+            &self.aux.features,
+            &self.aux.labels,
+            &mut self.grad_buf,
+        );
+        let g_s_norm = if cfg.defense_cfg.scoring == ScoringRule::Cosine {
+            vecops::l2_norm(&self.grad_buf)
+        } else {
+            0.0
+        };
+
+        let first = &self.first;
+        let grad = &self.grad_buf;
+        let model = &self.server_model;
+
+        // Honest cohort: sharded fold. Shards are contiguous cohort ranges
+        // (one per thread) processed sequentially within each shard — at most
+        // one upload in flight per thread.
+        let shard = cohort_honest.len().div_ceil(rayon::current_num_threads().max(1)).max(1);
+        let mut folds: Vec<(f64, Retained)> = if pooled {
+            let mut refs = cohort_refs(honest, cohort_honest, 0);
+            let shards: Vec<&mut [&mut DpWorker]> = refs.chunks_mut(shard).collect();
+            let nested: Vec<Vec<(f64, Retained)>> = shards
+                .into_par_iter()
+                .map(|shard| {
+                    let mut scratch = KsScratch::new();
+                    shard
+                        .iter_mut()
+                        .map(|w| {
+                            let upload = protocol_step(w, params, cfg.protocol);
+                            fold_upload(first, cfg, upload, &mut scratch, grad, g_s_norm)
+                        })
+                        .collect()
+                })
+                .collect();
+            nested.into_iter().flatten().collect()
+        } else {
+            let shards: Vec<&[usize]> = cohort_honest.chunks(shard).collect();
+            let nested: Vec<Vec<(f64, Retained)>> = shards
+                .into_par_iter()
+                .map(|shard| {
+                    let mut scratch = KsScratch::new();
+                    shard
+                        .iter()
+                        .map(|&i| {
+                            let mut w = on_demand_worker(cfg, model, dp, i, round, false);
+                            let upload = protocol_step(&mut w, params, cfg.protocol);
+                            fold_upload(first, cfg, upload, &mut scratch, grad, g_s_norm)
+                        })
+                        .collect()
+                })
+                .collect();
+            nested.into_iter().flatten().collect()
+        };
+
+        // Byzantine cohort: the streamable attacks.
+        match &cfg.attack {
+            AttackSpec::None => {
+                // `craft_uploads` produces nothing for `None`, so a non-empty
+                // Byzantine cohort can't fill its upload slots; the
+                // materialized pipeline panics on the count mismatch and the
+                // streaming fold preserves that contract.
+                assert!(cohort_byz.is_empty(), "upload count changed mid-training");
+            }
+            AttackSpec::Gaussian => {
+                // One draw–fold cycle per Byzantine slot, strictly sequential
+                // from the single attack stream — the same draws in the same
+                // order `craft_uploads` makes, and the fold consumes no RNG,
+                // so interleaving is bit-safe.
+                let mut scratch = KsScratch::new();
+                for _ in cohort_byz {
+                    let upload = gaussian_vector(attack_rng, dp.effective_noise_std(), d);
+                    folds.push(fold_upload(first, cfg, upload, &mut scratch, grad, g_s_norm));
+                }
+            }
+            AttackSpec::LabelFlip => {
+                // Poisoned-worker uploads pass through unchanged: same
+                // sharded fold as the honest cohort.
+                let shard = cohort_byz.len().div_ceil(rayon::current_num_threads().max(1)).max(1);
+                let nested: Vec<Vec<(f64, Retained)>> = if pooled {
+                    let mut refs = cohort_refs(poisoned, cohort_byz, cfg.n_honest);
+                    let shards: Vec<&mut [&mut DpWorker]> = refs.chunks_mut(shard).collect();
+                    shards
+                        .into_par_iter()
+                        .map(|shard| {
+                            let mut scratch = KsScratch::new();
+                            shard
+                                .iter_mut()
+                                .map(|w| {
+                                    let upload = protocol_step(w, params, cfg.protocol);
+                                    fold_upload(first, cfg, upload, &mut scratch, grad, g_s_norm)
+                                })
+                                .collect()
+                        })
+                        .collect()
+                } else {
+                    let shards: Vec<&[usize]> = cohort_byz.chunks(shard).collect();
+                    shards
+                        .into_par_iter()
+                        .map(|shard| {
+                            let mut scratch = KsScratch::new();
+                            shard
+                                .iter()
+                                .map(|&i| {
+                                    let mut w = on_demand_worker(cfg, model, dp, i, round, true);
+                                    let upload = protocol_step(&mut w, params, cfg.protocol);
+                                    fold_upload(first, cfg, upload, &mut scratch, grad, g_s_norm)
+                                })
+                                .collect()
+                        })
+                        .collect()
+                };
+                folds.extend(nested.into_iter().flatten());
+            }
+            other => unreachable!("attack {other:?} is not streamable (materialized path)"),
+        }
+        debug_assert_eq!(folds.len(), cohort.len());
+
+        // Bookkeeping + full-length round scores, in cohort (= global index)
+        // order.
+        let mut round_scores = vec![0.0f64; self.second.accumulated_scores().len()];
+        for (&i, (score, r)) in cohort.iter().zip(&folds) {
+            if matches!(r, Retained::Rejected) {
+                if i < cfg.n_honest {
+                    stats.first_stage_rejected_honest += 1;
+                } else {
+                    stats.first_stage_rejected_byzantine += 1;
+                }
+            }
+            round_scores[i] = *score;
+        }
+
+        // Second stage on the precomputed scores.
+        let selection = self.second.select_scored(cohort, round_scores);
+        stats.total_selected += selection.selected.len() as u64;
+        stats.byzantine_selected +=
+            selection.selected.iter().filter(|&&i| i >= cfg.n_honest).count() as u64;
+
+        // Model update from the retained survivors.
+        let denom = match cfg.defense_cfg.step_normalization {
+            StepNormalization::TotalWorkers => cohort.len() as f64,
+            StepNormalization::SelectedCount => selection.selected.len().max(1) as f64,
+        };
+        let mut update = vec![0.0f64; d];
+        for &i in &selection.selected {
+            let w = selection.weights[i];
+            let k = cohort.binary_search(&i).expect("selected index is in the cohort");
+            match &folds[k].1 {
+                // The materialized sum adds `w·0.0` per coordinate here — a
+                // bit-exact no-op on the f64 accumulator.
+                Retained::Rejected => {}
+                Retained::Exact(g) => {
+                    for (u, &g) in update.iter_mut().zip(g) {
+                        *u += w * g as f64;
+                    }
+                }
+                Retained::Quantized(q) => {
+                    for (u, g) in update.iter_mut().zip(q.iter()) {
+                        *u += w * g as f64;
+                    }
+                }
+            }
+        }
+        let coef = -lr / denom;
+        update.into_iter().map(|u| (u * coef) as f32).collect()
+    }
+}
+
+/// One upload through the streaming fold: first-stage filter, second-stage
+/// score, retention. A pure function of the upload bits (plus the fixed
+/// server gradient), which is what makes the shard merge order-insensitive.
+fn fold_upload(
+    first: &FirstStage,
+    cfg: &SimulationConfig,
+    mut upload: Vec<f32>,
+    scratch: &mut KsScratch,
+    server_grad: &[f32],
+    server_grad_norm: f64,
+) -> (f64, Retained) {
+    let accepted = if !cfg.defense_cfg.first_stage_enabled {
+        true
+    } else if !cfg.defense_cfg.ks_fast_path {
+        first.filter_reference(&mut upload).is_accepted()
+    } else {
+        first.filter_with(&mut upload, scratch).is_accepted()
+    };
+    if !accepted {
+        // The materialized pipeline zeroes the upload and scores the zero
+        // vector: exactly +0.0. Drop the bytes, keep the literal.
+        return (0.0, Retained::Rejected);
+    }
+    let mut score = vecops::dot(&upload, server_grad);
+    if cfg.defense_cfg.scoring == ScoringRule::Cosine {
+        let na = vecops::l2_norm(&upload);
+        score = if na == 0.0 || server_grad_norm == 0.0 {
+            0.0
+        } else {
+            score / (na * server_grad_norm)
+        };
+    }
+    if !score.is_finite() {
+        score = 0.0;
+    }
+    let retained = match cfg.defense_cfg.retention {
+        UploadRetention::Exact => Retained::Exact(upload),
+        UploadRetention::Quantized => Retained::Quantized(QuantizedVec::encode(&upload)),
+    };
+    (score, retained)
+}
+
+/// One worker's protocol upload.
+fn protocol_step(w: &mut DpWorker, params: &[f32], protocol: WorkerProtocol) -> Vec<f32> {
+    match protocol {
+        // Plain is Algorithm 1 with σ = 0: the worker's noise multiplier is
+        // already zero for such runs.
+        WorkerProtocol::PaperDp | WorkerProtocol::Plain => w.local_step(params),
+        WorkerProtocol::ClippedDp { clip } => w.clipped_dp_step(params, clip),
+        WorkerProtocol::SignDp { .. } => {
+            unreachable!("sign-DP runs its own loop (run_sign_dp_simulation)")
+        }
+    }
+}
+
+/// Collects mutable references to the cohort's members of one worker pool.
+///
+/// `indices` are global worker indices, sorted ascending; `base` is the
+/// global index of `workers[0]` (0 for the honest pool, `n_honest` for the
+/// poisoned pool).
+fn cohort_refs<'a>(
+    workers: &'a mut [DpWorker],
+    indices: &[usize],
+    base: usize,
+) -> Vec<&'a mut DpWorker> {
+    let mut refs = Vec::with_capacity(indices.len());
+    let mut rest = workers;
+    let mut next = base;
+    for &i in indices {
+        let (_, tail) = rest.split_at_mut(i - next);
+        let (w, tail) = tail.split_first_mut().expect("cohort index within worker range");
+        refs.push(w);
+        rest = tail;
+        next = i + 1;
+    }
+    refs
+}
+
+/// Builds the ephemeral worker of client `index` for one round (on-demand
+/// provisioning). The client's local shard is a pure function of the master
+/// seed and its index — stable across rounds — while its per-round DP stream
+/// is `worker_seed(worker_seed(seed, index), round)`; momentum starts cold
+/// each participation.
+fn on_demand_worker(
+    cfg: &SimulationConfig,
+    model: &Sequential,
+    dp: &DpSgdConfig,
+    index: usize,
+    round: usize,
+    flip: bool,
+) -> DpWorker {
+    let data_seed = worker_seed(cfg.seed.wrapping_add(0xda7a), index);
+    let mut data = cfg.dataset.generate(cfg.per_worker, data_seed);
+    if flip {
+        flip_labels(&mut data);
+    }
+    DpWorker::new(model.clone(), data, dp.clone(), worker_seed(worker_seed(cfg.seed, index), round))
+}
+
+/// Materialized-path uploads for an on-demand cohort slice (used when the
+/// attack forces the reference pipeline).
+fn on_demand_uploads(
+    cfg: &SimulationConfig,
+    model: &Sequential,
+    dp: &DpSgdConfig,
+    indices: &[usize],
+    round: usize,
+    params: &[f32],
+) -> Vec<Vec<f32>> {
+    indices
+        .par_iter()
+        .map(|&i| {
+            let mut w = on_demand_worker(cfg, model, dp, i, round, i >= cfg.n_honest);
+            protocol_step(&mut w, params, cfg.protocol)
+        })
+        .collect()
 }
 
 /// σ and δ for the run: either derived from the ε target via the accountant,
@@ -686,7 +1158,13 @@ pub fn resolve_sigma(cfg: &SimulationConfig) -> (f64, f64) {
         WorkerProtocol::Plain | WorkerProtocol::SignDp { .. } => (0.0, 0.0),
         _ => match cfg.epsilon {
             Some(eps) => {
-                let q = cfg.dp.batch_size as f64 / cfg.per_worker as f64;
+                // Amplification by subsampling: a record participates in a
+                // step only when its client is in the round's cohort AND it
+                // lands in the local batch, so the accountant's per-step rate
+                // is the product of the two sampling fractions. At full
+                // participation `sampling == 1` and the product reduces
+                // bit-exactly to the paper's `b_c/|D_i|`.
+                let q = cfg.sampling * (cfg.dp.batch_size as f64 / cfg.per_worker as f64);
                 let acc = RdpAccountant::new(q, cfg.iterations() as u64);
                 let delta = paper_delta(cfg.per_worker);
                 (acc.find_noise_multiplier(eps, delta), delta)
@@ -705,7 +1183,7 @@ pub fn worker_seed(master: u64, index: usize) -> u64 {
     master.wrapping_mul(0x100000001b3).wrapping_add(index as u64).wrapping_mul(0x9e3779b97f4a7c15)
 }
 
-/// Computes all workers' uploads for this round under rayon.
+/// Computes the cohort workers' uploads for this round under rayon.
 ///
 /// Determinism contract: every worker owns an [`StdRng`] stream derived
 /// from the master seed by [`worker_seed`], and a worker's step touches
@@ -713,22 +1191,11 @@ pub fn worker_seed(master: u64, index: usize) -> u64 {
 /// run — is bit-identical at every thread count. Order stability comes
 /// from `collect` preserving input order.
 fn parallel_uploads(
-    workers: &mut [DpWorker],
+    workers: &mut [&mut DpWorker],
     params: &[f32],
     protocol: WorkerProtocol,
 ) -> Vec<Vec<f32>> {
-    workers
-        .par_iter_mut()
-        .map(|w| match protocol {
-            // Plain is Algorithm 1 with σ = 0: the worker's noise
-            // multiplier is already zero for such runs.
-            WorkerProtocol::PaperDp | WorkerProtocol::Plain => w.local_step(params),
-            WorkerProtocol::ClippedDp { clip } => w.clipped_dp_step(params, clip),
-            WorkerProtocol::SignDp { .. } => {
-                unreachable!("sign-DP runs its own loop (run_sign_dp_simulation)")
-            }
-        })
-        .collect()
+    workers.par_iter_mut().map(|w| protocol_step(w, params, protocol)).collect()
 }
 
 #[cfg(test)]
@@ -868,6 +1335,141 @@ mod tests {
         let mut cfg = quick_cfg();
         cfg.protocol = WorkerProtocol::Plain;
         cfg.defense = DefenseKind::TwoStage;
+        let _ = run(&cfg);
+    }
+
+    fn summary_json(r: &RunResult) -> String {
+        serde_json::to_string(&r.summary()).expect("summary serializes")
+    }
+
+    fn run_with_threads(cfg: &SimulationConfig, threads: usize) -> RunResult {
+        let pool =
+            rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("local pool");
+        pool.install(|| run(cfg))
+    }
+
+    #[test]
+    fn streaming_fold_matches_materialized_bitwise() {
+        // The streaming contract: under Exact retention the fold is
+        // bit-identical to the materialized reference pipeline, for every
+        // streamable attack, with and without client sampling.
+        let mut base = quick_cfg();
+        base.n_byzantine = 2;
+        base.defense = DefenseKind::TwoStage;
+        for (attack, sampling) in
+            [(AttackSpec::Gaussian, 1.0), (AttackSpec::LabelFlip, 1.0), (AttackSpec::Gaussian, 0.6)]
+        {
+            let mut cfg = base.clone();
+            cfg.attack = attack;
+            cfg.sampling = sampling;
+            cfg.defense_cfg.streaming_fold = true;
+            let streamed = run(&cfg);
+            cfg.defense_cfg.streaming_fold = false;
+            let materialized = run(&cfg);
+            assert_eq!(
+                summary_json(&streamed),
+                summary_json(&materialized),
+                "streaming ≠ materialized for {:?} at q={sampling}",
+                cfg.attack
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_streaming_run_identical_across_thread_counts() {
+        // Cohort draws happen sequentially before any parallel work and the
+        // fold's shard merge is order-fixed, so a sub-sampled streaming run
+        // is bit-identical at any thread count.
+        let mut cfg = quick_cfg();
+        cfg.n_byzantine = 2;
+        cfg.attack = AttackSpec::LabelFlip;
+        cfg.defense = DefenseKind::TwoStage;
+        cfg.sampling = 0.6;
+        let single = run_with_threads(&cfg, 1);
+        let multi = run_with_threads(&cfg, 4);
+        assert_eq!(summary_json(&single), summary_json(&multi));
+    }
+
+    #[test]
+    fn cohorts_are_seeded_sorted_and_thread_independent() {
+        let mut cfg = quick_cfg();
+        cfg.n_honest = 40;
+        cfg.n_byzantine = 10;
+        cfg.sampling = 0.25;
+        let pool1 = rayon::ThreadPoolBuilder::new().num_threads(1).build().expect("local pool");
+        let pool4 = rayon::ThreadPoolBuilder::new().num_threads(4).build().expect("local pool");
+        for t in 0..5 {
+            let a = pool1.install(|| round_cohort(&cfg, t));
+            let b = pool4.install(|| round_cohort(&cfg, t));
+            assert_eq!(a, b, "round {t}");
+            assert_eq!(a.len(), 13, "⌈0.25·50⌉ members");
+            assert!(a.windows(2).all(|w| w[0] < w[1]), "sorted + distinct");
+            assert!(a.iter().all(|&i| i < 50), "in range");
+        }
+        // Different rounds and different master seeds draw different cohorts.
+        assert_ne!(round_cohort(&cfg, 0), round_cohort(&cfg, 1));
+        let mut other = cfg.clone();
+        other.seed = 99;
+        assert_ne!(round_cohort(&cfg, 0), round_cohort(&other, 0));
+        // Full participation is the identity cohort (no draw at all).
+        cfg.sampling = 1.0;
+        assert_eq!(round_cohort(&cfg, 3), (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn on_demand_provisioning_is_deterministic_across_thread_counts() {
+        let mut cfg = quick_cfg();
+        cfg.n_honest = 20;
+        cfg.n_byzantine = 5;
+        cfg.sampling = 0.2;
+        cfg.provisioning = Provisioning::OnDemand;
+        cfg.attack = AttackSpec::Gaussian;
+        cfg.defense = DefenseKind::TwoStage;
+        let single = run_with_threads(&cfg, 1);
+        let multi = run_with_threads(&cfg, 4);
+        assert_eq!(summary_json(&single), summary_json(&multi));
+        assert!(single.final_accuracy.is_finite());
+    }
+
+    #[test]
+    fn quantized_retention_is_deterministic() {
+        let mut cfg = quick_cfg();
+        cfg.n_byzantine = 2;
+        cfg.attack = AttackSpec::Gaussian;
+        cfg.defense = DefenseKind::TwoStage;
+        cfg.defense_cfg.retention = UploadRetention::Quantized;
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(summary_json(&a), summary_json(&b));
+        assert!(a.final_accuracy.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "upload count changed mid-training")]
+    fn streaming_none_attack_with_byzantine_count_still_panics() {
+        // `AttackSpec::None` produces no uploads, so a non-empty Byzantine
+        // cohort can't fill its slots; the streaming fold preserves the
+        // materialized pipeline's panic.
+        let mut cfg = quick_cfg();
+        cfg.n_byzantine = 2;
+        cfg.attack = AttackSpec::None;
+        cfg.defense = DefenseKind::TwoStage;
+        let _ = run(&cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling fraction must be in (0, 1]")]
+    fn zero_sampling_fraction_is_rejected() {
+        let mut cfg = quick_cfg();
+        cfg.sampling = 0.0;
+        let _ = run(&cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling fraction must be in (0, 1]")]
+    fn nan_sampling_fraction_is_rejected() {
+        let mut cfg = quick_cfg();
+        cfg.sampling = f64::NAN;
         let _ = run(&cfg);
     }
 }

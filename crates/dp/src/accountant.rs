@@ -97,10 +97,33 @@ pub fn paper_delta(dataset_size: usize) -> f64 {
 /// accountant and returns only the ε. Non-private runs (`sigma == 0`) have
 /// no finite guarantee, reported as `f64::INFINITY`.
 pub fn achieved_epsilon(q: f64, steps: u64, sigma: f64, delta: f64) -> f64 {
+    assert!(
+        q.is_finite() && (0.0..=1.0).contains(&q),
+        "achieved_epsilon: sampling rate q must be a finite value in [0, 1], got {q} — \
+         refusing to extrapolate the subsampled-Gaussian RDP bound"
+    );
     if sigma <= 0.0 {
         return f64::INFINITY;
     }
     RdpAccountant::new(q, steps).epsilon(sigma, delta).0
+}
+
+/// ε under amplification by client subsampling: each round independently
+/// samples a `q_client` fraction of clients, each of which subsamples its
+/// local batch at rate `q_batch`, so a record's per-step participation rate
+/// is the product `q_client·q_batch` and the standard subsampled-Gaussian
+/// accountant applies at that rate.
+///
+/// `q_client = 1` (full participation) reproduces [`achieved_epsilon`]
+/// bit-exactly (`1.0 * q == q` in IEEE 754). Like [`achieved_epsilon`], this
+/// refuses `q_client` outside `[0, 1]` instead of extrapolating.
+pub fn amplified_epsilon(q_client: f64, q_batch: f64, steps: u64, sigma: f64, delta: f64) -> f64 {
+    assert!(
+        q_client.is_finite() && (0.0..=1.0).contains(&q_client),
+        "amplified_epsilon: client sampling fraction must be a finite value in [0, 1], \
+         got {q_client} — refusing to extrapolate"
+    );
+    achieved_epsilon(q_client * q_batch, steps, sigma, delta)
 }
 
 #[cfg(test)]
@@ -208,5 +231,35 @@ mod tests {
     fn paper_delta_matches_convention() {
         let d = paper_delta(3000);
         assert!((d - 1.0 / 3000f64.powf(1.1)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn amplification_is_monotone_in_client_fraction() {
+        let (steps, sigma, delta) = (1000, 1.1, 1e-5);
+        let mut last = 0.0;
+        for q_client in [0.01, 0.1, 0.5, 1.0] {
+            let eps = amplified_epsilon(q_client, 0.01, steps, sigma, delta);
+            assert!(eps > last, "ε must grow with the client fraction (q={q_client}: {eps})");
+            last = eps;
+        }
+    }
+
+    #[test]
+    fn full_participation_reproduces_the_unamplified_accountant() {
+        let eps = achieved_epsilon(0.01, 1000, 1.1, 1e-5);
+        let amplified = amplified_epsilon(1.0, 0.01, 1000, 1.1, 1e-5);
+        assert_eq!(amplified.to_bits(), eps.to_bits(), "q=1 must be bit-exact");
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing to extrapolate")]
+    fn achieved_epsilon_refuses_oversampling() {
+        let _ = achieved_epsilon(1.5, 1000, 1.1, 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing to extrapolate")]
+    fn amplified_epsilon_refuses_nan_client_fraction() {
+        let _ = amplified_epsilon(f64::NAN, 0.01, 1000, 1.1, 1e-5);
     }
 }

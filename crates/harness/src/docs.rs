@@ -95,6 +95,9 @@ fn include_row_label(row: &IncludeRow) -> String {
     if let Some(v) = row.fixed_sigma {
         parts.push(format!("σ={v} (ε target dropped)"));
     }
+    if let Some(v) = row.sampling {
+        parts.push(format!("sampling={v}"));
+    }
     if parts.is_empty() {
         parts.push("base config unchanged".into());
     }
@@ -130,6 +133,7 @@ fn axis_bullets(spec: &ScenarioSpec) -> Vec<String> {
     push_axis(&mut out, "iid", &g.iid, |i| if *i { "iid" } else { "non-iid" }.into());
     push_axis(&mut out, "protocols", &g.protocols, WorkerProtocol::name);
     push_axis(&mut out, "datasets", &g.datasets, String::clone);
+    push_axis(&mut out, "samplings", &g.samplings, f64::to_string);
     out
 }
 
@@ -209,6 +213,14 @@ fn scenario_section(spec: &ScenarioSpec) -> String {
         ("attack", base.attack.name()),
         ("defense", base.defense.name()),
         ("γ (server belief)", base.defense_cfg.gamma.to_string()),
+        ("client sampling q", base.sampling.to_string()),
+        (
+            "provisioning",
+            match base.provisioning {
+                Provisioning::Pooled => "pooled".into(),
+                Provisioning::OnDemand => "on-demand".into(),
+            },
+        ),
     ] {
         out.push_str(&format!("| {field} | {value} |\n"));
     }
@@ -266,6 +278,16 @@ mod tests {
         // …and the verbatim-seed policy is spelled out.
         assert!(md.contains("`List` — verbatim seeds {1}"), "{md}");
         assert!(md.contains("Table 1 (privacy / >50 %-resilience matrix)"), "{md}");
+    }
+
+    #[test]
+    fn catalog_documents_the_scale_scenarios() {
+        let md = scenarios_markdown();
+        assert!(md.contains("## `scale/million_clients`"), "{md}");
+        assert!(md.contains("| workers | 900000 honest + 100000 Byzantine |"), "{md}");
+        assert!(md.contains("| provisioning | on-demand |"), "{md}");
+        assert!(md.contains("| client sampling q | 0.000512 |"), "{md}");
+        assert!(md.contains("`samplings`: 0.001, 0.002"), "{md}");
     }
 
     #[test]

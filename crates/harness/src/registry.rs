@@ -29,6 +29,8 @@ pub fn names() -> &'static [&'static str] {
         "paper/table4_side_effect",
         "paper/table5_ttbb",
         "paper/table6_gamma",
+        "scale/million_clients",
+        "scale/smoke",
         "smoke/tiny",
     ]
 }
@@ -53,6 +55,8 @@ pub fn get(name: &str) -> Option<ScenarioSpec> {
         "paper/table4_side_effect" => Some(table4_side_effect()),
         "paper/table5_ttbb" => Some(table5_ttbb()),
         "paper/table6_gamma" => Some(table6_gamma()),
+        "scale/million_clients" => Some(scale_million_clients()),
+        "scale/smoke" => Some(scale_smoke()),
         "smoke/tiny" => Some(smoke_tiny()),
         _ => None,
     }
@@ -573,6 +577,72 @@ fn table6_gamma() -> ScenarioSpec {
     }
 }
 
+/// The million-client streaming round: 10⁶ registered clients, a sampled
+/// cohort of 512, on-demand data provisioning and quantized retention, so
+/// peak memory is bounded by the cohort — never by the client population.
+fn scale_million_clients() -> ScenarioSpec {
+    let mut base =
+        SimulationConfig::quick(SyntheticSpec::mnist_like(), ModelKind::SmallMlp { hidden: 16 });
+    base.per_worker = 64;
+    base.test_count = 256;
+    base.n_honest = 900_000;
+    base.n_byzantine = 100_000;
+    base.epochs = 0.25; // one round at b_c = 16: T = 0.25 · 64 / 16 = 1
+    base.epsilon = None;
+    base.dp.noise_multiplier = 0.5;
+    base.attack = AttackSpec::Gaussian;
+    base.defense = DefenseKind::TwoStage;
+    base.defense_cfg.gamma = 0.5;
+    base.defense_cfg.retention = UploadRetention::Quantized;
+    base.sampling = 0.000_512; // cohort of ⌈q·n⌉ = 512 clients per round
+    base.provisioning = Provisioning::OnDemand;
+    ScenarioSpec {
+        name: "scale/million_clients".into(),
+        title: "Streaming scale: one round over 10⁶ registered clients".into(),
+        notes: "A production-shaped round: the server samples 512 of 1 000 000 clients \
+                (10 % Byzantine, Gaussian), synthesizes each sampled client's shard on \
+                demand, and folds uploads through the two-stage defense one at a time \
+                with quantized survivor retention. Documented bound: completes on a \
+                1-core host under 512 MiB peak RSS (CI gates the shrunken scale/smoke \
+                variant; see .github/workflows/ci.yml)."
+            .into(),
+        seed: SeedPolicy::Fixed { seed: 1 },
+        base,
+        grid: GridSpec::default(),
+    }
+}
+
+/// The CI-sized streaming scenario: 10⁵ registered clients on a smaller
+/// model, swept over two sampling fractions, run in CI under a hard
+/// max-RSS ceiling (the memory-regression gate).
+fn scale_smoke() -> ScenarioSpec {
+    let mut base =
+        SimulationConfig::quick(SyntheticSpec::mnist_like(), ModelKind::SmallMlp { hidden: 8 });
+    base.per_worker = 64;
+    base.test_count = 128;
+    base.n_honest = 90_000;
+    base.n_byzantine = 10_000;
+    base.epochs = 0.25; // one round at b_c = 16
+    base.epsilon = None;
+    base.dp.noise_multiplier = 0.5;
+    base.attack = AttackSpec::Gaussian;
+    base.defense = DefenseKind::TwoStage;
+    base.defense_cfg.gamma = 0.5;
+    base.sampling = 0.001;
+    base.provisioning = Provisioning::OnDemand;
+    ScenarioSpec {
+        name: "scale/smoke".into(),
+        title: "Streaming scale smoke: 10⁵ clients under a CI memory ceiling".into(),
+        notes: "The shrunken scale/million_clients: 10⁵ registered clients, cohorts of \
+                100 and 200 (q ∈ {0.001, 0.002}), exact retention. CI runs this under \
+                `/usr/bin/time -v` and fails if peak RSS crosses the gate's ceiling."
+            .into(),
+        seed: SeedPolicy::Fixed { seed: 1 },
+        base,
+        grid: GridSpec { samplings: Some(vec![0.001, 0.002]), ..GridSpec::default() },
+    }
+}
+
 /// A 2×2 grid small enough for CI and the determinism tests: two attacks ×
 /// {two-stage, undefended} on a tiny MLP (seconds, not minutes).
 fn smoke_tiny() -> ScenarioSpec {
@@ -635,6 +705,27 @@ mod tests {
     fn smoke_grid_is_two_by_two() {
         let spec = get("smoke/tiny").unwrap();
         assert_eq!(spec.n_cells(), 4);
+    }
+
+    #[test]
+    fn scale_scenarios_sample_cohorts_and_provision_on_demand() {
+        let big = get("scale/million_clients").unwrap();
+        assert_eq!(big.n_cells(), 1);
+        let cell = &big.cells()[0];
+        let cfg = &cell.config;
+        assert_eq!(cfg.n_total(), 1_000_000);
+        assert_eq!(cfg.provisioning, Provisioning::OnDemand);
+        assert_eq!(cfg.defense_cfg.retention, UploadRetention::Quantized);
+        // One round, cohort of exactly 512.
+        assert_eq!((cfg.sampling * cfg.n_total() as f64).ceil() as usize, 512);
+        assert_eq!(dpbfl::simulation::round_cohort(cfg, 0).len(), 512);
+
+        let smoke = get("scale/smoke").unwrap();
+        assert_eq!(smoke.n_cells(), 2);
+        let cells = smoke.cells();
+        assert_eq!(cells[0].axis("sampling"), Some("0.001"));
+        assert_eq!(dpbfl::simulation::round_cohort(&cells[0].config, 0).len(), 100);
+        assert_eq!(dpbfl::simulation::round_cohort(&cells[1].config, 0).len(), 200);
     }
 
     #[test]

@@ -262,15 +262,17 @@ pub fn write_reports(spec: &ScenarioSpec, outcome: &GridOutcome) -> Result<(), S
 }
 
 /// ε actually bought by a cell's (q, T, σ, δ), via the RDP accountant;
-/// infinite for non-private runs.
+/// infinite for non-private runs. Client subsampling compounds with the
+/// batch rate (amplification by subsampling): a cell run at `sampling < 1`
+/// reports the correspondingly tighter ε.
 pub fn achieved_epsilon(record: &CellRecord) -> f64 {
     let cfg = &record.config;
     let s = &record.summary;
     if s.delta <= 0.0 || s.sigma <= 0.0 {
         return f64::INFINITY;
     }
-    let q = cfg.dp.batch_size as f64 / cfg.per_worker as f64;
-    dpbfl_dp::achieved_epsilon(q, s.iterations as u64, s.sigma, s.delta)
+    let q_batch = cfg.dp.batch_size as f64 / cfg.per_worker as f64;
+    dpbfl_dp::amplified_epsilon(cfg.sampling, q_batch, s.iterations as u64, s.sigma, s.delta)
 }
 
 fn achieved_epsilon_label(record: &CellRecord) -> String {
@@ -576,6 +578,18 @@ mod tests {
         for row in text.lines().skip(1) {
             assert!(row.ends_with(",,"), "{row}");
         }
+    }
+
+    #[test]
+    fn sampled_cells_report_the_amplified_epsilon() {
+        let (_, mut records) = fake_records();
+        records[0].summary.delta = 1e-5;
+        records[0].summary.sigma = 4.0;
+        let full = achieved_epsilon(&records[0]);
+        records[0].config.sampling = 0.25;
+        let amplified = achieved_epsilon(&records[0]);
+        assert!(full.is_finite() && amplified.is_finite());
+        assert!(amplified < full, "subsampling must tighten ε: {amplified} vs {full}");
     }
 
     #[test]

@@ -15,12 +15,15 @@
 //!   the sort-free [`ks::KsGaussianScreen`] that decides most uploads in one
 //!   `O(d)` pass (decision-equivalent to the sorted test by contract).
 //! * [`moments`] — streaming moments (seed aggregation, "A little" attack).
+//! * [`sampling`] — seeded without-replacement subset draws (per-round client
+//!   cohorts).
 
 pub mod chi_squared;
 pub mod kolmogorov;
 pub mod ks;
 pub mod moments;
 pub mod normal;
+pub mod sampling;
 pub mod special;
 
 pub use chi_squared::ChiSquared;
@@ -30,3 +33,4 @@ pub use ks::{
 };
 pub use moments::RunningMoments;
 pub use normal::{fill_gaussian, gaussian_vector, Normal};
+pub use sampling::sample_without_replacement;

@@ -13,6 +13,8 @@
 //! * [`matmul`] — blocked GEMM and matrix–vector kernels used by dense layers.
 //! * [`conv`] — direct 2-D valid convolution, forward and both backward passes.
 //! * [`pool`] — adaptive average pooling, forward and backward.
+//! * [`quant`] — lossy `i16` linear quantization for retained uploads (the
+//!   streaming defense's extreme-tail memory mode).
 //!
 //! Gradients and activations are `f32` (matching the PyTorch defaults used by
 //! the paper); accumulations that are numerically delicate (norms, dot products
@@ -22,6 +24,7 @@ pub mod conv;
 pub mod error;
 pub mod matmul;
 pub mod pool;
+pub mod quant;
 pub mod shape;
 pub mod tensor;
 pub mod vecops;
