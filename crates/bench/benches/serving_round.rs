@@ -1,0 +1,83 @@
+//! Served-round throughput — the full `serving/loopback_smoke` cell driven
+//! over a loopback TCP socket (`BoundServer` + two `run_client` threads)
+//! vs the same cell through the in-process transport.
+//!
+//! Before any timing, the bench **asserts** the serving determinism
+//! contract: the served run's `RunSummary` must serialize byte-identically
+//! to the in-process run's. Criterion's `--test` smoke mode runs this body
+//! in CI, so the wire path cannot silently drift from the reference.
+//!
+//! The printed figures are the `ServingReport` numbers `dpbfl-server
+//! --bench-out` writes to `BENCH_serving.json`: p50/p99 round latency and
+//! rounds/sec over the loopback.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpbfl::prelude::*;
+use dpbfl_harness::registry;
+
+/// One full served run: bind an ephemeral loopback port, spawn one client
+/// thread per worker set, drive every round, join the clients.
+fn serve_once(cfg: &SimulationConfig) -> (RunResult, ServingReport) {
+    let server = BoundServer::bind("tcp://127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    let workers = data_member_indices(cfg);
+    let split = workers.len() / 2;
+    let halves: Vec<Vec<usize>> = vec![
+        workers[..split].iter().map(|&w| w as usize).collect(),
+        workers[split..].iter().map(|&w| w as usize).collect(),
+    ];
+    let clients: Vec<_> = halves
+        .into_iter()
+        .map(|ws| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                run_client(&addr, &ws, &ClientOptions::default()).expect("client run")
+            })
+        })
+        .collect();
+    let out = server.serve(cfg, &RoundPolicy::default()).expect("serve");
+    for client in clients {
+        client.join().expect("client thread");
+    }
+    out
+}
+
+fn summary_json(result: &RunResult) -> String {
+    serde_json::to_string(&result.summary()).expect("summary serializes")
+}
+
+fn bench_serving_round(c: &mut Criterion) {
+    let cfg =
+        registry::get("serving/loopback_smoke").expect("registered").cells()[0].config.clone();
+
+    // Parity guard (run once, before timing): the acceptance criterion of
+    // the transport refactor, exercised over a real socket.
+    let in_process = dpbfl::simulation::run(&cfg);
+    let (served, report) = serve_once(&cfg);
+    assert_eq!(
+        summary_json(&served),
+        summary_json(&in_process),
+        "TCP loopback serving diverged from the in-process transport"
+    );
+    assert_eq!(report.dropped_uploads, 0, "loopback run dropped uploads");
+    println!(
+        "serving_round: {} rounds, p50 {:.2} ms, p99 {:.2} ms, {:.1} rounds/sec \
+         (loopback TCP, {} clients)",
+        report.rounds,
+        report.p50_round_ms,
+        report.p99_round_ms,
+        report.rounds_per_sec,
+        report.clients
+    );
+
+    let mut group = c.benchmark_group("serving_round");
+    group.sample_size(10);
+    group.bench_function("in_process", |b| {
+        b.iter(|| std::hint::black_box(dpbfl::simulation::run(&cfg)))
+    });
+    group.bench_function("tcp_loopback", |b| b.iter(|| std::hint::black_box(serve_once(&cfg))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving_round);
+criterion_main!(benches);

@@ -24,8 +24,11 @@
 //! `O(d)` envelope on the empirical CDF then decides clearly-accepted and
 //! clearly-rejected uploads without sorting, with a mid-scan early exit once
 //! the lower bound alone exceeds the critical statistic. Only uploads whose
-//! envelope straddles the critical band fall back to the exact sorted test —
-//! run through a reused per-task sort buffer ([`KsScratch`]).
+//! envelope straddles the critical band fall back to the exact test — and
+//! even that fallback is sort-light: it counting-sorts from the histogram
+//! the fused pass already built (`KsGaussianScreen::exact_from_counts`,
+//! bit-identical to the comparison-sorted reference), run through reused
+//! per-task buffers ([`KsScratch`]).
 //!
 //! The public contract is **decision equivalence, not statistic
 //! equivalence**: for every upload, `check` returns exactly the same
@@ -36,7 +39,7 @@
 //! hammered by `crates/stats/tests/proptest_ks_fastpath.rs`, the unit tests
 //! below, and a simulation-level byte-identity test.
 
-use dpbfl_stats::ks::{ks_test_gaussian, ks_test_gaussian_with, KsGaussianScreen, KsScreenVerdict};
+use dpbfl_stats::ks::{ks_test_gaussian, KsGaussianScreen, KsScreenVerdict};
 use dpbfl_tensor::vecops;
 
 pub use dpbfl_stats::ks::KsScratch;
@@ -134,8 +137,10 @@ impl FirstStage {
             KsScreenVerdict::Reject => true,
             KsScreenVerdict::Accept => false,
             KsScreenVerdict::Borderline => {
-                ks_test_gaussian_with(upload, 0.0, self.noise_std, &mut scratch.sorted)
-                    .rejects_at(self.ks_significance)
+                // The histogram built above is exactly what the counting-sort
+                // exact test needs; its KsResult is bit-identical to the
+                // comparison-sorted `ks_test_gaussian_with`.
+                self.screen.exact_from_counts(upload, scratch).rejects_at(self.ks_significance)
             }
         };
         if rejected {

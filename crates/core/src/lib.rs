@@ -36,10 +36,12 @@
 //! | [`simulation`] | the experiment loop (Reference Accuracy = no attack + no defense) |
 //! | [`tuning`] | Theorem 1 / Eq. 4 learning-rate transfer |
 //!
-//! This crate sits sixth in the workspace's linear 7-crate dependency
+//! This crate sits seventh in the workspace's linear 9-crate dependency
 //! chain; `docs/ARCHITECTURE.md` (repo root) describes that chain, the
 //! `prepare() → run_prepared()` split, the determinism contract every
-//! parallel section obeys, and the two-stage defense data flow end to end.
+//! parallel section obeys, the two-stage defense data flow end to end,
+//! and the [`round::Transport`] layer ([`serving`] puts it on real
+//! sockets).
 //!
 //! ## Quick start
 //!
@@ -61,7 +63,9 @@ pub mod attack;
 pub mod baseline;
 pub mod config;
 pub mod first_stage;
+pub mod round;
 pub mod second_stage;
+pub mod serving;
 pub mod simulation;
 pub mod tuning;
 pub mod worker;
@@ -74,10 +78,15 @@ pub mod prelude {
         DefenseConfig, DpSgdConfig, MomentumReset, StepNormalization, UploadRetention,
     };
     pub use crate::first_stage::{FirstStage, FirstStageVerdict, KsScratch};
+    pub use crate::round::{Collected, InProcessTransport, Retained, Transport};
     pub use crate::second_stage::{ScoringRule, SecondStage, WeightScheme};
+    pub use crate::serving::{
+        data_member_indices, run_client, BoundServer, ClientOptions, RoundPolicy, ServeAddr,
+        ServingReport,
+    };
     pub use crate::simulation::{
-        prepare, run, run_prepared, DefenseKind, EvalPoint, ModelKind, PreparedRun, Provisioning,
-        RunResult, RunSummary, SimulationConfig, WorkerProtocol,
+        prepare, run, run_prepared, run_with_transport, DefenseKind, EvalPoint, ModelKind,
+        PreparedRun, Provisioning, RunResult, RunSummary, SimulationConfig, WorkerProtocol,
     };
     pub use crate::worker::DpWorker;
     pub use dpbfl_data::SyntheticSpec;

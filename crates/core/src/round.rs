@@ -1,0 +1,752 @@
+//! Round orchestration: the server-side round loop, decoupled from how
+//! uploads travel.
+//!
+//! The (crate-private) `orchestrate` loop owns everything the server does
+//! per round — cohort
+//! selection, attack crafting, defense dispatch, the model update, periodic
+//! evaluation — and talks to data-holding clients *exclusively* through the
+//! [`Transport`] trait: broadcast the model to the round's members, collect
+//! their uploads (already folded through the caller-supplied closure), and
+//! publish the final summary.
+//!
+//! Two implementations exist:
+//!
+//! * [`InProcessTransport`] — the in-memory path every simulation run uses.
+//!   It owns the worker pools and reproduces the PR-6 streaming fold exactly:
+//!   contiguous cohort shards (one per rayon thread), one [`KsScratch`] per
+//!   shard, sequential folding within a shard, results concatenated in shard
+//!   order. Bit-identical at any thread count.
+//! * `TcpTransport` (in [`crate::serving`]) — the wire path behind
+//!   `dpbfl-server`/`dpbfl-client`, speaking the `dpbfl-transport` frame
+//!   protocol over TCP or Unix-domain sockets.
+//!
+//! ## Determinism under dropouts
+//!
+//! The fold passed to [`Transport::round_trip`] is a *pure function* of the
+//! upload bits (plus fixed per-round server state), so a transport may fold
+//! uploads in any arrival order as long as it returns the collected slots in
+//! member order. A member that misses the round's deadline (or disconnects)
+//! yields [`Collected::Dropped`]; the orchestrator maps it to the same state
+//! a first-stage rejection produces — a zero contribution, counted in the
+//! existing rejection stats — so the accepted set alone determines the run,
+//! bit-for-bit, regardless of timing.
+
+use crate::attack::{craft_uploads, AttackContext, AttackSpec};
+use crate::config::{DpSgdConfig, StepNormalization, UploadRetention};
+use crate::first_stage::{FirstStage, KsScratch};
+use crate::second_stage::{ScoringRule, SecondStage};
+use crate::simulation::{
+    round_cohort, worker_seed, DefenseKind, DefenseStats, EvalPoint, Provisioning, RunSummary,
+    SimulationConfig, WorkerProtocol,
+};
+use crate::worker::DpWorker;
+use dpbfl_data::{flip_labels, Dataset};
+use dpbfl_nn::{accuracy, CrossEntropyLoss, Sequential};
+use dpbfl_stats::gaussian_vector;
+use dpbfl_tensor::quant::QuantizedVec;
+use dpbfl_tensor::vecops;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// What the server keeps of one member's round trip.
+#[derive(Debug)]
+pub enum Collected {
+    /// The raw upload, materialized (reference pipeline / non-folding runs).
+    Upload(Vec<f32>),
+    /// The upload already folded through the two-stage streaming pipeline:
+    /// its second-stage score and what was retained for the update.
+    Scored(f64, Retained),
+    /// The member never delivered: deadline missed, connection lost, or the
+    /// client vanished. Treated exactly like a first-stage rejection.
+    Dropped,
+}
+
+/// What the streaming fold keeps of one upload after filtering and scoring.
+#[derive(Debug)]
+pub enum Retained {
+    /// Zeroed by the first stage: contributes literal `+0.0` to every score
+    /// and nothing to the update, so no bytes are kept.
+    Rejected,
+    /// Stage-1 survivor, kept verbatim (bit-identical path).
+    Exact(Vec<f32>),
+    /// Stage-1 survivor, re-encoded as scale + `i16` codes (lossy memory
+    /// mode, [`UploadRetention::Quantized`]).
+    Quantized(QuantizedVec),
+}
+
+/// The per-upload fold a transport applies as uploads arrive.
+///
+/// A pure function of the upload bits (plus fixed per-round server state
+/// captured by the closure): same upload, same scratch contents in, same
+/// [`Collected`] out — which is what lets a transport fold in arrival order
+/// and still return a deterministic result, as long as the returned slots
+/// are in member order. `Sync` because [`InProcessTransport`] folds shards
+/// in parallel.
+pub type UploadFold<'a> = dyn Fn(Vec<f32>, &mut KsScratch) -> Collected + Sync + 'a;
+
+/// How the round loop talks to data-holding clients.
+///
+/// One call per round: broadcast `params` to `members`, collect their
+/// uploads, fold each through `fold`, and return the collected slots **in
+/// member order** (one per member — late or missing members yield
+/// [`Collected::Dropped`], never a shorter vector). `members` are global
+/// worker indices, sorted ascending; `round` is the 0-based round index.
+pub trait Transport {
+    /// Runs one round trip: broadcast → collect → fold.
+    fn round_trip(
+        &mut self,
+        round: usize,
+        members: &[usize],
+        params: &[f32],
+        fold: &UploadFold<'_>,
+    ) -> Vec<Collected>;
+
+    /// Publishes the finished run's summary to the clients (no-op by
+    /// default; the wire transport sends `RunComplete`).
+    fn publish_summary(&mut self, _summary: &RunSummary) {}
+}
+
+/// The in-memory transport: owns the worker pools and steps them under
+/// rayon, reproducing the PR-6 sharded streaming fold bit-for-bit.
+///
+/// Sharding recipe (the determinism-critical part): members are split at
+/// `n_honest` into the two pools, and each pool's slice is folded as
+/// contiguous chunks of `len.div_ceil(threads).max(1)` members — one fresh
+/// [`KsScratch`] per chunk, sequential within a chunk, chunk results
+/// concatenated in order. Verdicts and scores are pure functions of the
+/// upload bits, so the merge is independent of thread count.
+pub struct InProcessTransport<'a> {
+    cfg: &'a SimulationConfig,
+    dp: DpSgdConfig,
+    /// Long-lived honest workers (pooled provisioning; empty on-demand).
+    honest: Vec<DpWorker>,
+    /// Long-lived label-flipped workers (pooled + poisoning attacks only).
+    poisoned: Vec<DpWorker>,
+    /// Architecture template for on-demand worker construction.
+    template: Sequential,
+}
+
+impl<'a> InProcessTransport<'a> {
+    /// Builds the worker pools exactly as the pre-refactor round loop did:
+    /// the model template from the init stream `seed + 0x4d0de1`, honest
+    /// workers over the first `n_honest` partitions, then label-flipped
+    /// workers when the attack trains on poisoned data. `dp` must be the
+    /// σ-resolved worker config (see [`crate::simulation::resolve_sigma`]).
+    pub fn new(
+        cfg: &'a SimulationConfig,
+        prep: &crate::simulation::PreparedRun,
+        dp: &DpSgdConfig,
+    ) -> Self {
+        let template = init_model(cfg);
+        let pooled = cfg.provisioning == Provisioning::Pooled;
+        let (train, parts) = (&prep.train, &prep.parts);
+        let honest: Vec<DpWorker> = if pooled {
+            (0..cfg.n_honest).map(|i| data_worker(cfg, train, parts, dp, &template, i)).collect()
+        } else {
+            Vec::new()
+        };
+        let poisoned: Vec<DpWorker> = if pooled && cfg.attack.needs_poisoned_workers() {
+            (cfg.n_honest..cfg.n_honest + cfg.n_byzantine)
+                .map(|i| data_worker(cfg, train, parts, dp, &template, i))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        InProcessTransport { cfg, dp: dp.clone(), honest, poisoned, template }
+    }
+}
+
+/// The model template every worker clones: built from the init stream
+/// `seed + 0x4d0de1`, bit-identical to the server's initial model.
+pub(crate) fn init_model(cfg: &SimulationConfig) -> Sequential {
+    let mut init_rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0x4d0de1));
+    cfg.model.build(&mut init_rng, &cfg.dataset)
+}
+
+/// Builds the long-lived worker of global index `index` from the pooled
+/// training partition: honest below `n_honest`, label-flipped above. The
+/// single construction site shared by [`InProcessTransport`] and the remote
+/// client — both sides build bit-identical workers from `(cfg, prep)`.
+pub(crate) fn data_worker(
+    cfg: &SimulationConfig,
+    train: &Dataset,
+    parts: &[Vec<usize>],
+    dp: &DpSgdConfig,
+    template: &Sequential,
+    index: usize,
+) -> DpWorker {
+    let mut data = train.subset(&parts[index]);
+    if index >= cfg.n_honest {
+        flip_labels(&mut data);
+    }
+    DpWorker::new(template.clone(), data, dp.clone(), worker_seed(cfg.seed, index))
+}
+
+impl Transport for InProcessTransport<'_> {
+    fn round_trip(
+        &mut self,
+        round: usize,
+        members: &[usize],
+        params: &[f32],
+        fold: &UploadFold<'_>,
+    ) -> Vec<Collected> {
+        let InProcessTransport { cfg, dp, honest, poisoned, template } = self;
+        let split = members.partition_point(|&i| i < cfg.n_honest);
+        let (members_honest, members_byz) = members.split_at(split);
+        let mut out = pool_fold(cfg, dp, template, honest, members_honest, 0, round, params, fold);
+        out.extend(pool_fold(
+            cfg,
+            dp,
+            template,
+            poisoned,
+            members_byz,
+            cfg.n_honest,
+            round,
+            params,
+            fold,
+        ));
+        out
+    }
+}
+
+/// Folds one pool's cohort slice under rayon: the sharding recipe described
+/// on [`InProcessTransport`], identical for the pooled and on-demand cases.
+#[allow(clippy::too_many_arguments)]
+fn pool_fold(
+    cfg: &SimulationConfig,
+    dp: &DpSgdConfig,
+    template: &Sequential,
+    pool: &mut [DpWorker],
+    members: &[usize],
+    base: usize,
+    round: usize,
+    params: &[f32],
+    fold: &UploadFold<'_>,
+) -> Vec<Collected> {
+    let shard = members.len().div_ceil(rayon::current_num_threads().max(1)).max(1);
+    let nested: Vec<Vec<Collected>> = if cfg.provisioning == Provisioning::Pooled {
+        let mut refs = cohort_refs(pool, members, base);
+        let shards: Vec<&mut [&mut DpWorker]> = refs.chunks_mut(shard).collect();
+        shards
+            .into_par_iter()
+            .map(|shard| {
+                let mut scratch = KsScratch::new();
+                shard
+                    .iter_mut()
+                    .map(|w| {
+                        let upload = protocol_step(w, params, cfg.protocol);
+                        fold(upload, &mut scratch)
+                    })
+                    .collect()
+            })
+            .collect()
+    } else {
+        let shards: Vec<&[usize]> = members.chunks(shard).collect();
+        shards
+            .into_par_iter()
+            .map(|shard| {
+                let mut scratch = KsScratch::new();
+                shard
+                    .iter()
+                    .map(|&i| {
+                        let mut w =
+                            on_demand_worker(cfg, template, dp, i, round, i >= cfg.n_honest);
+                        let upload = protocol_step(&mut w, params, cfg.protocol);
+                        fold(upload, &mut scratch)
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+    nested.into_iter().flatten().collect()
+}
+
+/// Runs the full round loop against `transport`; returns the accuracy
+/// trajectory and the defense bookkeeping.
+///
+/// `dp` is the σ-resolved worker config and `lr` the tuned learning rate
+/// (both produced by [`crate::simulation::run_with_transport`]); `defense` /
+/// `fltrust_state` hold the server-side defense state matching
+/// `cfg.defense`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn orchestrate(
+    cfg: &SimulationConfig,
+    dp: &DpSgdConfig,
+    lr: f64,
+    test: &Dataset,
+    server_model: &mut Sequential,
+    params: &mut [f32],
+    defense: &mut Option<TwoStageState>,
+    fltrust_state: &mut Option<(Dataset, Sequential, Vec<f32>)>,
+    transport: &mut dyn Transport,
+) -> (Vec<EvalPoint>, DefenseStats) {
+    let d = params.len();
+    let needs_poisoned = cfg.attack.needs_poisoned_workers();
+    let iterations = cfg.iterations();
+    let eval_every = if cfg.eval_every > 0 {
+        cfg.eval_every
+    } else {
+        (cfg.per_worker / cfg.dp.batch_size).max(1) // once per epoch
+    };
+    let mut history = Vec::new();
+    let mut stats = DefenseStats::default();
+    let mut attack_rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0xa77ac4));
+
+    for t in 0..iterations {
+        // The round's participants: drawn sequentially, before any parallel
+        // work. `split` partitions the sorted cohort into honest ([..split])
+        // and Byzantine ([split..]) members.
+        let cohort = round_cohort(cfg, t);
+        let split = cohort.partition_point(|&i| i < cfg.n_honest);
+        let (cohort_honest, cohort_byz) = cohort.split_at(split);
+
+        // Data-holding members the transport must reach this round: the
+        // honest cohort, plus the Byzantine cohort when the attack trains on
+        // poisoned local data (label-flip). Attacks crafted server-side by
+        // the omniscient adversary never touch the transport.
+        let data_members: &[usize] = if needs_poisoned { &cohort } else { cohort_honest };
+
+        // The production two-stage path folds over the upload stream: one
+        // upload in flight per thread, only stage-1 survivors retained.
+        // Attacks that read the whole benign cohort at once (OptLMP, "a
+        // little", inner-product, adaptive) force the materialized reference
+        // path below.
+        let streaming = cfg.defense == DefenseKind::TwoStage
+            && cfg.defense_cfg.streaming_fold
+            && matches!(
+                cfg.attack,
+                AttackSpec::None | AttackSpec::Gaussian | AttackSpec::LabelFlip
+            );
+
+        if streaming {
+            let state = defense.as_mut().expect("two-stage state always built");
+            // Server's clean gradient, hoisted ahead of the fold so every
+            // upload can be scored the moment it survives the first stage —
+            // bit-safe because its computation is RNG-free and reads only
+            // `params`, which no worker mutates.
+            let g_s_norm = state.begin_round(cfg, params);
+            let first = &state.first;
+            let grad = &state.grad_buf;
+            let fold = |upload: Vec<f32>, scratch: &mut KsScratch| {
+                let (score, retained) = fold_upload(first, cfg, upload, scratch, grad, g_s_norm);
+                Collected::Scored(score, retained)
+            };
+            let collected = transport.round_trip(t, data_members, params, &fold);
+            debug_assert_eq!(collected.len(), data_members.len());
+            let mut folds: Vec<(f64, Retained)> = collected
+                .into_iter()
+                .map(|c| match c {
+                    Collected::Scored(score, retained) => (score, retained),
+                    // Late/missing uploads join the rejected set: the same
+                    // +0.0 score and zero update contribution a first-stage
+                    // rejection produces.
+                    Collected::Dropped => (0.0, Retained::Rejected),
+                    Collected::Upload(_) => unreachable!("streaming fold returns scored slots"),
+                })
+                .collect();
+
+            // Byzantine cohort members the transport did not cover.
+            match &cfg.attack {
+                AttackSpec::None => {
+                    // `craft_uploads` produces nothing for `None`, so a
+                    // non-empty Byzantine cohort can't fill its upload slots;
+                    // the materialized pipeline panics on the count mismatch
+                    // and the streaming fold preserves that contract.
+                    assert!(cohort_byz.is_empty(), "upload count changed mid-training");
+                }
+                AttackSpec::Gaussian => {
+                    // One draw–fold cycle per Byzantine slot, strictly
+                    // sequential from the single attack stream — the same
+                    // draws in the same order `craft_uploads` makes, and the
+                    // fold consumes no RNG, so interleaving is bit-safe.
+                    let mut scratch = KsScratch::new();
+                    for _ in cohort_byz {
+                        let upload = gaussian_vector(&mut attack_rng, dp.effective_noise_std(), d);
+                        folds.push(fold_upload(first, cfg, upload, &mut scratch, grad, g_s_norm));
+                    }
+                }
+                // Label-flip members were data members: already folded.
+                AttackSpec::LabelFlip => {}
+                other => unreachable!("attack {other:?} is not streamable (materialized path)"),
+            }
+            debug_assert_eq!(folds.len(), cohort.len());
+
+            let update = state.finish_streaming(cfg, &cohort, &folds, &mut stats, lr);
+            vecops::add_assign(params, &update);
+        } else {
+            // Materialized reference pipeline: collect the raw uploads.
+            let fold = |upload: Vec<f32>, _scratch: &mut KsScratch| Collected::Upload(upload);
+            let collected = transport.round_trip(t, data_members, params, &fold);
+            debug_assert_eq!(collected.len(), data_members.len());
+            let mut slots = collected.into_iter().map(|c| match c {
+                Collected::Upload(u) => u,
+                // A dropped member contributes the zero vector — exactly
+                // what a first-stage rejection would zero it to.
+                Collected::Dropped => vec![0.0f32; d],
+                Collected::Scored(..) => unreachable!("materialized fold returns raw uploads"),
+            });
+            let benign: Vec<Vec<f32>> = slots.by_ref().take(cohort_honest.len()).collect();
+            let poisoned_uploads: Vec<Vec<f32>> = slots.collect();
+
+            // The omniscient adversary crafts its uploads (one per Byzantine
+            // cohort member).
+            let ctx = AttackContext {
+                benign_uploads: &benign,
+                d,
+                n_byzantine: cohort_byz.len(),
+                noise_std: dp.effective_noise_std(),
+                round: t,
+                total_rounds: iterations,
+                poisoned_uploads: &poisoned_uploads,
+            };
+            let byzantine = craft_uploads(&cfg.attack, &ctx, &mut attack_rng);
+
+            let mut uploads = benign;
+            uploads.extend(byzantine);
+
+            // Server step.
+            match (&cfg.defense, defense.as_mut()) {
+                (DefenseKind::NoDefense, _) => {
+                    let refs: Vec<&[f32]> = uploads.iter().map(|u| u.as_slice()).collect();
+                    let g = vecops::mean(&refs).expect("at least one worker");
+                    vecops::axpy(-(lr as f32), &g, params);
+                }
+                (DefenseKind::Robust { rule }, _) => {
+                    let g = rule.aggregate(&uploads);
+                    vecops::axpy(-(lr as f32), &g, params);
+                }
+                (DefenseKind::TwoStage, Some(state)) => {
+                    let update = state.step(cfg, &cohort, &mut uploads, params, &mut stats, lr);
+                    vecops::add_assign(params, &update);
+                }
+                (DefenseKind::TwoStage, None) => unreachable!("two-stage state always built"),
+                (DefenseKind::FlTrust, _) => {
+                    let (aux, model, grad_buf) =
+                        fltrust_state.as_mut().expect("fltrust state always built");
+                    model.set_params(params);
+                    let loss_fn = CrossEntropyLoss;
+                    // Trust gradient in one batched forward/backward: the aux
+                    // dataset's features are already the packed matrix.
+                    model.batch_gradient_packed(&loss_fn, &aux.features, &aux.labels, grad_buf);
+                    let refs: Vec<&[f32]> = uploads.iter().map(|u| u.as_slice()).collect();
+                    let g = crate::aggregator_ext::fltrust(&refs, grad_buf);
+                    vecops::axpy(-(lr as f32), &g, params);
+                }
+            }
+        }
+
+        // Periodic evaluation.
+        if (t + 1) % eval_every == 0 || t + 1 == iterations {
+            server_model.set_params(params);
+            let acc = accuracy(server_model, &test.features, &test.labels);
+            history.push(EvalPoint {
+                iteration: t + 1,
+                epoch: (t + 1) as f64 * cfg.dp.batch_size as f64 / cfg.per_worker as f64,
+                accuracy: acc,
+            });
+        }
+    }
+
+    (history, stats)
+}
+
+/// The two-stage defense's mutable state.
+pub(crate) struct TwoStageState {
+    pub(crate) first: FirstStage,
+    pub(crate) second: SecondStage,
+    pub(crate) aux: Dataset,
+    pub(crate) server_model: Sequential,
+    pub(crate) grad_buf: Vec<f32>,
+}
+
+impl TwoStageState {
+    /// Runs Algorithms 2 + 3 for one round over the materialized cohort
+    /// upload matrix; returns the (already lr-scaled) parameter update.
+    ///
+    /// `uploads[k]` is the upload of global worker `cohort[k]`; at full
+    /// participation the cohort is the identity and this is exactly the
+    /// pre-sampling pipeline.
+    fn step(
+        &mut self,
+        cfg: &SimulationConfig,
+        cohort: &[usize],
+        uploads: &mut [Vec<f32>],
+        params: &[f32],
+        stats: &mut DefenseStats,
+        lr: f64,
+    ) -> Vec<f32> {
+        // First stage: test-and-zero every upload. The per-upload checks fan
+        // out under rayon as one contiguous chunk per thread; each chunk owns
+        // one `KsScratch` (histogram + sort buffer) reused across its
+        // uploads. `FirstStage` is stateless per upload and the scratch is
+        // fully rewritten per check, so verdicts are independent of chunking,
+        // evaluation order and thread count; flattening the per-chunk verdict
+        // vectors in chunk order restores upload order exactly. The ablation
+        // flags can disable the stage entirely or force the always-sort
+        // reference path (decision-equivalent by contract).
+        let verdicts: Vec<bool> = if !cfg.defense_cfg.first_stage_enabled {
+            vec![true; uploads.len()]
+        } else if !cfg.defense_cfg.ks_fast_path {
+            let first = &self.first;
+            uploads.par_iter_mut().map(|u| first.filter_reference(u).is_accepted()).collect()
+        } else {
+            let first = &self.first;
+            let chunk = uploads.len().div_ceil(rayon::current_num_threads().max(1)).max(1);
+            let chunks: Vec<&mut [Vec<f32>]> = uploads.chunks_mut(chunk).collect();
+            let nested: Vec<Vec<bool>> = chunks
+                .into_par_iter()
+                .map(|chunk| {
+                    let mut scratch = KsScratch::new();
+                    chunk
+                        .iter_mut()
+                        .map(|u| first.filter_with(u, &mut scratch).is_accepted())
+                        .collect()
+                })
+                .collect();
+            nested.into_iter().flatten().collect()
+        };
+        for (k, &ok) in verdicts.iter().enumerate() {
+            if !ok {
+                if cohort[k] < cfg.n_honest {
+                    stats.first_stage_rejected_honest += 1;
+                } else {
+                    stats.first_stage_rejected_byzantine += 1;
+                }
+            }
+        }
+
+        // Server's clean gradient from auxiliary data (Algorithm 3 line 4),
+        // as one batched forward/backward over the aux dataset's already
+        // packed feature matrix — no per-round packing, no per-example
+        // dispatch.
+        self.server_model.set_params(params);
+        let loss_fn = CrossEntropyLoss;
+        self.server_model.batch_gradient_packed(
+            &loss_fn,
+            &self.aux.features,
+            &self.aux.labels,
+            &mut self.grad_buf,
+        );
+
+        // Second stage: score, threshold, accumulate, select.
+        let selection = self.second.select_for(cohort, uploads, &self.grad_buf);
+        stats.total_selected += selection.selected.len() as u64;
+        stats.byzantine_selected +=
+            selection.selected.iter().filter(|&&i| i >= cfg.n_honest).count() as u64;
+
+        // Model update: w ← w − η·(1/n)·Σ_{g∈G} g (Algorithm 1 line 14).
+        // `n` is the round's participant count — at full participation the
+        // total worker count, as the paper writes it.
+        let denom = match cfg.defense_cfg.step_normalization {
+            StepNormalization::TotalWorkers => cohort.len() as f64,
+            StepNormalization::SelectedCount => selection.selected.len().max(1) as f64,
+        };
+        let d = params.len();
+        let mut update = vec![0.0f64; d];
+        for &i in &selection.selected {
+            let w = selection.weights[i];
+            let k = cohort.binary_search(&i).expect("selected index is in the cohort");
+            for (u, &g) in update.iter_mut().zip(&uploads[k]) {
+                *u += w * g as f64;
+            }
+        }
+        let coef = -lr / denom;
+        update.into_iter().map(|u| (u * coef) as f32).collect()
+    }
+
+    /// Computes the round's server gradient from the auxiliary data
+    /// (Algorithm 3 line 4) into `grad_buf`; returns its L2 norm when the
+    /// cosine scoring rule needs it (0.0 otherwise).
+    fn begin_round(&mut self, cfg: &SimulationConfig, params: &[f32]) -> f64 {
+        self.server_model.set_params(params);
+        let loss_fn = CrossEntropyLoss;
+        self.server_model.batch_gradient_packed(
+            &loss_fn,
+            &self.aux.features,
+            &self.aux.labels,
+            &mut self.grad_buf,
+        );
+        if cfg.defense_cfg.scoring == ScoringRule::Cosine {
+            vecops::l2_norm(&self.grad_buf)
+        } else {
+            0.0
+        }
+    }
+
+    /// Completes a streamed round from the per-member fold results (in
+    /// cohort order): bookkeeping, second-stage selection on the precomputed
+    /// scores, and the (already lr-scaled) update from the retained
+    /// survivors.
+    ///
+    /// Bit-parity with [`TwoStageState::step`] under
+    /// [`UploadRetention::Exact`]:
+    /// * per-upload verdicts and scores are pure functions of the upload
+    ///   bits (`vecops::dot` accumulates in `f64` exactly like the
+    ///   materialized `matvec_rows_f64`), so the shard merge — concatenation
+    ///   in shard order — restores cohort order exactly and the result is
+    ///   independent of thread count;
+    /// * a rejected upload contributes the literal `+0.0` the materialized
+    ///   path gets from scoring the zeroed vector, and skipping it in the
+    ///   update sum skips only exact `+ w·0.0` terms (the `f64` accumulator
+    ///   never holds `-0.0`, so those additions are bit-exact no-ops).
+    fn finish_streaming(
+        &mut self,
+        cfg: &SimulationConfig,
+        cohort: &[usize],
+        folds: &[(f64, Retained)],
+        stats: &mut DefenseStats,
+        lr: f64,
+    ) -> Vec<f32> {
+        // Bookkeeping + full-length round scores, in cohort (= global index)
+        // order.
+        let mut round_scores = vec![0.0f64; self.second.accumulated_scores().len()];
+        for (&i, (score, r)) in cohort.iter().zip(folds) {
+            if matches!(r, Retained::Rejected) {
+                if i < cfg.n_honest {
+                    stats.first_stage_rejected_honest += 1;
+                } else {
+                    stats.first_stage_rejected_byzantine += 1;
+                }
+            }
+            round_scores[i] = *score;
+        }
+
+        // Second stage on the precomputed scores.
+        let selection = self.second.select_scored(cohort, round_scores);
+        stats.total_selected += selection.selected.len() as u64;
+        stats.byzantine_selected +=
+            selection.selected.iter().filter(|&&i| i >= cfg.n_honest).count() as u64;
+
+        // Model update from the retained survivors.
+        let denom = match cfg.defense_cfg.step_normalization {
+            StepNormalization::TotalWorkers => cohort.len() as f64,
+            StepNormalization::SelectedCount => selection.selected.len().max(1) as f64,
+        };
+        let mut update = vec![0.0f64; self.grad_buf.len()];
+        for &i in &selection.selected {
+            let w = selection.weights[i];
+            let k = cohort.binary_search(&i).expect("selected index is in the cohort");
+            match &folds[k].1 {
+                // The materialized sum adds `w·0.0` per coordinate here — a
+                // bit-exact no-op on the f64 accumulator.
+                Retained::Rejected => {}
+                Retained::Exact(g) => {
+                    for (u, &g) in update.iter_mut().zip(g) {
+                        *u += w * g as f64;
+                    }
+                }
+                Retained::Quantized(q) => {
+                    for (u, g) in update.iter_mut().zip(q.iter()) {
+                        *u += w * g as f64;
+                    }
+                }
+            }
+        }
+        let coef = -lr / denom;
+        update.into_iter().map(|u| (u * coef) as f32).collect()
+    }
+}
+
+/// One upload through the streaming fold: first-stage filter, second-stage
+/// score, retention. A pure function of the upload bits (plus the fixed
+/// server gradient), which is what makes the shard merge order-insensitive.
+pub(crate) fn fold_upload(
+    first: &FirstStage,
+    cfg: &SimulationConfig,
+    mut upload: Vec<f32>,
+    scratch: &mut KsScratch,
+    server_grad: &[f32],
+    server_grad_norm: f64,
+) -> (f64, Retained) {
+    let accepted = if !cfg.defense_cfg.first_stage_enabled {
+        true
+    } else if !cfg.defense_cfg.ks_fast_path {
+        first.filter_reference(&mut upload).is_accepted()
+    } else {
+        first.filter_with(&mut upload, scratch).is_accepted()
+    };
+    if !accepted {
+        // The materialized pipeline zeroes the upload and scores the zero
+        // vector: exactly +0.0. Drop the bytes, keep the literal.
+        return (0.0, Retained::Rejected);
+    }
+    let mut score = vecops::dot(&upload, server_grad);
+    if cfg.defense_cfg.scoring == ScoringRule::Cosine {
+        let na = vecops::l2_norm(&upload);
+        score = if na == 0.0 || server_grad_norm == 0.0 {
+            0.0
+        } else {
+            score / (na * server_grad_norm)
+        };
+    }
+    if !score.is_finite() {
+        score = 0.0;
+    }
+    let retained = match cfg.defense_cfg.retention {
+        UploadRetention::Exact => Retained::Exact(upload),
+        UploadRetention::Quantized => Retained::Quantized(QuantizedVec::encode(&upload)),
+    };
+    (score, retained)
+}
+
+/// One worker's protocol upload.
+pub(crate) fn protocol_step(
+    w: &mut DpWorker,
+    params: &[f32],
+    protocol: WorkerProtocol,
+) -> Vec<f32> {
+    match protocol {
+        // Plain is Algorithm 1 with σ = 0: the worker's noise multiplier is
+        // already zero for such runs.
+        WorkerProtocol::PaperDp | WorkerProtocol::Plain => w.local_step(params),
+        WorkerProtocol::ClippedDp { clip } => w.clipped_dp_step(params, clip),
+        WorkerProtocol::SignDp { .. } => {
+            unreachable!("sign-DP runs its own loop (run_sign_dp_simulation)")
+        }
+    }
+}
+
+/// Collects mutable references to the cohort's members of one worker pool.
+///
+/// `indices` are global worker indices, sorted ascending; `base` is the
+/// global index of `workers[0]` (0 for the honest pool, `n_honest` for the
+/// poisoned pool).
+fn cohort_refs<'a>(
+    workers: &'a mut [DpWorker],
+    indices: &[usize],
+    base: usize,
+) -> Vec<&'a mut DpWorker> {
+    let mut refs = Vec::with_capacity(indices.len());
+    let mut rest = workers;
+    let mut next = base;
+    for &i in indices {
+        let (_, tail) = rest.split_at_mut(i - next);
+        let (w, tail) = tail.split_first_mut().expect("cohort index within worker range");
+        refs.push(w);
+        rest = tail;
+        next = i + 1;
+    }
+    refs
+}
+
+/// Builds the ephemeral worker of client `index` for one round (on-demand
+/// provisioning). The client's local shard is a pure function of the master
+/// seed and its index — stable across rounds — while its per-round DP stream
+/// is `worker_seed(worker_seed(seed, index), round)`; momentum starts cold
+/// each participation.
+pub(crate) fn on_demand_worker(
+    cfg: &SimulationConfig,
+    model: &Sequential,
+    dp: &DpSgdConfig,
+    index: usize,
+    round: usize,
+    flip: bool,
+) -> DpWorker {
+    let data_seed = worker_seed(cfg.seed.wrapping_add(0xda7a), index);
+    let mut data = cfg.dataset.generate(cfg.per_worker, data_seed);
+    if flip {
+        flip_labels(&mut data);
+    }
+    DpWorker::new(model.clone(), data, dp.clone(), worker_seed(worker_seed(cfg.seed, index), round))
+}

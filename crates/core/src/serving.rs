@@ -1,0 +1,698 @@
+//! Serving: the federated round loop over real sockets.
+//!
+//! The server side ([`BoundServer`]) binds a TCP or Unix-domain listener,
+//! waits for clients to claim every data-holding worker index, then drives
+//! the exact same orchestration loop as an in-process run — uploads just
+//! arrive as `dpbfl-transport` frames instead of function returns. The
+//! client side ([`run_client`]) connects, claims its worker indices,
+//! receives the full run configuration in the server's `Welcome`, rebuilds
+//! its workers locally (bit-identical to the in-process pools by
+//! construction), and answers every `RoundBegin` with one `Upload` per
+//! claimed cohort member.
+//!
+//! ## Addresses
+//!
+//! Both endpoints accept two address forms:
+//!
+//! * `tcp://HOST:PORT` — e.g. `tcp://127.0.0.1:7171`; `PORT` 0 binds an
+//!   ephemeral port (query it with [`BoundServer::local_addr`]).
+//! * `unix://PATH` — a Unix-domain socket at `PATH` (removed and re-created
+//!   on bind).
+//!
+//! ## Determinism
+//!
+//! The wire carries raw little-endian `f32` words, so the bytes a client
+//! computes are the bytes the server folds. The fold is a pure function of
+//! the upload bits, applied in arrival order but *placed* by member index,
+//! so a zero-dropout serving run produces a `RunSummary` byte-identical to
+//! [`crate::simulation::run_prepared`] for the same master seed. A member
+//! missing the round deadline ([`RoundPolicy`]) yields
+//! [`Collected::Dropped`], which the orchestrator treats exactly like a
+//! first-stage rejection — the accepted set alone determines the result.
+
+use crate::round::{
+    data_worker, init_model, on_demand_worker, protocol_step, Collected, Transport, UploadFold,
+};
+use crate::simulation::{
+    data_worker_count, prepare, resolve_sigma, run_with_transport, Provisioning, RunResult,
+    RunSummary, SimulationConfig,
+};
+use crate::worker::DpWorker;
+use dpbfl_transport::frame::{read_handshake, write_handshake, DEFAULT_MAX_FRAME_LEN};
+use dpbfl_transport::Message;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
+
+/// Per-round serving policy: how long the server waits for uploads.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoundPolicy {
+    /// Upload deadline per round, in milliseconds from the `RoundBegin`
+    /// broadcast. Members whose uploads miss it are dropped for the round
+    /// (treated as first-stage rejections); stragglers' late uploads are
+    /// discarded on arrival.
+    pub deadline_ms: u64,
+}
+
+impl Default for RoundPolicy {
+    fn default() -> Self {
+        // Generous relative to any loopback round; real deployments tune it.
+        RoundPolicy { deadline_ms: 30_000 }
+    }
+}
+
+/// Wall-clock metrics of one serving run (the `BENCH_serving.json` payload).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServingReport {
+    /// Rounds driven.
+    pub rounds: usize,
+    /// Client connections that served the run.
+    pub clients: usize,
+    /// Median round latency (broadcast → last upload folded), milliseconds.
+    pub p50_round_ms: f64,
+    /// 99th-percentile round latency, milliseconds.
+    pub p99_round_ms: f64,
+    /// Round throughput over the whole run, rounds per second.
+    pub rounds_per_sec: f64,
+    /// Uploads that missed their round deadline (dropped members).
+    pub dropped_uploads: u64,
+}
+
+/// A parsed serving address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeAddr {
+    /// `tcp://HOST:PORT`.
+    Tcp(String),
+    /// `unix://PATH`.
+    Unix(PathBuf),
+}
+
+impl ServeAddr {
+    /// Parses `tcp://HOST:PORT` or `unix://PATH`.
+    pub fn parse(s: &str) -> Result<ServeAddr, String> {
+        if let Some(rest) = s.strip_prefix("tcp://") {
+            if rest.is_empty() {
+                return Err("tcp:// address needs HOST:PORT".into());
+            }
+            Ok(ServeAddr::Tcp(rest.to_string()))
+        } else if let Some(rest) = s.strip_prefix("unix://") {
+            if rest.is_empty() {
+                return Err("unix:// address needs a path".into());
+            }
+            Ok(ServeAddr::Unix(PathBuf::from(rest)))
+        } else {
+            Err(format!("unrecognized address {s:?} (want tcp://HOST:PORT or unix://PATH)"))
+        }
+    }
+}
+
+/// One bidirectional client connection (TCP or Unix-domain).
+enum Stream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Stream {
+    fn try_clone(&self) -> std::io::Result<Stream> {
+        match self {
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+impl Listener {
+    fn accept(&self) -> std::io::Result<Stream> {
+        match self {
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nodelay(true).ok();
+                Ok(Stream::Tcp(s))
+            }
+            Listener::Unix(l) => {
+                let (s, _) = l.accept()?;
+                Ok(Stream::Unix(s))
+            }
+        }
+    }
+}
+
+/// A bound, not-yet-serving listener. Splitting bind from serve lets
+/// callers (tests, the CI smoke job) learn the ephemeral port before any
+/// client connects.
+pub struct BoundServer {
+    listener: Listener,
+    local: String,
+}
+
+impl BoundServer {
+    /// Binds the listener. For `tcp://HOST:0` an ephemeral port is chosen;
+    /// for `unix://PATH` a stale socket file at `PATH` is removed first.
+    pub fn bind(addr: &str) -> Result<BoundServer, String> {
+        match ServeAddr::parse(addr)? {
+            ServeAddr::Tcp(hostport) => {
+                let l = TcpListener::bind(&hostport)
+                    .map_err(|e| format!("bind tcp://{hostport}: {e}"))?;
+                let local = l
+                    .local_addr()
+                    .map(|a| format!("tcp://{a}"))
+                    .unwrap_or_else(|_| format!("tcp://{hostport}"));
+                Ok(BoundServer { listener: Listener::Tcp(l), local })
+            }
+            ServeAddr::Unix(path) => {
+                let _ = std::fs::remove_file(&path);
+                let l = UnixListener::bind(&path)
+                    .map_err(|e| format!("bind unix://{}: {e}", path.display()))?;
+                Ok(BoundServer {
+                    listener: Listener::Unix(l),
+                    local: format!("unix://{}", path.display()),
+                })
+            }
+        }
+    }
+
+    /// The bound address in serveable form (`tcp://IP:PORT` with the real
+    /// port, or `unix://PATH`).
+    pub fn local_addr(&self) -> &str {
+        &self.local
+    }
+
+    /// Accepts clients until every data-holding worker index is claimed,
+    /// then drives the full run over the wire and returns the result plus
+    /// the serving metrics.
+    ///
+    /// Client admission: each connection handshakes, sends `ClientHello`
+    /// with the global worker indices it serves, and receives `Welcome`
+    /// carrying `cfg` as canonical JSON. Claims must be in range, never
+    /// overlap, and together cover the full data-worker set before training
+    /// starts.
+    pub fn serve(
+        self,
+        cfg: &SimulationConfig,
+        policy: &RoundPolicy,
+    ) -> Result<(RunResult, ServingReport), String> {
+        let required = data_member_indices(cfg);
+        let config_json = serde_json::to_string(cfg).map_err(|e| e.to_string())?;
+        let (tx, rx) = channel();
+        let mut conns: Vec<ClientConn> = Vec::new();
+        let mut claimed: BTreeMap<u32, usize> = BTreeMap::new();
+        while claimed.len() < required.len() {
+            let mut stream =
+                self.listener.accept().map_err(|e| format!("accept on {}: {e}", self.local))?;
+            match admit(&mut stream, &required, &claimed, &config_json) {
+                Ok(workers) => {
+                    for &w in &workers {
+                        claimed.insert(w, conns.len());
+                    }
+                    spawn_reader(&stream, tx.clone())?;
+                    conns.push(ClientConn { stream, workers });
+                }
+                // A bad hello (unknown/duplicate indices, wrong protocol
+                // version) rejects that connection, not the whole run.
+                Err(e) => eprintln!("rejected client: {e}"),
+            }
+        }
+        let clients = conns.len();
+
+        let prep = prepare(cfg);
+        let mut transport = TcpTransport {
+            conns,
+            rx,
+            policy: policy.clone(),
+            scratch: crate::first_stage::KsScratch::new(),
+            round_ms: Vec::new(),
+            dropped: 0,
+            started: Instant::now(),
+        };
+        let result = run_with_transport(cfg, &prep, &mut transport);
+        let wall = transport.started.elapsed().as_secs_f64();
+        let report = ServingReport {
+            rounds: transport.round_ms.len(),
+            clients,
+            p50_round_ms: percentile(&transport.round_ms, 50.0),
+            p99_round_ms: percentile(&transport.round_ms, 99.0),
+            rounds_per_sec: if wall > 0.0 { transport.round_ms.len() as f64 / wall } else { 0.0 },
+            dropped_uploads: transport.dropped,
+        };
+        Ok((result, report))
+    }
+}
+
+/// The data-holding worker indices clients must claim: the honest workers,
+/// plus the Byzantine ones when the attack trains on poisoned local data.
+/// (Server-side crafted attacks — Gaussian and the omniscient family — never
+/// touch the wire.)
+pub fn data_member_indices(cfg: &SimulationConfig) -> Vec<u32> {
+    let poisoned = if cfg.attack.needs_poisoned_workers() { cfg.n_byzantine } else { 0 };
+    (0..cfg.n_honest + poisoned).map(|i| i as u32).collect()
+}
+
+/// Handshakes one inbound connection and validates its worker claim.
+fn admit(
+    stream: &mut Stream,
+    required: &[u32],
+    claimed: &BTreeMap<u32, usize>,
+    config_json: &str,
+) -> Result<Vec<u32>, String> {
+    write_handshake(stream).map_err(|e| format!("handshake write: {e}"))?;
+    read_handshake(stream).map_err(|e| format!("handshake read: {e}"))?;
+    let hello = Message::read_from(stream, DEFAULT_MAX_FRAME_LEN)
+        .map_err(|e| format!("client hello: {e}"))?;
+    let Message::ClientHello { workers } = hello else {
+        return Err("first client message was not ClientHello".into());
+    };
+    if workers.is_empty() {
+        return Err("client claimed no workers".into());
+    }
+    for &w in &workers {
+        if !required.contains(&w) {
+            return Err(format!("worker {w} is not a data-holding index of this run"));
+        }
+        if claimed.contains_key(&w) {
+            return Err(format!("worker {w} is already claimed by another client"));
+        }
+    }
+    Message::Welcome { config_json: config_json.to_string() }
+        .write_to(stream)
+        .map_err(|e| format!("welcome: {e}"))?;
+    stream.flush().ok();
+    Ok(workers)
+}
+
+/// Spawns the connection's reader thread: every decoded `Upload` goes to the
+/// collector channel; any decode error or EOF ends the thread (the member
+/// simply stops delivering and drops out of subsequent rounds).
+fn spawn_reader(stream: &Stream, tx: Sender<(u32, u32, Vec<f32>)>) -> Result<(), String> {
+    let mut read_half = stream.try_clone().map_err(|e| format!("clone stream: {e}"))?;
+    std::thread::spawn(move || loop {
+        match Message::read_from(&mut read_half, DEFAULT_MAX_FRAME_LEN) {
+            Ok(Message::Upload { round, worker, data }) => {
+                if tx.send((worker, round, data)).is_err() {
+                    return;
+                }
+            }
+            Ok(_) => {}
+            Err(_) => return,
+        }
+    });
+    Ok(())
+}
+
+struct ClientConn {
+    stream: Stream,
+    workers: Vec<u32>,
+}
+
+/// The wire transport: broadcasts `RoundBegin` to every connection serving a
+/// cohort member, folds uploads in arrival order (placing results by member
+/// index), and drops members that miss the round deadline.
+struct TcpTransport {
+    conns: Vec<ClientConn>,
+    rx: Receiver<(u32, u32, Vec<f32>)>,
+    policy: RoundPolicy,
+    scratch: crate::first_stage::KsScratch,
+    round_ms: Vec<f64>,
+    dropped: u64,
+    started: Instant,
+}
+
+impl Transport for TcpTransport {
+    fn round_trip(
+        &mut self,
+        round: usize,
+        members: &[usize],
+        params: &[f32],
+        fold: &UploadFold<'_>,
+    ) -> Vec<Collected> {
+        let start = Instant::now();
+        let deadline = start + Duration::from_millis(self.policy.deadline_ms);
+        for conn in &mut self.conns {
+            let mine: Vec<u32> =
+                members.iter().map(|&m| m as u32).filter(|m| conn.workers.contains(m)).collect();
+            if mine.is_empty() {
+                continue;
+            }
+            let msg = Message::RoundBegin {
+                round: round as u32,
+                deadline_ms: self.policy.deadline_ms,
+                members: mine,
+                params: params.to_vec(),
+            };
+            // A dead connection just means its members miss the deadline.
+            if msg.write_to(&mut conn.stream).is_ok() {
+                conn.stream.flush().ok();
+            }
+        }
+
+        let mut slots: Vec<Option<Collected>> = members.iter().map(|_| None).collect();
+        let mut got = 0usize;
+        while got < members.len() {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match self.rx.recv_timeout(deadline - now) {
+                Ok((worker, r, data)) if r as usize == round => {
+                    if let Ok(pos) = members.binary_search(&(worker as usize)) {
+                        if slots[pos].is_none() {
+                            slots[pos] = Some(fold(data, &mut self.scratch));
+                            got += 1;
+                        }
+                    }
+                }
+                // Stale round (straggler past its deadline): discard.
+                Ok(_) => {}
+                Err(RecvTimeoutError::Timeout) => break,
+                // Every reader thread is gone; nothing more will arrive.
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        self.dropped += (members.len() - got) as u64;
+        self.round_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        slots.into_iter().map(|s| s.unwrap_or(Collected::Dropped)).collect()
+    }
+
+    fn publish_summary(&mut self, summary: &RunSummary) {
+        let json = match serde_json::to_string(summary) {
+            Ok(j) => j,
+            Err(_) => return,
+        };
+        for conn in &mut self.conns {
+            let msg = Message::RunComplete { summary_json: json.clone() };
+            if msg.write_to(&mut conn.stream).is_ok() {
+                conn.stream.flush().ok();
+            }
+        }
+    }
+}
+
+/// Nearest-rank percentile of `samples` (p in [0, 100]); 0.0 when empty.
+fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Options for one client process.
+#[derive(Debug, Clone, Default)]
+pub struct ClientOptions {
+    /// Rounds to silently skip uploading for (fault injection in tests and
+    /// the dropout smoke: the worker still steps, the upload is withheld).
+    pub skip_rounds: Vec<usize>,
+}
+
+/// Runs one serving client to completion: connect, claim `workers`, rebuild
+/// them from the `Welcome` config, answer every `RoundBegin`, and return the
+/// server's final `RunSummary` JSON.
+///
+/// The client rebuilds its workers through the *same* construction path as
+/// the in-process pools ([`prepare`] + the shared worker builder), so the
+/// upload bytes it sends are exactly the bytes an in-process run would fold.
+pub fn run_client(addr: &str, workers: &[usize], opts: &ClientOptions) -> Result<String, String> {
+    let mut stream = match ServeAddr::parse(addr)? {
+        ServeAddr::Tcp(hostport) => {
+            let s = TcpStream::connect(&hostport)
+                .map_err(|e| format!("connect tcp://{hostport}: {e}"))?;
+            s.set_nodelay(true).ok();
+            Stream::Tcp(s)
+        }
+        ServeAddr::Unix(path) => Stream::Unix(
+            UnixStream::connect(&path)
+                .map_err(|e| format!("connect unix://{}: {e}", path.display()))?,
+        ),
+    };
+    write_handshake(&mut stream).map_err(|e| format!("handshake write: {e}"))?;
+    read_handshake(&mut stream).map_err(|e| format!("handshake read: {e}"))?;
+    Message::ClientHello { workers: workers.iter().map(|&w| w as u32).collect() }
+        .write_to(&mut stream)
+        .map_err(|e| format!("hello: {e}"))?;
+    stream.flush().ok();
+    let welcome = Message::read_from(&mut stream, DEFAULT_MAX_FRAME_LEN)
+        .map_err(|e| format!("welcome: {e}"))?;
+    let Message::Welcome { config_json } = welcome else {
+        return Err("server's first message was not Welcome".into());
+    };
+    let cfg: SimulationConfig =
+        serde_json::from_str(&config_json).map_err(|e| format!("config: {e}"))?;
+
+    // Rebuild this client's workers exactly as the in-process pools would.
+    let (sigma, _) = resolve_sigma(&cfg);
+    let mut dp = cfg.dp.clone();
+    dp.noise_multiplier = sigma;
+    let template = init_model(&cfg);
+    let pooled = cfg.provisioning == Provisioning::Pooled;
+    let mut pool: BTreeMap<usize, DpWorker> = BTreeMap::new();
+    if pooled {
+        let prep = prepare(&cfg);
+        let n_data = data_worker_count(&cfg);
+        for &w in workers {
+            if w >= n_data {
+                return Err(format!("worker {w} is not a data-holding index of this config"));
+            }
+            pool.insert(w, data_worker(&cfg, &prep.train, &prep.parts, &dp, &template, w));
+        }
+    }
+
+    loop {
+        let msg = Message::read_from(&mut stream, DEFAULT_MAX_FRAME_LEN)
+            .map_err(|e| format!("round read: {e}"))?;
+        match msg {
+            Message::RoundBegin { round, members, params, .. } => {
+                let skip = opts.skip_rounds.contains(&(round as usize));
+                for &m in &members {
+                    let upload = if pooled {
+                        let w = pool
+                            .get_mut(&(m as usize))
+                            .ok_or_else(|| format!("server sent unclaimed worker {m}"))?;
+                        protocol_step(w, &params, cfg.protocol)
+                    } else {
+                        let mut w = on_demand_worker(
+                            &cfg,
+                            &template,
+                            &dp,
+                            m as usize,
+                            round as usize,
+                            (m as usize) >= cfg.n_honest,
+                        );
+                        protocol_step(&mut w, &params, cfg.protocol)
+                    };
+                    if skip {
+                        continue;
+                    }
+                    Message::Upload { round, worker: m, data: upload }
+                        .write_to(&mut stream)
+                        .map_err(|e| format!("upload: {e}"))?;
+                }
+                stream.flush().ok();
+            }
+            Message::RunComplete { summary_json } => return Ok(summary_json),
+            other => return Err(format!("unexpected server message: {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::AttackSpec;
+    use crate::simulation::{run, DefenseKind, ModelKind};
+    use dpbfl_data::SyntheticSpec;
+
+    fn serving_cfg() -> SimulationConfig {
+        let mut cfg =
+            SimulationConfig::quick(SyntheticSpec::mnist_like(), ModelKind::SmallMlp { hidden: 8 });
+        cfg.per_worker = 128;
+        cfg.test_count = 200;
+        cfg.n_honest = 4;
+        cfg.n_byzantine = 2;
+        cfg.epochs = 1.0;
+        cfg.epsilon = None;
+        cfg.dp.noise_multiplier = 0.5;
+        cfg.attack = AttackSpec::LabelFlip;
+        cfg.defense = DefenseKind::TwoStage;
+        cfg
+    }
+
+    /// Binds, spawns one client thread per worker set, serves, and joins.
+    fn serve_loopback(
+        cfg: &SimulationConfig,
+        addr: &str,
+        policy: &RoundPolicy,
+        client_workers: Vec<Vec<usize>>,
+        opts_per_client: Vec<ClientOptions>,
+    ) -> (RunResult, ServingReport, Vec<String>) {
+        let server = BoundServer::bind(addr).expect("bind");
+        let local = server.local_addr().to_string();
+        let handles: Vec<_> = client_workers
+            .into_iter()
+            .zip(opts_per_client)
+            .map(|(ws, opts)| {
+                let local = local.clone();
+                std::thread::spawn(move || run_client(&local, &ws, &opts))
+            })
+            .collect();
+        let (result, report) = server.serve(cfg, policy).expect("serve");
+        let summaries = handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread").expect("client"))
+            .collect();
+        (result, report, summaries)
+    }
+
+    fn summary_json(r: &RunResult) -> String {
+        serde_json::to_string(&r.summary()).expect("summary serializes")
+    }
+
+    #[test]
+    fn tcp_loopback_run_is_byte_identical_to_in_process() {
+        // The tentpole acceptance criterion: zero dropouts + generous
+        // deadline over TCP produces a RunSummary byte-identical to the
+        // in-process transport for the same master seed.
+        let cfg = serving_cfg();
+        let expected = summary_json(&run(&cfg));
+        let (result, report, client_summaries) = serve_loopback(
+            &cfg,
+            "tcp://127.0.0.1:0",
+            &RoundPolicy::default(),
+            vec![vec![0, 1, 2], vec![3, 4, 5]],
+            vec![ClientOptions::default(), ClientOptions::default()],
+        );
+        assert_eq!(summary_json(&result), expected, "tcp serving ≠ in-process");
+        assert_eq!(report.dropped_uploads, 0);
+        assert_eq!(report.rounds, cfg.iterations());
+        assert_eq!(report.clients, 2);
+        assert!(report.p50_round_ms <= report.p99_round_ms);
+        // Every client received the same summary the server computed.
+        for s in client_summaries {
+            assert_eq!(s, expected, "published summary differs");
+        }
+    }
+
+    #[test]
+    fn unix_socket_run_is_byte_identical_to_in_process() {
+        let cfg = serving_cfg();
+        let expected = summary_json(&run(&cfg));
+        let path = std::env::temp_dir().join(format!("dpbfl-uds-test-{}.sock", std::process::id()));
+        let addr = format!("unix://{}", path.display());
+        let (result, report, _) = serve_loopback(
+            &cfg,
+            &addr,
+            &RoundPolicy::default(),
+            vec![vec![0, 1], vec![2, 3], vec![4, 5]],
+            vec![ClientOptions::default(); 3],
+        );
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(summary_json(&result), expected, "uds serving ≠ in-process");
+        assert_eq!(report.dropped_uploads, 0);
+        assert_eq!(report.clients, 3);
+    }
+
+    #[test]
+    fn materialized_pipeline_serves_identically() {
+        // NoDefense + no attack exercises the materialized round_trip
+        // (Collected::Upload) over the wire.
+        let mut cfg = serving_cfg();
+        cfg.n_byzantine = 0;
+        cfg.attack = AttackSpec::None;
+        cfg.defense = DefenseKind::NoDefense;
+        let expected = summary_json(&run(&cfg));
+        let (result, report, _) = serve_loopback(
+            &cfg,
+            "tcp://127.0.0.1:0",
+            &RoundPolicy::default(),
+            vec![vec![0, 1, 2, 3]],
+            vec![ClientOptions::default()],
+        );
+        assert_eq!(summary_json(&result), expected, "materialized serving ≠ in-process");
+        assert_eq!(report.dropped_uploads, 0);
+    }
+
+    #[test]
+    fn withheld_uploads_drop_deterministically() {
+        // A client that withholds round 2's uploads: the affected members
+        // are treated as first-stage rejections, the run completes, and two
+        // such runs are byte-identical (the accepted set, not arrival
+        // timing, determines the result).
+        let cfg = serving_cfg();
+        let policy = RoundPolicy { deadline_ms: 2_000 };
+        let skip = ClientOptions { skip_rounds: vec![2] };
+        let workers = vec![vec![0, 1, 2], vec![3, 4, 5]];
+        let opts = vec![ClientOptions::default(), skip];
+        let (a, report_a, _) =
+            serve_loopback(&cfg, "tcp://127.0.0.1:0", &policy, workers.clone(), opts.clone());
+        let (b, _, _) = serve_loopback(&cfg, "tcp://127.0.0.1:0", &policy, workers, opts);
+        assert_eq!(summary_json(&a), summary_json(&b), "dropout run not deterministic");
+        // Round 2 lost workers 3 (honest) and 4, 5 (byzantine).
+        assert_eq!(report_a.dropped_uploads, 3);
+        let full = run(&cfg);
+        assert!(
+            a.defense_stats.first_stage_rejected_honest
+                >= full.defense_stats.first_stage_rejected_honest,
+            "dropped honest upload must join the rejected set"
+        );
+        assert_ne!(summary_json(&a), summary_json(&full), "drops must change the accepted set");
+    }
+
+    #[test]
+    fn addresses_parse_and_reject() {
+        assert_eq!(
+            ServeAddr::parse("tcp://127.0.0.1:7171").unwrap(),
+            ServeAddr::Tcp("127.0.0.1:7171".into())
+        );
+        assert_eq!(
+            ServeAddr::parse("unix:///tmp/x.sock").unwrap(),
+            ServeAddr::Unix(PathBuf::from("/tmp/x.sock"))
+        );
+        assert!(ServeAddr::parse("http://x").is_err());
+        assert!(ServeAddr::parse("tcp://").is_err());
+        assert!(ServeAddr::parse("unix://").is_err());
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+    }
+}

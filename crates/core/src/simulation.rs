@@ -9,22 +9,17 @@
 //! zero Byzantine workers and [`DefenseKind::NoDefense`].
 
 use crate::aggregator::AggregatorKind;
-use crate::attack::{craft_uploads, AttackContext, AttackSpec};
-use crate::config::{DefenseConfig, DpSgdConfig, StepNormalization, UploadRetention};
-use crate::first_stage::{FirstStage, KsScratch};
-use crate::second_stage::{ScoringRule, SecondStage};
-use crate::worker::DpWorker;
-use dpbfl_data::{
-    flip_labels, iid_partition, non_iid_partition, sample_auxiliary, Dataset, SyntheticSpec,
-};
+use crate::attack::AttackSpec;
+use crate::config::{DefenseConfig, DpSgdConfig};
+use crate::first_stage::FirstStage;
+use crate::round::{InProcessTransport, Transport, TwoStageState};
+use crate::second_stage::SecondStage;
+use dpbfl_data::{iid_partition, non_iid_partition, sample_auxiliary, Dataset, SyntheticSpec};
 use dpbfl_dp::{paper_delta, RdpAccountant};
-use dpbfl_nn::{accuracy, zoo, CrossEntropyLoss, Sequential};
-use dpbfl_stats::{gaussian_vector, sample_without_replacement};
-use dpbfl_tensor::quant::QuantizedVec;
-use dpbfl_tensor::vecops;
+use dpbfl_nn::{zoo, Sequential};
+use dpbfl_stats::sample_without_replacement;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Which network architecture the run trains.
@@ -348,20 +343,20 @@ pub struct RunSummary {
 #[derive(Debug, Clone)]
 pub struct PreparedRun {
     /// Pooled training data for all data-holding workers.
-    train: Dataset,
+    pub(crate) train: Dataset,
     /// Per-worker index partition of `train`.
-    parts: Vec<Vec<usize>>,
+    pub(crate) parts: Vec<Vec<usize>>,
     /// Held-out test set.
-    test: Dataset,
+    pub(crate) test: Dataset,
     /// Validation pool the server draws auxiliary samples from.
-    validation: Dataset,
+    pub(crate) validation: Dataset,
     /// Master RNG state *after* the partition draws; [`run_prepared`]
     /// resumes this stream (auxiliary sampling draws from it), so hoisting
     /// the preparation does not shift any downstream RNG stream.
-    master: StdRng,
+    pub(crate) master: StdRng,
     /// Number of workers holding data (`n_honest`, plus `n_byzantine` when
     /// the attack needs poisoned local datasets).
-    n_data_workers: usize,
+    pub(crate) n_data_workers: usize,
 }
 
 impl PreparedRun {
@@ -399,7 +394,7 @@ struct PrepKey {
 /// Number of workers whose local datasets come from the pooled training set
 /// (0 under on-demand provisioning: every sampled client synthesizes its own
 /// shard inside the round loop).
-fn data_worker_count(cfg: &SimulationConfig) -> usize {
+pub(crate) fn data_worker_count(cfg: &SimulationConfig) -> usize {
     match cfg.provisioning {
         Provisioning::OnDemand => 0,
         Provisioning::Pooled => {
@@ -481,6 +476,39 @@ pub fn run_prepared(cfg: &SimulationConfig, prep: &PreparedRun) -> RunResult {
         "sampling fraction must be in (0, 1], got {}",
         cfg.sampling
     );
+    let (sigma, _) = resolve_sigma(cfg);
+    let mut dp = cfg.dp.clone();
+    dp.noise_multiplier = sigma;
+    let mut transport = InProcessTransport::new(cfg, prep, &dp);
+    run_with_transport(cfg, prep, &mut transport)
+}
+
+/// Runs one full experiment on already-prepared data, delivering uploads
+/// through `transport`.
+///
+/// This is the serving entry point: `dpbfl-server` calls it with a
+/// `TcpTransport`, [`run_prepared`] with an [`InProcessTransport`]. The run
+/// is a pure function of `(cfg, prep)` plus the transport's accepted set —
+/// a transport that delivers every member's upload produces a result
+/// bit-identical to the in-process path, regardless of arrival order, and
+/// late/missing uploads are treated exactly like first-stage rejections.
+///
+/// The sign-DP substrate owns its own loop and cannot be served; such
+/// configs must go through [`run`] / [`run_prepared`].
+pub fn run_with_transport(
+    cfg: &SimulationConfig,
+    prep: &PreparedRun,
+    transport: &mut dyn Transport,
+) -> RunResult {
+    assert!(
+        !matches!(cfg.protocol, WorkerProtocol::SignDp { .. }),
+        "sign-DP runs its own loop (run_sign_dp_simulation) and cannot be served over a transport"
+    );
+    assert!(
+        cfg.sampling.is_finite() && cfg.sampling > 0.0 && cfg.sampling <= 1.0,
+        "sampling fraction must be in (0, 1], got {}",
+        cfg.sampling
+    );
 
     // ---- privacy calibration -------------------------------------------
     let (sigma, delta) = resolve_sigma(cfg);
@@ -489,48 +517,17 @@ pub fn run_prepared(cfg: &SimulationConfig, prep: &PreparedRun) -> RunResult {
     let lr = if sigma > 0.0 { cfg.base_lr * cfg.base_sigma / sigma } else { cfg.base_lr };
 
     // ---- data (prepared) -------------------------------------------------
-    let needs_poisoned = cfg.attack.needs_poisoned_workers();
-    let pooled = cfg.provisioning == Provisioning::Pooled;
     assert_eq!(data_worker_count(cfg), prep.n_data_workers, "prepared data does not match config");
-    let train = &prep.train;
-    let parts = &prep.parts;
     let test = &prep.test;
     let validation = &prep.validation;
     // Resume the master stream exactly where `prepare` left it.
     let mut master = prep.master.clone();
 
-    // ---- model and workers ----------------------------------------------
+    // ---- model ------------------------------------------------------------
     let mut init_rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0x4d0de1));
     let mut server_model = cfg.model.build(&mut init_rng, &cfg.dataset);
     let d = server_model.param_len();
     let mut params = server_model.params();
-
-    let mut honest: Vec<DpWorker> = if pooled {
-        (0..cfg.n_honest)
-            .map(|i| {
-                let data = train.subset(&parts[i]);
-                DpWorker::new(server_model.clone(), data, dp.clone(), worker_seed(cfg.seed, i))
-            })
-            .collect()
-    } else {
-        Vec::new()
-    };
-    let mut poisoned: Vec<DpWorker> = if pooled && needs_poisoned {
-        (0..cfg.n_byzantine)
-            .map(|j| {
-                let mut data = train.subset(&parts[cfg.n_honest + j]);
-                flip_labels(&mut data);
-                DpWorker::new(
-                    server_model.clone(),
-                    data,
-                    dp.clone(),
-                    worker_seed(cfg.seed, cfg.n_honest + j),
-                )
-            })
-            .collect()
-    } else {
-        Vec::new()
-    };
 
     // ---- defense state ----------------------------------------------------
     let n_total = cfg.n_total();
@@ -574,578 +571,23 @@ pub fn run_prepared(cfg: &SimulationConfig, prep: &PreparedRun) -> RunResult {
 
     // ---- training loop ----------------------------------------------------
     let iterations = cfg.iterations();
-    let eval_every = if cfg.eval_every > 0 {
-        cfg.eval_every
-    } else {
-        (cfg.per_worker / cfg.dp.batch_size).max(1) // once per epoch
-    };
-    let mut history = Vec::new();
-    let mut stats = DefenseStats::default();
-    let mut attack_rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0xa77ac4));
-
-    for t in 0..iterations {
-        // The round's participants: drawn sequentially, before any parallel
-        // work. `split` partitions the sorted cohort into honest ([..split])
-        // and Byzantine ([split..]) members.
-        let cohort = round_cohort(cfg, t);
-        let split = cohort.partition_point(|&i| i < cfg.n_honest);
-        let (cohort_honest, cohort_byz) = cohort.split_at(split);
-
-        // The production two-stage path folds over the upload stream: one
-        // upload in flight per thread, only stage-1 survivors retained.
-        // Attacks that read the whole benign cohort at once (OptLMP, "a
-        // little", inner-product, adaptive) force the materialized reference
-        // path below.
-        let streaming = cfg.defense == DefenseKind::TwoStage
-            && cfg.defense_cfg.streaming_fold
-            && matches!(
-                cfg.attack,
-                AttackSpec::None | AttackSpec::Gaussian | AttackSpec::LabelFlip
-            );
-
-        if streaming {
-            let state = defense.as_mut().expect("two-stage state always built");
-            let update = state.step_streaming(
-                cfg,
-                &cohort,
-                split,
-                &mut honest,
-                &mut poisoned,
-                &params,
-                &mut stats,
-                lr,
-                &dp,
-                &mut attack_rng,
-                t,
-            );
-            vecops::add_assign(&mut params, &update);
-        } else {
-            // Honest and poisoned cohort uploads, in parallel.
-            let benign = if pooled {
-                let mut refs = cohort_refs(&mut honest, cohort_honest, 0);
-                parallel_uploads(&mut refs, &params, cfg.protocol)
-            } else {
-                on_demand_uploads(cfg, &server_model, &dp, cohort_honest, t, &params)
-            };
-            let poisoned_uploads = if needs_poisoned {
-                if pooled {
-                    let mut refs = cohort_refs(&mut poisoned, cohort_byz, cfg.n_honest);
-                    parallel_uploads(&mut refs, &params, cfg.protocol)
-                } else {
-                    on_demand_uploads(cfg, &server_model, &dp, cohort_byz, t, &params)
-                }
-            } else {
-                Vec::new()
-            };
-
-            // The omniscient adversary crafts its uploads (one per Byzantine
-            // cohort member).
-            let ctx = AttackContext {
-                benign_uploads: &benign,
-                d,
-                n_byzantine: cohort_byz.len(),
-                noise_std: dp.effective_noise_std(),
-                round: t,
-                total_rounds: iterations,
-                poisoned_uploads: &poisoned_uploads,
-            };
-            let byzantine = craft_uploads(&cfg.attack, &ctx, &mut attack_rng);
-
-            let mut uploads = benign;
-            uploads.extend(byzantine);
-
-            // Server step.
-            match (&cfg.defense, defense.as_mut()) {
-                (DefenseKind::NoDefense, _) => {
-                    let refs: Vec<&[f32]> = uploads.iter().map(|u| u.as_slice()).collect();
-                    let g = vecops::mean(&refs).expect("at least one worker");
-                    vecops::axpy(-(lr as f32), &g, &mut params);
-                }
-                (DefenseKind::Robust { rule }, _) => {
-                    let g = rule.aggregate(&uploads);
-                    vecops::axpy(-(lr as f32), &g, &mut params);
-                }
-                (DefenseKind::TwoStage, Some(state)) => {
-                    let update = state.step(cfg, &cohort, &mut uploads, &params, &mut stats, lr);
-                    vecops::add_assign(&mut params, &update);
-                }
-                (DefenseKind::TwoStage, None) => unreachable!("two-stage state always built"),
-                (DefenseKind::FlTrust, _) => {
-                    let (aux, model, grad_buf) =
-                        fltrust_state.as_mut().expect("fltrust state always built");
-                    model.set_params(&params);
-                    let loss_fn = CrossEntropyLoss;
-                    // Trust gradient in one batched forward/backward: the aux
-                    // dataset's features are already the packed matrix.
-                    model.batch_gradient_packed(&loss_fn, &aux.features, &aux.labels, grad_buf);
-                    let refs: Vec<&[f32]> = uploads.iter().map(|u| u.as_slice()).collect();
-                    let g = crate::aggregator_ext::fltrust(&refs, grad_buf);
-                    vecops::axpy(-(lr as f32), &g, &mut params);
-                }
-            }
-        }
-
-        // Periodic evaluation.
-        if (t + 1) % eval_every == 0 || t + 1 == iterations {
-            server_model.set_params(&params);
-            let acc = accuracy(&mut server_model, &test.features, &test.labels);
-            history.push(EvalPoint {
-                iteration: t + 1,
-                epoch: (t + 1) as f64 * cfg.dp.batch_size as f64 / cfg.per_worker as f64,
-                accuracy: acc,
-            });
-        }
-    }
+    let (history, stats) = crate::round::orchestrate(
+        cfg,
+        &dp,
+        lr,
+        test,
+        &mut server_model,
+        &mut params,
+        &mut defense,
+        &mut fltrust_state,
+        transport,
+    );
 
     let final_accuracy = history.last().map(|p| p.accuracy).unwrap_or(0.0);
-    RunResult { final_accuracy, history, defense_stats: stats, sigma, lr, iterations, delta }
-}
-
-/// The two-stage defense's mutable state.
-struct TwoStageState {
-    first: FirstStage,
-    second: SecondStage,
-    aux: Dataset,
-    server_model: Sequential,
-    grad_buf: Vec<f32>,
-}
-
-/// What the streaming fold keeps of one upload after filtering and scoring.
-enum Retained {
-    /// Zeroed by the first stage: contributes literal `+0.0` to every score
-    /// and nothing to the update, so no bytes are kept.
-    Rejected,
-    /// Stage-1 survivor, kept verbatim (bit-identical path).
-    Exact(Vec<f32>),
-    /// Stage-1 survivor, re-encoded as scale + `i16` codes (lossy memory
-    /// mode, [`UploadRetention::Quantized`]).
-    Quantized(QuantizedVec),
-}
-
-impl TwoStageState {
-    /// Runs Algorithms 2 + 3 for one round over the materialized cohort
-    /// upload matrix; returns the (already lr-scaled) parameter update.
-    ///
-    /// `uploads[k]` is the upload of global worker `cohort[k]`; at full
-    /// participation the cohort is the identity and this is exactly the
-    /// pre-sampling pipeline.
-    fn step(
-        &mut self,
-        cfg: &SimulationConfig,
-        cohort: &[usize],
-        uploads: &mut [Vec<f32>],
-        params: &[f32],
-        stats: &mut DefenseStats,
-        lr: f64,
-    ) -> Vec<f32> {
-        // First stage: test-and-zero every upload. The per-upload checks fan
-        // out under rayon as one contiguous chunk per thread; each chunk owns
-        // one `KsScratch` (histogram + sort buffer) reused across its
-        // uploads. `FirstStage` is stateless per upload and the scratch is
-        // fully rewritten per check, so verdicts are independent of chunking,
-        // evaluation order and thread count; flattening the per-chunk verdict
-        // vectors in chunk order restores upload order exactly. The ablation
-        // flags can disable the stage entirely or force the always-sort
-        // reference path (decision-equivalent by contract).
-        let verdicts: Vec<bool> = if !cfg.defense_cfg.first_stage_enabled {
-            vec![true; uploads.len()]
-        } else if !cfg.defense_cfg.ks_fast_path {
-            let first = &self.first;
-            uploads.par_iter_mut().map(|u| first.filter_reference(u).is_accepted()).collect()
-        } else {
-            let first = &self.first;
-            let chunk = uploads.len().div_ceil(rayon::current_num_threads().max(1)).max(1);
-            let chunks: Vec<&mut [Vec<f32>]> = uploads.chunks_mut(chunk).collect();
-            let nested: Vec<Vec<bool>> = chunks
-                .into_par_iter()
-                .map(|chunk| {
-                    let mut scratch = KsScratch::new();
-                    chunk
-                        .iter_mut()
-                        .map(|u| first.filter_with(u, &mut scratch).is_accepted())
-                        .collect()
-                })
-                .collect();
-            nested.into_iter().flatten().collect()
-        };
-        for (k, &ok) in verdicts.iter().enumerate() {
-            if !ok {
-                if cohort[k] < cfg.n_honest {
-                    stats.first_stage_rejected_honest += 1;
-                } else {
-                    stats.first_stage_rejected_byzantine += 1;
-                }
-            }
-        }
-
-        // Server's clean gradient from auxiliary data (Algorithm 3 line 4),
-        // as one batched forward/backward over the aux dataset's already
-        // packed feature matrix — no per-round packing, no per-example
-        // dispatch.
-        self.server_model.set_params(params);
-        let loss_fn = CrossEntropyLoss;
-        self.server_model.batch_gradient_packed(
-            &loss_fn,
-            &self.aux.features,
-            &self.aux.labels,
-            &mut self.grad_buf,
-        );
-
-        // Second stage: score, threshold, accumulate, select.
-        let selection = self.second.select_for(cohort, uploads, &self.grad_buf);
-        stats.total_selected += selection.selected.len() as u64;
-        stats.byzantine_selected +=
-            selection.selected.iter().filter(|&&i| i >= cfg.n_honest).count() as u64;
-
-        // Model update: w ← w − η·(1/n)·Σ_{g∈G} g (Algorithm 1 line 14).
-        // `n` is the round's participant count — at full participation the
-        // total worker count, as the paper writes it.
-        let denom = match cfg.defense_cfg.step_normalization {
-            StepNormalization::TotalWorkers => cohort.len() as f64,
-            StepNormalization::SelectedCount => selection.selected.len().max(1) as f64,
-        };
-        let d = params.len();
-        let mut update = vec![0.0f64; d];
-        for &i in &selection.selected {
-            let w = selection.weights[i];
-            let k = cohort.binary_search(&i).expect("selected index is in the cohort");
-            for (u, &g) in update.iter_mut().zip(&uploads[k]) {
-                *u += w * g as f64;
-            }
-        }
-        let coef = -lr / denom;
-        update.into_iter().map(|u| (u * coef) as f32).collect()
-    }
-
-    /// The production streaming path: produce → filter → score → retain, one
-    /// upload in flight per thread, then select and update from what was
-    /// retained. Never materializes the `m×d` upload matrix for rejected
-    /// uploads; under [`UploadRetention::Quantized`] survivors are held at
-    /// half width too.
-    ///
-    /// Bit-parity with [`TwoStageState::step`] under
-    /// [`UploadRetention::Exact`]:
-    /// * the server gradient is hoisted ahead of upload production — bit-safe
-    ///   because its computation is RNG-free and reads only `params`, which
-    ///   no worker mutates;
-    /// * per-upload verdicts and scores are pure functions of the upload
-    ///   bits (`vecops::dot` accumulates in `f64` exactly like the
-    ///   materialized `matvec_rows_f64`), so the shard merge — concatenation
-    ///   in shard order — restores cohort order exactly and the result is
-    ///   independent of thread count;
-    /// * a rejected upload contributes the literal `+0.0` the materialized
-    ///   path gets from scoring the zeroed vector, and skipping it in the
-    ///   update sum skips only exact `+ w·0.0` terms (the `f64` accumulator
-    ///   never holds `-0.0`, so those additions are bit-exact no-ops).
-    #[allow(clippy::too_many_arguments)]
-    fn step_streaming(
-        &mut self,
-        cfg: &SimulationConfig,
-        cohort: &[usize],
-        split: usize,
-        honest: &mut [DpWorker],
-        poisoned: &mut [DpWorker],
-        params: &[f32],
-        stats: &mut DefenseStats,
-        lr: f64,
-        dp: &DpSgdConfig,
-        attack_rng: &mut StdRng,
-        round: usize,
-    ) -> Vec<f32> {
-        let (cohort_honest, cohort_byz) = cohort.split_at(split);
-        let d = params.len();
-        let pooled = cfg.provisioning == Provisioning::Pooled;
-
-        // Server's clean gradient from auxiliary data (Algorithm 3 line 4),
-        // hoisted ahead of the fold so every upload can be scored the moment
-        // it survives the first stage.
-        self.server_model.set_params(params);
-        let loss_fn = CrossEntropyLoss;
-        self.server_model.batch_gradient_packed(
-            &loss_fn,
-            &self.aux.features,
-            &self.aux.labels,
-            &mut self.grad_buf,
-        );
-        let g_s_norm = if cfg.defense_cfg.scoring == ScoringRule::Cosine {
-            vecops::l2_norm(&self.grad_buf)
-        } else {
-            0.0
-        };
-
-        let first = &self.first;
-        let grad = &self.grad_buf;
-        let model = &self.server_model;
-
-        // Honest cohort: sharded fold. Shards are contiguous cohort ranges
-        // (one per thread) processed sequentially within each shard — at most
-        // one upload in flight per thread.
-        let shard = cohort_honest.len().div_ceil(rayon::current_num_threads().max(1)).max(1);
-        let mut folds: Vec<(f64, Retained)> = if pooled {
-            let mut refs = cohort_refs(honest, cohort_honest, 0);
-            let shards: Vec<&mut [&mut DpWorker]> = refs.chunks_mut(shard).collect();
-            let nested: Vec<Vec<(f64, Retained)>> = shards
-                .into_par_iter()
-                .map(|shard| {
-                    let mut scratch = KsScratch::new();
-                    shard
-                        .iter_mut()
-                        .map(|w| {
-                            let upload = protocol_step(w, params, cfg.protocol);
-                            fold_upload(first, cfg, upload, &mut scratch, grad, g_s_norm)
-                        })
-                        .collect()
-                })
-                .collect();
-            nested.into_iter().flatten().collect()
-        } else {
-            let shards: Vec<&[usize]> = cohort_honest.chunks(shard).collect();
-            let nested: Vec<Vec<(f64, Retained)>> = shards
-                .into_par_iter()
-                .map(|shard| {
-                    let mut scratch = KsScratch::new();
-                    shard
-                        .iter()
-                        .map(|&i| {
-                            let mut w = on_demand_worker(cfg, model, dp, i, round, false);
-                            let upload = protocol_step(&mut w, params, cfg.protocol);
-                            fold_upload(first, cfg, upload, &mut scratch, grad, g_s_norm)
-                        })
-                        .collect()
-                })
-                .collect();
-            nested.into_iter().flatten().collect()
-        };
-
-        // Byzantine cohort: the streamable attacks.
-        match &cfg.attack {
-            AttackSpec::None => {
-                // `craft_uploads` produces nothing for `None`, so a non-empty
-                // Byzantine cohort can't fill its upload slots; the
-                // materialized pipeline panics on the count mismatch and the
-                // streaming fold preserves that contract.
-                assert!(cohort_byz.is_empty(), "upload count changed mid-training");
-            }
-            AttackSpec::Gaussian => {
-                // One draw–fold cycle per Byzantine slot, strictly sequential
-                // from the single attack stream — the same draws in the same
-                // order `craft_uploads` makes, and the fold consumes no RNG,
-                // so interleaving is bit-safe.
-                let mut scratch = KsScratch::new();
-                for _ in cohort_byz {
-                    let upload = gaussian_vector(attack_rng, dp.effective_noise_std(), d);
-                    folds.push(fold_upload(first, cfg, upload, &mut scratch, grad, g_s_norm));
-                }
-            }
-            AttackSpec::LabelFlip => {
-                // Poisoned-worker uploads pass through unchanged: same
-                // sharded fold as the honest cohort.
-                let shard = cohort_byz.len().div_ceil(rayon::current_num_threads().max(1)).max(1);
-                let nested: Vec<Vec<(f64, Retained)>> = if pooled {
-                    let mut refs = cohort_refs(poisoned, cohort_byz, cfg.n_honest);
-                    let shards: Vec<&mut [&mut DpWorker]> = refs.chunks_mut(shard).collect();
-                    shards
-                        .into_par_iter()
-                        .map(|shard| {
-                            let mut scratch = KsScratch::new();
-                            shard
-                                .iter_mut()
-                                .map(|w| {
-                                    let upload = protocol_step(w, params, cfg.protocol);
-                                    fold_upload(first, cfg, upload, &mut scratch, grad, g_s_norm)
-                                })
-                                .collect()
-                        })
-                        .collect()
-                } else {
-                    let shards: Vec<&[usize]> = cohort_byz.chunks(shard).collect();
-                    shards
-                        .into_par_iter()
-                        .map(|shard| {
-                            let mut scratch = KsScratch::new();
-                            shard
-                                .iter()
-                                .map(|&i| {
-                                    let mut w = on_demand_worker(cfg, model, dp, i, round, true);
-                                    let upload = protocol_step(&mut w, params, cfg.protocol);
-                                    fold_upload(first, cfg, upload, &mut scratch, grad, g_s_norm)
-                                })
-                                .collect()
-                        })
-                        .collect()
-                };
-                folds.extend(nested.into_iter().flatten());
-            }
-            other => unreachable!("attack {other:?} is not streamable (materialized path)"),
-        }
-        debug_assert_eq!(folds.len(), cohort.len());
-
-        // Bookkeeping + full-length round scores, in cohort (= global index)
-        // order.
-        let mut round_scores = vec![0.0f64; self.second.accumulated_scores().len()];
-        for (&i, (score, r)) in cohort.iter().zip(&folds) {
-            if matches!(r, Retained::Rejected) {
-                if i < cfg.n_honest {
-                    stats.first_stage_rejected_honest += 1;
-                } else {
-                    stats.first_stage_rejected_byzantine += 1;
-                }
-            }
-            round_scores[i] = *score;
-        }
-
-        // Second stage on the precomputed scores.
-        let selection = self.second.select_scored(cohort, round_scores);
-        stats.total_selected += selection.selected.len() as u64;
-        stats.byzantine_selected +=
-            selection.selected.iter().filter(|&&i| i >= cfg.n_honest).count() as u64;
-
-        // Model update from the retained survivors.
-        let denom = match cfg.defense_cfg.step_normalization {
-            StepNormalization::TotalWorkers => cohort.len() as f64,
-            StepNormalization::SelectedCount => selection.selected.len().max(1) as f64,
-        };
-        let mut update = vec![0.0f64; d];
-        for &i in &selection.selected {
-            let w = selection.weights[i];
-            let k = cohort.binary_search(&i).expect("selected index is in the cohort");
-            match &folds[k].1 {
-                // The materialized sum adds `w·0.0` per coordinate here — a
-                // bit-exact no-op on the f64 accumulator.
-                Retained::Rejected => {}
-                Retained::Exact(g) => {
-                    for (u, &g) in update.iter_mut().zip(g) {
-                        *u += w * g as f64;
-                    }
-                }
-                Retained::Quantized(q) => {
-                    for (u, g) in update.iter_mut().zip(q.iter()) {
-                        *u += w * g as f64;
-                    }
-                }
-            }
-        }
-        let coef = -lr / denom;
-        update.into_iter().map(|u| (u * coef) as f32).collect()
-    }
-}
-
-/// One upload through the streaming fold: first-stage filter, second-stage
-/// score, retention. A pure function of the upload bits (plus the fixed
-/// server gradient), which is what makes the shard merge order-insensitive.
-fn fold_upload(
-    first: &FirstStage,
-    cfg: &SimulationConfig,
-    mut upload: Vec<f32>,
-    scratch: &mut KsScratch,
-    server_grad: &[f32],
-    server_grad_norm: f64,
-) -> (f64, Retained) {
-    let accepted = if !cfg.defense_cfg.first_stage_enabled {
-        true
-    } else if !cfg.defense_cfg.ks_fast_path {
-        first.filter_reference(&mut upload).is_accepted()
-    } else {
-        first.filter_with(&mut upload, scratch).is_accepted()
-    };
-    if !accepted {
-        // The materialized pipeline zeroes the upload and scores the zero
-        // vector: exactly +0.0. Drop the bytes, keep the literal.
-        return (0.0, Retained::Rejected);
-    }
-    let mut score = vecops::dot(&upload, server_grad);
-    if cfg.defense_cfg.scoring == ScoringRule::Cosine {
-        let na = vecops::l2_norm(&upload);
-        score = if na == 0.0 || server_grad_norm == 0.0 {
-            0.0
-        } else {
-            score / (na * server_grad_norm)
-        };
-    }
-    if !score.is_finite() {
-        score = 0.0;
-    }
-    let retained = match cfg.defense_cfg.retention {
-        UploadRetention::Exact => Retained::Exact(upload),
-        UploadRetention::Quantized => Retained::Quantized(QuantizedVec::encode(&upload)),
-    };
-    (score, retained)
-}
-
-/// One worker's protocol upload.
-fn protocol_step(w: &mut DpWorker, params: &[f32], protocol: WorkerProtocol) -> Vec<f32> {
-    match protocol {
-        // Plain is Algorithm 1 with σ = 0: the worker's noise multiplier is
-        // already zero for such runs.
-        WorkerProtocol::PaperDp | WorkerProtocol::Plain => w.local_step(params),
-        WorkerProtocol::ClippedDp { clip } => w.clipped_dp_step(params, clip),
-        WorkerProtocol::SignDp { .. } => {
-            unreachable!("sign-DP runs its own loop (run_sign_dp_simulation)")
-        }
-    }
-}
-
-/// Collects mutable references to the cohort's members of one worker pool.
-///
-/// `indices` are global worker indices, sorted ascending; `base` is the
-/// global index of `workers[0]` (0 for the honest pool, `n_honest` for the
-/// poisoned pool).
-fn cohort_refs<'a>(
-    workers: &'a mut [DpWorker],
-    indices: &[usize],
-    base: usize,
-) -> Vec<&'a mut DpWorker> {
-    let mut refs = Vec::with_capacity(indices.len());
-    let mut rest = workers;
-    let mut next = base;
-    for &i in indices {
-        let (_, tail) = rest.split_at_mut(i - next);
-        let (w, tail) = tail.split_first_mut().expect("cohort index within worker range");
-        refs.push(w);
-        rest = tail;
-        next = i + 1;
-    }
-    refs
-}
-
-/// Builds the ephemeral worker of client `index` for one round (on-demand
-/// provisioning). The client's local shard is a pure function of the master
-/// seed and its index — stable across rounds — while its per-round DP stream
-/// is `worker_seed(worker_seed(seed, index), round)`; momentum starts cold
-/// each participation.
-fn on_demand_worker(
-    cfg: &SimulationConfig,
-    model: &Sequential,
-    dp: &DpSgdConfig,
-    index: usize,
-    round: usize,
-    flip: bool,
-) -> DpWorker {
-    let data_seed = worker_seed(cfg.seed.wrapping_add(0xda7a), index);
-    let mut data = cfg.dataset.generate(cfg.per_worker, data_seed);
-    if flip {
-        flip_labels(&mut data);
-    }
-    DpWorker::new(model.clone(), data, dp.clone(), worker_seed(worker_seed(cfg.seed, index), round))
-}
-
-/// Materialized-path uploads for an on-demand cohort slice (used when the
-/// attack forces the reference pipeline).
-fn on_demand_uploads(
-    cfg: &SimulationConfig,
-    model: &Sequential,
-    dp: &DpSgdConfig,
-    indices: &[usize],
-    round: usize,
-    params: &[f32],
-) -> Vec<Vec<f32>> {
-    indices
-        .par_iter()
-        .map(|&i| {
-            let mut w = on_demand_worker(cfg, model, dp, i, round, i >= cfg.n_honest);
-            protocol_step(&mut w, params, cfg.protocol)
-        })
-        .collect()
+    let result =
+        RunResult { final_accuracy, history, defense_stats: stats, sigma, lr, iterations, delta };
+    transport.publish_summary(&result.summary());
+    result
 }
 
 /// σ and δ for the run: either derived from the ε target via the accountant,
@@ -1183,24 +625,10 @@ pub fn worker_seed(master: u64, index: usize) -> u64 {
     master.wrapping_mul(0x100000001b3).wrapping_add(index as u64).wrapping_mul(0x9e3779b97f4a7c15)
 }
 
-/// Computes the cohort workers' uploads for this round under rayon.
-///
-/// Determinism contract: every worker owns an [`StdRng`] stream derived
-/// from the master seed by [`worker_seed`], and a worker's step touches
-/// only its own state, so the set of uploads — and therefore the whole
-/// run — is bit-identical at every thread count. Order stability comes
-/// from `collect` preserving input order.
-fn parallel_uploads(
-    workers: &mut [&mut DpWorker],
-    params: &[f32],
-    protocol: WorkerProtocol,
-) -> Vec<Vec<f32>> {
-    workers.par_iter_mut().map(|w| protocol_step(w, params, protocol)).collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::UploadRetention;
 
     fn quick_cfg() -> SimulationConfig {
         let mut cfg =

@@ -1,0 +1,134 @@
+//! `dpbfl-client` — host data workers for a run served by `dpbfl-server`.
+//!
+//! ```text
+//! dpbfl-client --connect ADDR --workers SPEC
+//! ```
+//!
+//! The client connects, claims the worker indices in `--workers`
+//! (`0-2`, `0,1,2`, or a mix like `0-2,5`), receives the run configuration
+//! from the server's `Welcome`, rebuilds its workers' datasets and model
+//! replicas from the config seed — bit-identical to what the in-process
+//! transport would build — and then answers every `RoundBegin` with one
+//! local DP-SGD step per claimed member until `RunComplete`.
+
+use dpbfl::prelude::*;
+
+const USAGE: &str = "dpbfl-client — host data workers for a dpbfl-server run
+
+USAGE:
+    dpbfl-client --connect ADDR --workers SPEC
+
+OPTIONS:
+    --connect ADDR   tcp://HOST:PORT or unix://PATH printed by dpbfl-server
+    --workers SPEC   global worker indices to claim: `0-2`, `0,1,2`, `0-2,5`
+
+The server rejects claims that overlap another client's or fall outside
+the run's data-worker set; training starts once connected clients cover
+the whole set.";
+
+fn main() {
+    std::process::exit(real_main());
+}
+
+fn real_main() -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return 0;
+    }
+    let mut connect: Option<String> = None;
+    let mut workers: Option<Vec<usize>> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let Some(value) = args.get(i + 1) else {
+            eprintln!("error: {flag} needs a value\n\n{USAGE}");
+            return 2;
+        };
+        match flag {
+            "--connect" => connect = Some(value.clone()),
+            "--workers" => match parse_workers(value) {
+                Ok(list) => workers = Some(list),
+                Err(e) => {
+                    eprintln!("error: --workers {value}: {e}");
+                    return 2;
+                }
+            },
+            other => {
+                eprintln!("error: unknown flag `{other}`\n\n{USAGE}");
+                return 2;
+            }
+        }
+        i += 2;
+    }
+    let (Some(addr), Some(workers)) = (connect, workers) else {
+        eprintln!("error: --connect and --workers are both required\n\n{USAGE}");
+        return 2;
+    };
+
+    println!("connecting to {addr} claiming workers {workers:?}");
+    match run_client(&addr, &workers, &ClientOptions::default()) {
+        Ok(summary_json) => {
+            println!("run complete; server summary:\n{summary_json}");
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+/// Parses a worker-index spec: comma-separated indices and inclusive
+/// ranges, e.g. `0-2,5` → `[0, 1, 2, 5]`. Rejects duplicates.
+fn parse_workers(spec: &str) -> Result<Vec<usize>, String> {
+    let mut out: Vec<usize> = Vec::new();
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            return Err("empty element".into());
+        }
+        let parse =
+            |s: &str| s.trim().parse::<usize>().map_err(|_| format!("`{s}` is not a worker index"));
+        match part.split_once('-') {
+            Some((lo, hi)) => {
+                let (lo, hi) = (parse(lo)?, parse(hi)?);
+                if lo > hi {
+                    return Err(format!("range `{part}` runs backwards"));
+                }
+                out.extend(lo..=hi);
+            }
+            None => out.push(parse(part)?),
+        }
+    }
+    let mut seen = out.clone();
+    seen.sort_unstable();
+    seen.dedup();
+    if seen.len() != out.len() {
+        return Err("duplicate worker index".into());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_workers;
+
+    #[test]
+    fn specs_parse() {
+        assert_eq!(parse_workers("0").unwrap(), [0]);
+        assert_eq!(parse_workers("0,1,2").unwrap(), [0, 1, 2]);
+        assert_eq!(parse_workers("0-2").unwrap(), [0, 1, 2]);
+        assert_eq!(parse_workers("0-2,5").unwrap(), [0, 1, 2, 5]);
+        assert_eq!(parse_workers("3-3").unwrap(), [3]);
+    }
+
+    #[test]
+    fn bad_specs_reject() {
+        assert!(parse_workers("").is_err());
+        assert!(parse_workers("a").is_err());
+        assert!(parse_workers("2-0").is_err());
+        assert!(parse_workers("0,0").is_err());
+        assert!(parse_workers("0-2,1").is_err());
+    }
+}

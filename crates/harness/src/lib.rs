@@ -22,11 +22,12 @@
 //! * [`docs`] — the generated scenario catalog (`dpbfl-exp docs` renders
 //!   the registry into `docs/SCENARIOS.md`; CI keeps it fresh).
 //!
-//! The `dpbfl-exp` binary is the CLI over all of it; the repo's
+//! The `dpbfl-exp` binary is the CLI over all of it (`dpbfl-server` and
+//! `dpbfl-client` put single cells on real sockets); the repo's
 //! `examples/` are thin pretty-printing wrappers over [`registry`], and the
 //! `crates/bench` paper-table binaries are thin wrappers over the same
 //! scenarios. `docs/ARCHITECTURE.md` (repo root) places this crate in the
-//! workspace's 7-crate dependency chain and spells out the determinism
+//! workspace's 9-crate dependency chain and spells out the determinism
 //! contract the runner extends to grid level.
 
 pub mod docs;

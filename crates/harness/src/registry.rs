@@ -31,8 +31,54 @@ pub fn names() -> &'static [&'static str] {
         "paper/table6_gamma",
         "scale/million_clients",
         "scale/smoke",
+        "serving/loopback_smoke",
         "smoke/tiny",
     ]
+}
+
+/// [`names`] grouped by the prefix before the first `/`, in display order.
+///
+/// `dpbfl-exp` uses this to render a readable catalog when a scenario
+/// argument fails to resolve.
+pub fn grouped_names() -> Vec<(&'static str, Vec<&'static str>)> {
+    let mut groups: Vec<(&'static str, Vec<&'static str>)> = Vec::new();
+    for name in names() {
+        let prefix = name.split('/').next().unwrap_or(name);
+        match groups.iter_mut().find(|(p, _)| *p == prefix) {
+            Some((_, members)) => members.push(name),
+            None => groups.push((prefix, vec![name])),
+        }
+    }
+    groups
+}
+
+/// The registered name closest to `arg` by edit distance, if it is close
+/// enough to plausibly be a typo (distance ≤ max(2, |arg|/3)).
+pub fn suggest(arg: &str) -> Option<&'static str> {
+    let budget = (arg.chars().count() / 3).max(2);
+    names()
+        .iter()
+        .map(|name| (*name, edit_distance(arg, name)))
+        .filter(|&(_, d)| d <= budget)
+        .min_by_key(|&(_, d)| d)
+        .map(|(name, _)| name)
+}
+
+/// Levenshtein distance over chars (two-row dynamic program).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let subst = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = subst.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
 }
 
 /// Looks up a built-in scenario by name.
@@ -57,6 +103,7 @@ pub fn get(name: &str) -> Option<ScenarioSpec> {
         "paper/table6_gamma" => Some(table6_gamma()),
         "scale/million_clients" => Some(scale_million_clients()),
         "scale/smoke" => Some(scale_smoke()),
+        "serving/loopback_smoke" => Some(serving_loopback_smoke()),
         "smoke/tiny" => Some(smoke_tiny()),
         _ => None,
     }
@@ -643,6 +690,35 @@ fn scale_smoke() -> ScenarioSpec {
     }
 }
 
+/// The config the served loopback run is pinned to: the same cell CI runs
+/// once over `dpbfl-server` + TCP loopback clients and once in-process,
+/// diffing the two `RunSummary` JSON blobs byte for byte.
+fn serving_loopback_smoke() -> ScenarioSpec {
+    let mut base =
+        SimulationConfig::quick(SyntheticSpec::mnist_like(), ModelKind::SmallMlp { hidden: 8 });
+    base.per_worker = 128;
+    base.test_count = 200;
+    base.n_honest = 4;
+    base.n_byzantine = 2;
+    base.epochs = 1.0;
+    base.epsilon = None;
+    base.dp.noise_multiplier = 0.5;
+    base.attack = AttackSpec::LabelFlip;
+    base.defense = DefenseKind::TwoStage;
+    ScenarioSpec {
+        name: "serving/loopback_smoke".into(),
+        title: "Served round loop: TCP loopback vs in-process, byte-identical".into(),
+        notes: "One cell, 6 workers (2 Byzantine label-flip), two-stage defense. Running \
+                it through `dpbfl-server` with loopback `dpbfl-client`s must produce a \
+                RunSummary byte-identical to the in-process transport — the serving \
+                determinism contract CI's serving-smoke job enforces."
+            .into(),
+        seed: SeedPolicy::Fixed { seed: 1 },
+        base,
+        grid: GridSpec::default(),
+    }
+}
+
 /// A 2×2 grid small enough for CI and the determinism tests: two attacks ×
 /// {two-stage, undefended} on a tiny MLP (seconds, not minutes).
 fn smoke_tiny() -> ScenarioSpec {
@@ -705,6 +781,48 @@ mod tests {
     fn smoke_grid_is_two_by_two() {
         let spec = get("smoke/tiny").unwrap();
         assert_eq!(spec.n_cells(), 4);
+    }
+
+    #[test]
+    fn serving_smoke_is_one_cell_matching_the_core_parity_tests() {
+        let spec = get("serving/loopback_smoke").unwrap();
+        assert_eq!(spec.n_cells(), 1);
+        let cfg = &spec.cells()[0].config;
+        assert_eq!(cfg.seed, 1);
+        assert_eq!((cfg.n_honest, cfg.n_byzantine), (4, 2));
+        assert_eq!(cfg.attack, AttackSpec::LabelFlip);
+        assert_eq!(cfg.defense, DefenseKind::TwoStage);
+        assert_eq!(cfg.epsilon, None);
+    }
+
+    #[test]
+    fn grouped_names_partition_the_registry_in_order() {
+        let groups = grouped_names();
+        let flat: Vec<&str> = groups.iter().flat_map(|(_, ns)| ns.iter().copied()).collect();
+        assert_eq!(flat, names(), "grouping must preserve display order and lose nothing");
+        let prefixes: Vec<&str> = groups.iter().map(|(p, _)| *p).collect();
+        assert_eq!(prefixes, ["paper", "scale", "serving", "smoke"]);
+        assert!(groups.iter().all(|(p, ns)| ns.iter().all(|n| n.starts_with(&format!("{p}/")))));
+    }
+
+    #[test]
+    fn suggest_catches_typos_but_not_noise() {
+        assert_eq!(suggest("paper/quickstart"), Some("paper/quickstart"));
+        assert_eq!(suggest("paper/quickstrat"), Some("paper/quickstart"));
+        assert_eq!(suggest("paper/gamma_swep"), Some("paper/gamma_sweep"));
+        assert_eq!(suggest("serving/loopback_smok"), Some("serving/loopback_smoke"));
+        assert_eq!(suggest("smoke/tinny"), Some("smoke/tiny"));
+        assert_eq!(suggest("definitely-not-a-scenario"), None);
+        assert_eq!(suggest(""), None);
+    }
+
+    #[test]
+    fn edit_distance_is_levenshtein() {
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("abc", ""), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("flaw", "lawn"), 2);
     }
 
     #[test]

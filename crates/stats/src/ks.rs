@@ -186,8 +186,12 @@ pub enum KsScreenVerdict {
 pub struct KsScratch {
     /// Bucket counts for [`KsGaussianScreen::bin_into`].
     pub counts: Vec<u32>,
-    /// Sort buffer for [`ks_test_gaussian_with`].
+    /// Sort buffer for [`ks_test_gaussian_with`] and
+    /// [`KsGaussianScreen::exact_from_counts`].
     pub sorted: Vec<f32>,
+    /// Per-bucket write cursors for the counting-sort fallback
+    /// ([`KsGaussianScreen::exact_from_counts`]).
+    pub offsets: Vec<u32>,
 }
 
 impl KsScratch {
@@ -353,19 +357,77 @@ impl KsGaussianScreen {
         self.decide(&scratch.counts)
     }
 
-    /// The full fast-path decision: screen, then exact sorted fallback for
+    /// The full fast-path decision: screen, then exact fallback for
     /// borderline inputs. For finite samples (see [`KsGaussianScreen::screen`]
     /// for the NaN carve-out) this returns exactly
     /// `ks_test_gaussian(samples, mean, std).rejects_at(alpha)`.
+    ///
+    /// The fallback is the counting-sort variant
+    /// ([`KsGaussianScreen::exact_from_counts`]): `screen` has already built
+    /// the bucket histogram, so the exact test reuses it instead of paying a
+    /// full comparison sort. Its result is bit-identical to
+    /// [`ks_test_gaussian_with`].
     pub fn rejects(&self, samples: &[f32], scratch: &mut KsScratch) -> bool {
         match self.screen(samples, scratch) {
             KsScreenVerdict::Reject => true,
             KsScreenVerdict::Accept => false,
             KsScreenVerdict::Borderline => {
-                ks_test_gaussian_with(samples, self.mean, self.std, &mut scratch.sorted)
-                    .rejects_at(self.alpha)
+                self.exact_from_counts(samples, scratch).rejects_at(self.alpha)
             }
         }
+    }
+
+    /// The exact KS test, fed by a counting sort from the already-built
+    /// bucket histogram: `scratch.counts` must hold the histogram
+    /// [`KsGaussianScreen::bin_into`] built for exactly these `samples`
+    /// (that is the state the screen leaves behind when it answers
+    /// [`KsScreenVerdict::Borderline`]).
+    ///
+    /// An exclusive prefix sum over the counts yields each bucket's slice of
+    /// the sorted order; one scatter pass places every sample in its bucket's
+    /// slice and a per-bucket `sort_unstable` finishes the job. Because
+    /// [`KsGaussianScreen::bucket_of`] is monotone, the concatenation is the
+    /// same ascending sequence the global sort produces (the only equal-value
+    /// bit patterns, ±0.0, share a bucket and a CDF value), and the statistic
+    /// loop below is byte-for-byte the reference computation — so the
+    /// returned [`KsResult`] is bit-identical to [`ks_test_gaussian_with`],
+    /// at `O(d + B log(d/B))` instead of `O(d log d)`.
+    pub fn exact_from_counts(&self, samples: &[f32], scratch: &mut KsScratch) -> KsResult {
+        assert_eq!(samples.len(), self.n, "sample count differs from the screen's n");
+        assert_eq!(scratch.counts.len(), self.slots(), "counts buffer has the wrong bucket count");
+        let offsets = &mut scratch.offsets;
+        offsets.clear();
+        let mut acc = 0u32;
+        for &c in &scratch.counts {
+            offsets.push(acc);
+            acc += c;
+        }
+        assert_eq!(acc as usize, samples.len(), "histogram does not cover the samples");
+        let sorted = &mut scratch.sorted;
+        sorted.clear();
+        sorted.resize(samples.len(), 0.0);
+        for &x in samples {
+            let b = self.bucket_of(x);
+            sorted[offsets[b] as usize] = x;
+            offsets[b] += 1;
+        }
+        // After the scatter, offsets[b] is the end of bucket b's slice.
+        let mut start = 0usize;
+        for &end in offsets.iter() {
+            sorted[start..end as usize]
+                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN in KS samples"));
+            start = end as usize;
+        }
+        let n = sorted.len() as f64;
+        let normal = Normal::new(self.mean, self.std);
+        let mut d = 0.0f64;
+        for (i, &x) in sorted.iter().enumerate() {
+            let fx = normal.cdf(x as f64);
+            let upper = (i as f64 + 1.0) / n - fx;
+            let lower = fx - (i as f64) / n;
+            d = d.max(upper).max(lower);
+        }
+        KsResult { statistic: d, p_value: ks_p_value(d, sorted.len()), n: sorted.len() }
     }
 
     /// The bracketing pass: returns `(L, U, early_rejected)`, aborting with
@@ -636,6 +698,44 @@ mod tests {
         let v = gaussian_vector(&mut rng, 0.10, 25_450);
         assert_eq!(screen.screen(&v, &mut scratch), KsScreenVerdict::Reject);
         assert!(screen.rejects(&v, &mut scratch));
+    }
+
+    #[test]
+    fn counting_sort_exact_test_is_bit_identical_to_sorted_reference() {
+        // The counting-sort fallback must reproduce the reference KsResult
+        // bit-for-bit: same statistic bits, same p-value bits — across null
+        // draws, shifted inputs, tail-heavy inputs, and ±0.0 ties (the only
+        // equal-comparing f32 pair with distinct bit patterns).
+        let mut scratch = KsScratch::new();
+        for (case, n) in [(0, 64usize), (1, 1_000), (2, 25_450), (3, 128)] {
+            let screen = KsGaussianScreen::new(0.0, 0.05, n, 0.05);
+            let mut rng = StdRng::seed_from_u64(case as u64);
+            let mut v = gaussian_vector(&mut rng, 0.05, n);
+            match case {
+                1 => {
+                    for x in &mut v {
+                        *x += 0.004;
+                    }
+                }
+                2 => {
+                    v[0] = 100.0; // far-tail bucket
+                    v[1] = -100.0;
+                }
+                3 => {
+                    // Interleave ±0.0 ties among genuine samples.
+                    for (i, x) in v.iter_mut().enumerate().take(32) {
+                        *x = if i % 2 == 0 { 0.0 } else { -0.0 };
+                    }
+                }
+                _ => {}
+            }
+            screen.bin_into(&v, &mut scratch.counts);
+            let fast = screen.exact_from_counts(&v, &mut scratch);
+            let reference = ks_test_gaussian(&v, 0.0, 0.05);
+            assert_eq!(fast.statistic.to_bits(), reference.statistic.to_bits(), "case {case}");
+            assert_eq!(fast.p_value.to_bits(), reference.p_value.to_bits(), "case {case}");
+            assert_eq!(fast.n, reference.n, "case {case}");
+        }
     }
 
     #[test]

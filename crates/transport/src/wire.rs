@@ -1,0 +1,209 @@
+//! The message grammar on top of the frame layer.
+//!
+//! Five message kinds carry a whole federated run:
+//!
+//! | kind | message      | direction       | payload |
+//! |------|--------------|-----------------|---------|
+//! | 1    | `ClientHello`| client → server | `u32 count, count × u32` worker indices the client serves |
+//! | 2    | `Welcome`    | server → client | length-prefixed UTF-8: the full run config as canonical JSON |
+//! | 3    | `RoundBegin` | server → client | `u32 round, u64 deadline_ms, u32s members, f32s params` |
+//! | 4    | `Upload`     | client → server | `u32 round, u32 worker, f32s data` |
+//! | 5    | `RunComplete`| server → client | length-prefixed UTF-8: the `RunSummary` as canonical JSON |
+//!
+//! Slices are length-prefixed (`u32` count, then raw little-endian words) and
+//! every count is validated against the bytes actually present before any
+//! allocation; a decoded payload must be consumed exactly (trailing bytes are
+//! an error). Structured payloads (config, summary) travel as opaque JSON so
+//! this crate stays independent of the core types — the serializing side owns
+//! the schema.
+
+use crate::frame::{put, Frame, FrameError, PayloadReader};
+use std::io::{Read, Write};
+
+/// Frame-kind discriminants (the `kind` byte of the frame header).
+pub mod kind {
+    /// Client's worker-index claim.
+    pub const CLIENT_HELLO: u8 = 1;
+    /// Server's run-configuration broadcast.
+    pub const WELCOME: u8 = 2;
+    /// Round broadcast: cohort members + model parameters + deadline.
+    pub const ROUND_BEGIN: u8 = 3;
+    /// One worker's upload for one round.
+    pub const UPLOAD: u8 = 4;
+    /// Final summary; the connection closes after this.
+    pub const RUN_COMPLETE: u8 = 5;
+}
+
+/// One protocol message (see the module table for the wire layout).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Client → server: "I serve these global worker indices."
+    ClientHello {
+        /// Global worker indices, ascending, no duplicates (server-enforced).
+        workers: Vec<u32>,
+    },
+    /// Server → client: the run configuration as canonical JSON.
+    Welcome {
+        /// Serialized `SimulationConfig`.
+        config_json: String,
+    },
+    /// Server → client: one round's broadcast.
+    RoundBegin {
+        /// Round index, 0-based.
+        round: u32,
+        /// Upload deadline in milliseconds from receipt; advisory for the
+        /// client, enforced by the server.
+        deadline_ms: u64,
+        /// The cohort members *this client* must step this round.
+        members: Vec<u32>,
+        /// Current model parameters.
+        params: Vec<f32>,
+    },
+    /// Client → server: one worker's upload.
+    Upload {
+        /// Round the upload answers.
+        round: u32,
+        /// Global worker index.
+        worker: u32,
+        /// The masked, noised gradient (raw `f32` words).
+        data: Vec<f32>,
+    },
+    /// Server → client: the run is over; here is the summary.
+    RunComplete {
+        /// Serialized `RunSummary`.
+        summary_json: String,
+    },
+}
+
+impl Message {
+    /// Encodes into a frame (kind byte + payload bytes).
+    pub fn encode(&self) -> Frame {
+        let mut payload = Vec::new();
+        let kind = match self {
+            Message::ClientHello { workers } => {
+                put::u32s(&mut payload, workers);
+                kind::CLIENT_HELLO
+            }
+            Message::Welcome { config_json } => {
+                put::str(&mut payload, config_json);
+                kind::WELCOME
+            }
+            Message::RoundBegin { round, deadline_ms, members, params } => {
+                put::u32(&mut payload, *round);
+                put::u64(&mut payload, *deadline_ms);
+                put::u32s(&mut payload, members);
+                put::f32s(&mut payload, params);
+                kind::ROUND_BEGIN
+            }
+            Message::Upload { round, worker, data } => {
+                put::u32(&mut payload, *round);
+                put::u32(&mut payload, *worker);
+                put::f32s(&mut payload, data);
+                kind::UPLOAD
+            }
+            Message::RunComplete { summary_json } => {
+                put::str(&mut payload, summary_json);
+                kind::RUN_COMPLETE
+            }
+        };
+        Frame { kind, payload }
+    }
+
+    /// Decodes a frame back into a message.
+    ///
+    /// Errors (never panics) on unknown kinds, counts inconsistent with the
+    /// payload length, trailing bytes, and non-UTF-8 JSON fields.
+    pub fn decode(frame: &Frame) -> Result<Message, FrameError> {
+        let mut r = PayloadReader::new(&frame.payload);
+        let message = match frame.kind {
+            kind::CLIENT_HELLO => Message::ClientHello { workers: r.u32s("hello workers")? },
+            kind::WELCOME => Message::Welcome { config_json: r.str("welcome config")? },
+            kind::ROUND_BEGIN => Message::RoundBegin {
+                round: r.u32("round index")?,
+                deadline_ms: r.u64("round deadline")?,
+                members: r.u32s("round members")?,
+                params: r.f32s("round params")?,
+            },
+            kind::UPLOAD => Message::Upload {
+                round: r.u32("upload round")?,
+                worker: r.u32("upload worker")?,
+                data: r.f32s("upload data")?,
+            },
+            kind::RUN_COMPLETE => Message::RunComplete { summary_json: r.str("run summary")? },
+            other => return Err(FrameError::UnknownKind(other)),
+        };
+        r.finish("trailing bytes")?;
+        Ok(message)
+    }
+
+    /// Encodes and writes this message as one frame.
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        let frame = self.encode();
+        crate::frame::write_frame(w, frame.kind, &frame.payload)
+    }
+
+    /// Reads one frame (payload capped at `max_len`) and decodes it.
+    pub fn read_from(r: &mut impl Read, max_len: u32) -> Result<Message, FrameError> {
+        Message::decode(&crate::frame::read_frame(r, max_len)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_roundtrips() {
+        let messages = [
+            Message::ClientHello { workers: vec![0, 1, 7] },
+            Message::Welcome { config_json: "{\"n\":3}".into() },
+            Message::RoundBegin {
+                round: 9,
+                deadline_ms: 30_000,
+                members: vec![2, 3],
+                params: vec![1.5, -0.0, f32::MIN_POSITIVE],
+            },
+            Message::Upload { round: 9, worker: 3, data: vec![0.25, -3.5] },
+            Message::RunComplete { summary_json: "{}".into() },
+        ];
+        for m in &messages {
+            let frame = m.encode();
+            assert_eq!(&Message::decode(&frame).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn unknown_kind_and_trailing_bytes_error() {
+        assert!(matches!(
+            Message::decode(&Frame { kind: 99, payload: vec![] }),
+            Err(FrameError::UnknownKind(99))
+        ));
+        let mut frame = Message::RunComplete { summary_json: "{}".into() }.encode();
+        frame.payload.push(0);
+        assert!(matches!(Message::decode(&frame), Err(FrameError::Malformed("trailing bytes"))));
+    }
+
+    #[test]
+    fn inconsistent_counts_error_before_allocation() {
+        // A hello declaring 2^30 workers in a 8-byte payload must be caught
+        // by the remaining-length check, not by a giant Vec reservation.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&(1u32 << 30).to_le_bytes());
+        payload.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            Message::decode(&Frame { kind: kind::CLIENT_HELLO, payload }),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn non_utf8_json_field_errors() {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&2u32.to_le_bytes());
+        payload.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(matches!(
+            Message::decode(&Frame { kind: kind::WELCOME, payload }),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+}
