@@ -18,6 +18,7 @@ use crate::simulation::{
 use dpbfl_data::sample_batch;
 use dpbfl_data::{iid_partition, Dataset, SyntheticSpec};
 use dpbfl_nn::{accuracy, CrossEntropyLoss};
+use dpbfl_telemetry::{RoundMetrics, Telemetry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -112,6 +113,15 @@ pub struct SignDpResult {
 
 /// Runs the sign-compression DP baseline.
 pub fn run_sign_dp(cfg: &SignDpConfig) -> SignDpResult {
+    run_sign_dp_with(cfg, &Telemetry::null())
+}
+
+/// [`run_sign_dp`] with a telemetry sink attached. Per-round metrics are
+/// trivial for this substrate — no defense filters anything, so the whole
+/// cohort is accepted and aggregated; `achieved_epsilon` stays `None`
+/// (randomized response, not the Gaussian accountant). The result is
+/// byte-identical with any sink.
+pub fn run_sign_dp_with(cfg: &SignDpConfig, tel: &Telemetry) -> SignDpResult {
     let mut master = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x51677ea7));
     let train = cfg.dataset.generate(cfg.n_honest * cfg.per_worker, cfg.seed);
     let parts = iid_partition(&mut master, train.len(), cfg.n_honest);
@@ -132,6 +142,7 @@ pub fn run_sign_dp(cfg: &SignDpConfig) -> SignDpResult {
 
     for t in 0..iterations {
         votes.fill(0);
+        let timer = tel.start();
         // Honest workers: privatized gradient signs.
         for data in &datasets {
             model.set_params(&params);
@@ -147,14 +158,18 @@ pub fn run_sign_dp(cfg: &SignDpConfig) -> SignDpResult {
                 *v += sign;
             }
         }
+        tel.stop(timer, "collect", Some(t as u64));
         // Byzantine workers: invert the honest majority (omniscient).
+        let timer = tel.start();
         if cfg.n_byzantine > 0 {
             let majority: Vec<i32> = votes.iter().map(|&v| if v >= 0 { 1 } else { -1 }).collect();
             for (v, &m) in votes.iter_mut().zip(&majority) {
                 *v -= m * cfg.n_byzantine as i32;
             }
         }
+        tel.stop(timer, "attack", Some(t as u64));
         // Majority-vote descent step.
+        let timer = tel.start();
         for (p, &v) in params.iter_mut().zip(&votes) {
             let step = if v > 0 {
                 1.0
@@ -165,10 +180,24 @@ pub fn run_sign_dp(cfg: &SignDpConfig) -> SignDpResult {
             };
             *p -= (cfg.lr as f32) * step;
         }
+        tel.stop(timer, "aggregate", Some(t as u64));
+
+        if tel.enabled() {
+            let cohort = (cfg.n_honest + cfg.n_byzantine) as u64;
+            let mut m = RoundMetrics::new(t as u64, cohort);
+            m.accepted = cohort;
+            m.selected = cohort;
+            // Every worker contributes d sign votes; count them as exact
+            // retention (1 vote rides in 4 bytes of the i32 tally here).
+            m.retained_exact_bytes = cohort * 4 * d as u64;
+            tel.round(m);
+        }
 
         if (t + 1) % eval_every == 0 || t + 1 == iterations {
+            let timer = tel.start();
             model.set_params(&params);
             let acc = accuracy(&mut model, &test.features, &test.labels);
+            tel.stop(timer, "eval", Some(t as u64));
             history.push(EvalPoint {
                 iteration: t + 1,
                 epoch: (t + 1) as f64 * cfg.batch_size as f64 / cfg.per_worker as f64,
@@ -188,11 +217,17 @@ pub fn run_sign_dp(cfg: &SignDpConfig) -> SignDpResult {
 /// randomized response, so the Gaussian accountant's achieved-ε does not
 /// apply (reports show such cells as non-Gaussian-private).
 pub fn run_sign_dp_simulation(cfg: &SimulationConfig) -> RunResult {
+    run_sign_dp_simulation_telemetry(cfg, &Telemetry::null())
+}
+
+/// [`run_sign_dp_simulation`] with a telemetry sink attached (see
+/// [`run_sign_dp_with`] for what this substrate records).
+pub fn run_sign_dp_simulation_telemetry(cfg: &SimulationConfig, tel: &Telemetry) -> RunResult {
     let sign_cfg = SignDpConfig::from_simulation(cfg)
         .expect("run_sign_dp_simulation requires WorkerProtocol::SignDp");
     let iterations = ((sign_cfg.epochs * sign_cfg.per_worker as f64) / sign_cfg.batch_size as f64)
         .ceil() as usize;
-    let r = run_sign_dp(&sign_cfg);
+    let r = run_sign_dp_with(&sign_cfg, tel);
     RunResult {
         final_accuracy: r.final_accuracy,
         history: r.history,

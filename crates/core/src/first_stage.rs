@@ -65,6 +65,19 @@ impl FirstStageVerdict {
     }
 }
 
+/// A verdict plus how the KS decision was reached — what telemetry records
+/// about one first-stage check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckInfo {
+    /// What [`FirstStage::check`] would return for the same upload.
+    pub verdict: FirstStageVerdict,
+    /// True when the KS decision evaluated the exact sorted statistic (the
+    /// fast path's borderline fallback, or the always-sort reference path);
+    /// false when the bucketed envelope decided alone — or when the check
+    /// failed before the KS test ran (`verdict` tells those apart).
+    pub ks_exact: bool,
+}
+
 /// The first-stage filter, parameterized by the *effective* per-coordinate
 /// noise std `σ' = σ/b_c` the server expects on uploads.
 #[derive(Debug, Clone)]
@@ -118,6 +131,13 @@ impl FirstStage {
     /// sorting unless the upload lands in the critical band, in which case
     /// the exact sorted test runs in `scratch.sorted`.
     pub fn check_with(&self, upload: &[f32], scratch: &mut KsScratch) -> FirstStageVerdict {
+        self.check_with_info(upload, scratch).verdict
+    }
+
+    /// [`FirstStage::check_with`] plus how the KS decision was reached —
+    /// the telemetry entry point. Same verdicts, same work; the only extra
+    /// output is whether the exact fallback ran.
+    pub fn check_with_info(&self, upload: &[f32], scratch: &mut KsScratch) -> CheckInfo {
         assert_eq!(upload.len(), self.dimension, "upload has wrong dimension");
         let counts = &mut scratch.counts;
         counts.clear();
@@ -128,26 +148,25 @@ impl FirstStage {
             counts[self.screen.bucket_of(x)] += 1;
         }
         if !norm_sq.is_finite() {
-            return FirstStageVerdict::NonFinite;
+            return CheckInfo { verdict: FirstStageVerdict::NonFinite, ks_exact: false };
         }
         if norm_sq < self.norm_lo || norm_sq > self.norm_hi {
-            return FirstStageVerdict::NormOutOfRange;
+            return CheckInfo { verdict: FirstStageVerdict::NormOutOfRange, ks_exact: false };
         }
-        let rejected = match self.screen.decide(counts) {
-            KsScreenVerdict::Reject => true,
-            KsScreenVerdict::Accept => false,
+        let (rejected, ks_exact) = match self.screen.decide(counts) {
+            KsScreenVerdict::Reject => (true, false),
+            KsScreenVerdict::Accept => (false, false),
             KsScreenVerdict::Borderline => {
                 // The histogram built above is exactly what the counting-sort
                 // exact test needs; its KsResult is bit-identical to the
                 // comparison-sorted `ks_test_gaussian_with`.
-                self.screen.exact_from_counts(upload, scratch).rejects_at(self.ks_significance)
+                let exact = self.screen.exact_from_counts(upload, scratch);
+                (exact.rejects_at(self.ks_significance), true)
             }
         };
-        if rejected {
-            FirstStageVerdict::KsRejected
-        } else {
-            FirstStageVerdict::Accepted
-        }
+        let verdict =
+            if rejected { FirstStageVerdict::KsRejected } else { FirstStageVerdict::Accepted };
+        CheckInfo { verdict, ks_exact }
     }
 
     /// The retained always-sort implementation — the oracle the fast path is
@@ -155,18 +174,27 @@ impl FirstStage {
     /// testable forever; also selectable at run time via
     /// `DefenseConfig::ks_fast_path = false`).
     pub fn check_reference(&self, upload: &[f32]) -> FirstStageVerdict {
+        self.check_reference_info(upload).verdict
+    }
+
+    /// [`FirstStage::check_reference`] plus the telemetry view: the
+    /// reference path always sorts, so any check that reaches the KS test
+    /// reports `ks_exact = true`.
+    pub fn check_reference_info(&self, upload: &[f32]) -> CheckInfo {
         assert_eq!(upload.len(), self.dimension, "upload has wrong dimension");
         let Some(norm_sq) = finite_norm_sq(upload) else {
-            return FirstStageVerdict::NonFinite;
+            return CheckInfo { verdict: FirstStageVerdict::NonFinite, ks_exact: false };
         };
         if norm_sq < self.norm_lo || norm_sq > self.norm_hi {
-            return FirstStageVerdict::NormOutOfRange;
+            return CheckInfo { verdict: FirstStageVerdict::NormOutOfRange, ks_exact: false };
         }
         let ks = ks_test_gaussian(upload, 0.0, self.noise_std);
-        if ks.rejects_at(self.ks_significance) {
-            return FirstStageVerdict::KsRejected;
-        }
-        FirstStageVerdict::Accepted
+        let verdict = if ks.rejects_at(self.ks_significance) {
+            FirstStageVerdict::KsRejected
+        } else {
+            FirstStageVerdict::Accepted
+        };
+        CheckInfo { verdict, ks_exact: true }
     }
 
     /// Algorithm 2: zeroes `upload` in place when any test fails; returns the
@@ -181,20 +209,30 @@ impl FirstStage {
 
     /// [`FirstStage::filter`] with caller-owned scratch buffers.
     pub fn filter_with(&self, upload: &mut [f32], scratch: &mut KsScratch) -> FirstStageVerdict {
-        let verdict = self.check_with(upload, scratch);
-        if !verdict.is_accepted() {
+        self.filter_with_info(upload, scratch).verdict
+    }
+
+    /// [`FirstStage::filter_with`] returning the full [`CheckInfo`].
+    pub fn filter_with_info(&self, upload: &mut [f32], scratch: &mut KsScratch) -> CheckInfo {
+        let info = self.check_with_info(upload, scratch);
+        if !info.verdict.is_accepted() {
             upload.fill(0.0);
         }
-        verdict
+        info
     }
 
     /// [`FirstStage::filter`] through the always-sort reference path.
     pub fn filter_reference(&self, upload: &mut [f32]) -> FirstStageVerdict {
-        let verdict = self.check_reference(upload);
-        if !verdict.is_accepted() {
+        self.filter_reference_info(upload).verdict
+    }
+
+    /// [`FirstStage::filter_reference`] returning the full [`CheckInfo`].
+    pub fn filter_reference_info(&self, upload: &mut [f32]) -> CheckInfo {
+        let info = self.check_reference_info(upload);
+        if !info.verdict.is_accepted() {
             upload.fill(0.0);
         }
-        verdict
+        info
     }
 }
 

@@ -36,12 +36,14 @@
 //! | [`simulation`] | the experiment loop (Reference Accuracy = no attack + no defense) |
 //! | [`tuning`] | Theorem 1 / Eq. 4 learning-rate transfer |
 //!
-//! This crate sits seventh in the workspace's linear 9-crate dependency
+//! This crate sits eighth in the workspace's linear 10-crate dependency
 //! chain; `docs/ARCHITECTURE.md` (repo root) describes that chain, the
 //! `prepare() → run_prepared()` split, the determinism contract every
 //! parallel section obeys, the two-stage defense data flow end to end,
-//! and the [`round::Transport`] layer ([`serving`] puts it on real
-//! sockets).
+//! the [`round::Transport`] layer ([`serving`] puts it on real
+//! sockets), and the `dpbfl-telemetry` observability layer (deterministic
+//! per-round metrics plus wall-clock spans, recorded through a
+//! [`dpbfl_telemetry::TelemetrySink`]).
 //!
 //! ## Quick start
 //!
@@ -77,7 +79,7 @@ pub mod prelude {
     pub use crate::config::{
         DefenseConfig, DpSgdConfig, MomentumReset, StepNormalization, UploadRetention,
     };
-    pub use crate::first_stage::{FirstStage, FirstStageVerdict, KsScratch};
+    pub use crate::first_stage::{CheckInfo, FirstStage, FirstStageVerdict, KsScratch};
     pub use crate::round::{Collected, InProcessTransport, Retained, Transport};
     pub use crate::second_stage::{ScoringRule, SecondStage, WeightScheme};
     pub use crate::serving::{
@@ -85,9 +87,13 @@ pub mod prelude {
         ServingReport,
     };
     pub use crate::simulation::{
-        prepare, run, run_prepared, run_with_transport, DefenseKind, EvalPoint, ModelKind,
-        PreparedRun, Provisioning, RunResult, RunSummary, SimulationConfig, WorkerProtocol,
+        prepare, run, run_prepared, run_prepared_telemetry, run_with_transport,
+        run_with_transport_telemetry, DefenseKind, EvalPoint, ModelKind, PreparedRun, Provisioning,
+        RunResult, RunSummary, SimulationConfig, WorkerProtocol,
     };
     pub use crate::worker::DpWorker;
     pub use dpbfl_data::SyntheticSpec;
+    pub use dpbfl_telemetry::{
+        JsonlSink, MemorySink, NullSink, RoundMetrics, Telemetry, TelemetrySink,
+    };
 }

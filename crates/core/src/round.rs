@@ -33,7 +33,7 @@
 
 use crate::attack::{craft_uploads, AttackContext, AttackSpec};
 use crate::config::{DpSgdConfig, StepNormalization, UploadRetention};
-use crate::first_stage::{FirstStage, KsScratch};
+use crate::first_stage::{CheckInfo, FirstStage, FirstStageVerdict, KsScratch};
 use crate::second_stage::{ScoringRule, SecondStage};
 use crate::simulation::{
     round_cohort, worker_seed, DefenseKind, DefenseStats, EvalPoint, Provisioning, RunSummary,
@@ -43,6 +43,7 @@ use crate::worker::DpWorker;
 use dpbfl_data::{flip_labels, Dataset};
 use dpbfl_nn::{accuracy, CrossEntropyLoss, Sequential};
 use dpbfl_stats::gaussian_vector;
+use dpbfl_telemetry::{RoundMetrics, Telemetry};
 use dpbfl_tensor::quant::QuantizedVec;
 use dpbfl_tensor::vecops;
 use rand::rngs::StdRng;
@@ -55,8 +56,9 @@ pub enum Collected {
     /// The raw upload, materialized (reference pipeline / non-folding runs).
     Upload(Vec<f32>),
     /// The upload already folded through the two-stage streaming pipeline:
-    /// its second-stage score and what was retained for the update.
-    Scored(f64, Retained),
+    /// its second-stage score, what was retained for the update, and the
+    /// first stage's telemetry view (`None` when the stage is ablated off).
+    Scored(f64, Retained, Option<CheckInfo>),
     /// The member never delivered: deadline missed, connection lost, or the
     /// client vanished. Treated exactly like a first-stage rejection.
     Dropped,
@@ -268,7 +270,15 @@ fn pool_fold(
 /// `dp` is the σ-resolved worker config and `lr` the tuned learning rate
 /// (both produced by [`crate::simulation::run_with_transport`]); `defense` /
 /// `fltrust_state` hold the server-side defense state matching
-/// `cfg.defense`.
+/// `cfg.defense`. `eps_schedule` is the precomputed cumulative-ε schedule
+/// (`None` for non-private or untelemetered runs) — only telemetry reads
+/// it; caching it outside the loop keeps the per-round ε annotation to a
+/// cheap RDP→(ε, δ) conversion instead of re-deriving the RDP curve.
+///
+/// Telemetry is collected *after* the fold's shard merge, sequentially in
+/// cohort order, so the deterministic counters are bit-identical at any
+/// thread count; with [`Telemetry::null`] no record is ever constructed and
+/// the loop is byte-identical to a telemetry-free build.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn orchestrate(
     cfg: &SimulationConfig,
@@ -280,6 +290,8 @@ pub(crate) fn orchestrate(
     defense: &mut Option<TwoStageState>,
     fltrust_state: &mut Option<(Dataset, Sequential, Vec<f32>)>,
     transport: &mut dyn Transport,
+    tel: &Telemetry,
+    eps_schedule: Option<&dpbfl_dp::EpsilonSchedule>,
 ) -> (Vec<EvalPoint>, DefenseStats) {
     let d = params.len();
     let needs_poisoned = cfg.attack.needs_poisoned_workers();
@@ -300,6 +312,10 @@ pub(crate) fn orchestrate(
         let cohort = round_cohort(cfg, t);
         let split = cohort.partition_point(|&i| i < cfg.n_honest);
         let (cohort_honest, cohort_byz) = cohort.split_at(split);
+
+        // Deterministic per-round counters, built only when a sink is
+        // attached — the disabled path allocates nothing.
+        let mut metrics = tel.enabled().then(|| RoundMetrics::new(t as u64, cohort.len() as u64));
 
         // Data-holding members the transport must reach this round: the
         // honest cohort, plus the Byzantine cohort when the attack trains on
@@ -329,24 +345,29 @@ pub(crate) fn orchestrate(
             let first = &state.first;
             let grad = &state.grad_buf;
             let fold = |upload: Vec<f32>, scratch: &mut KsScratch| {
-                let (score, retained) = fold_upload(first, cfg, upload, scratch, grad, g_s_norm);
-                Collected::Scored(score, retained)
+                let (score, retained, info) =
+                    fold_upload(first, cfg, upload, scratch, grad, g_s_norm);
+                Collected::Scored(score, retained, info)
             };
+            let timer = tel.start();
             let collected = transport.round_trip(t, data_members, params, &fold);
+            tel.stop(timer, "collect", Some(t as u64));
             debug_assert_eq!(collected.len(), data_members.len());
-            let mut folds: Vec<(f64, Retained)> = collected
+            let mut folds: Vec<(f64, Retained, Option<CheckInfo>)> = collected
                 .into_iter()
                 .map(|c| match c {
-                    Collected::Scored(score, retained) => (score, retained),
+                    Collected::Scored(score, retained, info) => (score, retained, info),
                     // Late/missing uploads join the rejected set: the same
                     // +0.0 score and zero update contribution a first-stage
-                    // rejection produces.
-                    Collected::Dropped => (0.0, Retained::Rejected),
+                    // rejection produces. No `CheckInfo`: the first stage
+                    // never saw them (telemetry counts them as dropped).
+                    Collected::Dropped => (0.0, Retained::Rejected, None),
                     Collected::Upload(_) => unreachable!("streaming fold returns scored slots"),
                 })
                 .collect();
 
             // Byzantine cohort members the transport did not cover.
+            let timer = tel.start();
             match &cfg.attack {
                 AttackSpec::None => {
                     // `craft_uploads` produces nothing for `None`, so a
@@ -370,19 +391,26 @@ pub(crate) fn orchestrate(
                 AttackSpec::LabelFlip => {}
                 other => unreachable!("attack {other:?} is not streamable (materialized path)"),
             }
+            tel.stop(timer, "attack", Some(t as u64));
             debug_assert_eq!(folds.len(), cohort.len());
 
-            let update = state.finish_streaming(cfg, &cohort, &folds, &mut stats, lr);
+            let timer = tel.start();
+            let update =
+                state.finish_streaming(cfg, &cohort, &folds, &mut stats, lr, metrics.as_mut());
             vecops::add_assign(params, &update);
+            tel.stop(timer, "aggregate", Some(t as u64));
         } else {
             // Materialized reference pipeline: collect the raw uploads.
             let fold = |upload: Vec<f32>, _scratch: &mut KsScratch| Collected::Upload(upload);
+            let timer = tel.start();
             let collected = transport.round_trip(t, data_members, params, &fold);
+            tel.stop(timer, "collect", Some(t as u64));
             debug_assert_eq!(collected.len(), data_members.len());
             let mut slots = collected.into_iter().map(|c| match c {
                 Collected::Upload(u) => u,
                 // A dropped member contributes the zero vector — exactly
-                // what a first-stage rejection would zero it to.
+                // what a first-stage rejection would zero it to (telemetry
+                // counts it among the norm-test rejections downstream).
                 Collected::Dropped => vec![0.0f32; d],
                 Collected::Scored(..) => unreachable!("materialized fold returns raw uploads"),
             });
@@ -400,28 +428,53 @@ pub(crate) fn orchestrate(
                 total_rounds: iterations,
                 poisoned_uploads: &poisoned_uploads,
             };
+            let timer = tel.start();
             let byzantine = craft_uploads(&cfg.attack, &ctx, &mut attack_rng);
+            tel.stop(timer, "attack", Some(t as u64));
 
             let mut uploads = benign;
             uploads.extend(byzantine);
 
-            // Server step.
+            // Server step. Defenses without a per-upload filter accept (and
+            // aggregate) the whole cohort; their telemetry records exactly
+            // that, with no stage-1/stage-2 breakdown.
+            if let Some(m) = &mut metrics {
+                if cfg.defense != DefenseKind::TwoStage {
+                    m.accepted = cohort.len() as u64;
+                    m.selected = cohort.len() as u64;
+                    m.retained_exact_bytes = (cohort.len() * d * 4) as u64;
+                }
+            }
             match (&cfg.defense, defense.as_mut()) {
                 (DefenseKind::NoDefense, _) => {
+                    let timer = tel.start();
                     let refs: Vec<&[f32]> = uploads.iter().map(|u| u.as_slice()).collect();
                     let g = vecops::mean(&refs).expect("at least one worker");
                     vecops::axpy(-(lr as f32), &g, params);
+                    tel.stop(timer, "aggregate", Some(t as u64));
                 }
                 (DefenseKind::Robust { rule }, _) => {
+                    let timer = tel.start();
                     let g = rule.aggregate(&uploads);
                     vecops::axpy(-(lr as f32), &g, params);
+                    tel.stop(timer, "aggregate", Some(t as u64));
                 }
                 (DefenseKind::TwoStage, Some(state)) => {
-                    let update = state.step(cfg, &cohort, &mut uploads, params, &mut stats, lr);
+                    let update = state.step(
+                        cfg,
+                        &cohort,
+                        &mut uploads,
+                        params,
+                        &mut stats,
+                        lr,
+                        tel,
+                        metrics.as_mut(),
+                    );
                     vecops::add_assign(params, &update);
                 }
                 (DefenseKind::TwoStage, None) => unreachable!("two-stage state always built"),
                 (DefenseKind::FlTrust, _) => {
+                    let timer = tel.start();
                     let (aux, model, grad_buf) =
                         fltrust_state.as_mut().expect("fltrust state always built");
                     model.set_params(params);
@@ -432,14 +485,26 @@ pub(crate) fn orchestrate(
                     let refs: Vec<&[f32]> = uploads.iter().map(|u| u.as_slice()).collect();
                     let g = crate::aggregator_ext::fltrust(&refs, grad_buf);
                     vecops::axpy(-(lr as f32), &g, params);
+                    tel.stop(timer, "aggregate", Some(t as u64));
                 }
             }
         }
 
+        // Publish the round's deterministic counters, stamped with the
+        // cumulative achieved ε through this round.
+        if let Some(mut m) = metrics {
+            if let Some(schedule) = eps_schedule {
+                m.achieved_epsilon = Some(schedule.epsilon_at((t + 1) as u64));
+            }
+            tel.round(m);
+        }
+
         // Periodic evaluation.
         if (t + 1) % eval_every == 0 || t + 1 == iterations {
+            let timer = tel.start();
             server_model.set_params(params);
             let acc = accuracy(server_model, &test.features, &test.labels);
+            tel.stop(timer, "eval", Some(t as u64));
             history.push(EvalPoint {
                 iteration: t + 1,
                 epoch: (t + 1) as f64 * cfg.dp.batch_size as f64 / cfg.per_worker as f64,
@@ -467,6 +532,11 @@ impl TwoStageState {
     /// `uploads[k]` is the upload of global worker `cohort[k]`; at full
     /// participation the cohort is the identity and this is exactly the
     /// pre-sampling pipeline.
+    ///
+    /// `metrics` (present iff a telemetry sink is attached) receives the
+    /// round's stage-1 breakdown, score summary and selection count,
+    /// accumulated sequentially in cohort order.
+    #[allow(clippy::too_many_arguments)]
     fn step(
         &mut self,
         cfg: &SimulationConfig,
@@ -475,7 +545,10 @@ impl TwoStageState {
         params: &[f32],
         stats: &mut DefenseStats,
         lr: f64,
+        tel: &Telemetry,
+        mut metrics: Option<&mut RoundMetrics>,
     ) -> Vec<f32> {
+        let round = metrics.as_ref().map(|m| m.round);
         // First stage: test-and-zero every upload. The per-upload checks fan
         // out under rayon as one contiguous chunk per thread; each chunk owns
         // one `KsScratch` (histogram + sort buffer) reused across its
@@ -485,29 +558,31 @@ impl TwoStageState {
         // vectors in chunk order restores upload order exactly. The ablation
         // flags can disable the stage entirely or force the always-sort
         // reference path (decision-equivalent by contract).
-        let verdicts: Vec<bool> = if !cfg.defense_cfg.first_stage_enabled {
-            vec![true; uploads.len()]
+        let timer = tel.start();
+        let verdicts: Vec<Option<CheckInfo>> = if !cfg.defense_cfg.first_stage_enabled {
+            vec![None; uploads.len()]
         } else if !cfg.defense_cfg.ks_fast_path {
             let first = &self.first;
-            uploads.par_iter_mut().map(|u| first.filter_reference(u).is_accepted()).collect()
+            uploads.par_iter_mut().map(|u| Some(first.filter_reference_info(u))).collect()
         } else {
             let first = &self.first;
             let chunk = uploads.len().div_ceil(rayon::current_num_threads().max(1)).max(1);
             let chunks: Vec<&mut [Vec<f32>]> = uploads.chunks_mut(chunk).collect();
-            let nested: Vec<Vec<bool>> = chunks
+            let nested: Vec<Vec<Option<CheckInfo>>> = chunks
                 .into_par_iter()
                 .map(|chunk| {
                     let mut scratch = KsScratch::new();
                     chunk
                         .iter_mut()
-                        .map(|u| first.filter_with(u, &mut scratch).is_accepted())
+                        .map(|u| Some(first.filter_with_info(u, &mut scratch)))
                         .collect()
                 })
                 .collect();
             nested.into_iter().flatten().collect()
         };
-        for (k, &ok) in verdicts.iter().enumerate() {
-            if !ok {
+        tel.stop(timer, "stage1", round);
+        for (k, info) in verdicts.iter().enumerate() {
+            if !info.is_none_or(|i| i.verdict.is_accepted()) {
                 if cohort[k] < cfg.n_honest {
                     stats.first_stage_rejected_honest += 1;
                 } else {
@@ -515,11 +590,21 @@ impl TwoStageState {
                 }
             }
         }
+        if let Some(m) = metrics.as_deref_mut() {
+            // Sequential, in cohort order — the chunked fan-out above merged
+            // its verdicts back in chunk order, so this is thread-count
+            // independent.
+            for &info in &verdicts {
+                note_stage1(m, info, false);
+            }
+            m.retained_exact_bytes = m.accepted * 4 * params.len() as u64;
+        }
 
         // Server's clean gradient from auxiliary data (Algorithm 3 line 4),
         // as one batched forward/backward over the aux dataset's already
         // packed feature matrix — no per-round packing, no per-example
         // dispatch.
+        let timer = tel.start();
         self.server_model.set_params(params);
         let loss_fn = CrossEntropyLoss;
         self.server_model.batch_gradient_packed(
@@ -531,9 +616,19 @@ impl TwoStageState {
 
         // Second stage: score, threshold, accumulate, select.
         let selection = self.second.select_for(cohort, uploads, &self.grad_buf);
+        tel.stop(timer, "stage2", round);
         stats.total_selected += selection.selected.len() as u64;
         stats.byzantine_selected +=
             selection.selected.iter().filter(|&&i| i >= cfg.n_honest).count() as u64;
+        if let Some(m) = metrics {
+            // Post-suppression round scores, observed in cohort order — the
+            // same vector (and order) the streaming path records, so the two
+            // pipelines agree on the score summary.
+            for &i in cohort {
+                m.scores.observe(selection.round_scores[i]);
+            }
+            m.selected = selection.selected.len() as u64;
+        }
 
         // Model update: w ← w − η·(1/n)·Σ_{g∈G} g (Algorithm 1 line 14).
         // `n` is the round's participant count — at full participation the
@@ -542,6 +637,7 @@ impl TwoStageState {
             StepNormalization::TotalWorkers => cohort.len() as f64,
             StepNormalization::SelectedCount => selection.selected.len().max(1) as f64,
         };
+        let timer = tel.start();
         let d = params.len();
         let mut update = vec![0.0f64; d];
         for &i in &selection.selected {
@@ -552,7 +648,9 @@ impl TwoStageState {
             }
         }
         let coef = -lr / denom;
-        update.into_iter().map(|u| (u * coef) as f32).collect()
+        let update = update.into_iter().map(|u| (u * coef) as f32).collect();
+        tel.stop(timer, "aggregate", round);
+        update
     }
 
     /// Computes the round's server gradient from the auxiliary data
@@ -594,19 +692,31 @@ impl TwoStageState {
         &mut self,
         cfg: &SimulationConfig,
         cohort: &[usize],
-        folds: &[(f64, Retained)],
+        folds: &[(f64, Retained, Option<CheckInfo>)],
         stats: &mut DefenseStats,
         lr: f64,
+        mut metrics: Option<&mut RoundMetrics>,
     ) -> Vec<f32> {
         // Bookkeeping + full-length round scores, in cohort (= global index)
-        // order.
+        // order. The telemetry counters accumulate in the same sequential
+        // pass — after the shard merge, so they inherit its thread-count
+        // independence.
         let mut round_scores = vec![0.0f64; self.second.accumulated_scores().len()];
-        for (&i, (score, r)) in cohort.iter().zip(folds) {
-            if matches!(r, Retained::Rejected) {
+        for (&i, (score, r, info)) in cohort.iter().zip(folds) {
+            let rejected = matches!(r, Retained::Rejected);
+            if rejected {
                 if i < cfg.n_honest {
                     stats.first_stage_rejected_honest += 1;
                 } else {
                     stats.first_stage_rejected_byzantine += 1;
+                }
+            }
+            if let Some(m) = metrics.as_deref_mut() {
+                note_stage1(m, *info, info.is_none() && rejected);
+                match r {
+                    Retained::Rejected => {}
+                    Retained::Exact(g) => m.retained_exact_bytes += 4 * g.len() as u64,
+                    Retained::Quantized(q) => m.retained_quantized_bytes += 4 + 2 * q.len() as u64,
                 }
             }
             round_scores[i] = *score;
@@ -617,6 +727,12 @@ impl TwoStageState {
         stats.total_selected += selection.selected.len() as u64;
         stats.byzantine_selected +=
             selection.selected.iter().filter(|&&i| i >= cfg.n_honest).count() as u64;
+        if let Some(m) = metrics {
+            for &i in cohort {
+                m.scores.observe(selection.round_scores[i]);
+            }
+            m.selected = selection.selected.len() as u64;
+        }
 
         // Model update from the retained survivors.
         let denom = match cfg.defense_cfg.step_normalization {
@@ -648,9 +764,41 @@ impl TwoStageState {
     }
 }
 
+/// Folds one upload's first-stage outcome into the round's counters.
+///
+/// `info == None` means the stage never examined the upload: either the
+/// first stage is ablated off (the upload was accepted wholesale) or the
+/// upload never arrived (`dropped`). KS path counters only move for checks
+/// that reached the KS test — an accept or a KS rejection.
+fn note_stage1(m: &mut RoundMetrics, info: Option<CheckInfo>, dropped: bool) {
+    let Some(ci) = info else {
+        if dropped {
+            m.rejected_dropped += 1;
+        } else {
+            m.accepted += 1;
+        }
+        return;
+    };
+    match ci.verdict {
+        FirstStageVerdict::Accepted => m.accepted += 1,
+        FirstStageVerdict::NonFinite => m.rejected_non_finite += 1,
+        FirstStageVerdict::NormOutOfRange => m.rejected_norm += 1,
+        FirstStageVerdict::KsRejected => m.rejected_ks += 1,
+    }
+    if matches!(ci.verdict, FirstStageVerdict::Accepted | FirstStageVerdict::KsRejected) {
+        if ci.ks_exact {
+            m.ks_exact_fallback += 1;
+        } else {
+            m.ks_fast_path += 1;
+        }
+    }
+}
+
 /// One upload through the streaming fold: first-stage filter, second-stage
 /// score, retention. A pure function of the upload bits (plus the fixed
-/// server gradient), which is what makes the shard merge order-insensitive.
+/// server gradient), which is what makes the shard merge order-insensitive —
+/// the returned [`CheckInfo`] included, so per-shard telemetry partials merge
+/// exactly like the fold itself.
 pub(crate) fn fold_upload(
     first: &FirstStage,
     cfg: &SimulationConfig,
@@ -658,18 +806,18 @@ pub(crate) fn fold_upload(
     scratch: &mut KsScratch,
     server_grad: &[f32],
     server_grad_norm: f64,
-) -> (f64, Retained) {
-    let accepted = if !cfg.defense_cfg.first_stage_enabled {
-        true
+) -> (f64, Retained, Option<CheckInfo>) {
+    let info = if !cfg.defense_cfg.first_stage_enabled {
+        None
     } else if !cfg.defense_cfg.ks_fast_path {
-        first.filter_reference(&mut upload).is_accepted()
+        Some(first.filter_reference_info(&mut upload))
     } else {
-        first.filter_with(&mut upload, scratch).is_accepted()
+        Some(first.filter_with_info(&mut upload, scratch))
     };
-    if !accepted {
+    if !info.is_none_or(|i| i.verdict.is_accepted()) {
         // The materialized pipeline zeroes the upload and scores the zero
         // vector: exactly +0.0. Drop the bytes, keep the literal.
-        return (0.0, Retained::Rejected);
+        return (0.0, Retained::Rejected, info);
     }
     let mut score = vecops::dot(&upload, server_grad);
     if cfg.defense_cfg.scoring == ScoringRule::Cosine {
@@ -687,7 +835,7 @@ pub(crate) fn fold_upload(
         UploadRetention::Exact => Retained::Exact(upload),
         UploadRetention::Quantized => Retained::Quantized(QuantizedVec::encode(&upload)),
     };
-    (score, retained)
+    (score, retained, info)
 }
 
 /// One worker's protocol upload.

@@ -34,10 +34,11 @@ use crate::round::{
     data_worker, init_model, on_demand_worker, protocol_step, Collected, Transport, UploadFold,
 };
 use crate::simulation::{
-    data_worker_count, prepare, resolve_sigma, run_with_transport, Provisioning, RunResult,
-    RunSummary, SimulationConfig,
+    data_worker_count, prepare, resolve_sigma, run_with_transport_telemetry, Provisioning,
+    RunResult, RunSummary, SimulationConfig,
 };
 use crate::worker::DpWorker;
+use dpbfl_telemetry::Telemetry;
 use dpbfl_transport::frame::{read_handshake, write_handshake, DEFAULT_MAX_FRAME_LEN};
 use dpbfl_transport::Message;
 use serde::{Deserialize, Serialize};
@@ -46,7 +47,9 @@ use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Per-round serving policy: how long the server waits for uploads.
@@ -79,8 +82,20 @@ pub struct ServingReport {
     pub p99_round_ms: f64,
     /// Round throughput over the whole run, rounds per second.
     pub rounds_per_sec: f64,
-    /// Uploads that missed their round deadline (dropped members).
+    /// Uploads that missed their round deadline (dropped members). Always
+    /// `dropped_deadline + dropped_dead_connection`; kept as the stable
+    /// headline counter consumers already read from `BENCH_serving.json`.
     pub dropped_uploads: u64,
+    /// Dropped uploads whose client connection was still alive when the
+    /// round closed — the member was merely late (a straggler).
+    pub dropped_deadline: u64,
+    /// Dropped uploads whose client connection's reader thread had already
+    /// terminated (EOF or decode error) when the round closed.
+    pub dropped_dead_connection: u64,
+    /// Uploads that arrived tagged with an already-closed round and were
+    /// discarded on arrival. Not counted in `dropped_uploads`: the member
+    /// was already dropped when its round's deadline passed.
+    pub discarded_stale: u64,
 }
 
 /// A parsed serving address.
@@ -156,16 +171,22 @@ enum Listener {
 }
 
 impl Listener {
-    fn accept(&self) -> std::io::Result<Stream> {
+    /// Accepts one connection, returning the stream and a printable peer
+    /// address (TCP `IP:PORT`; Unix peers are usually unnamed).
+    fn accept(&self) -> std::io::Result<(Stream, String)> {
         match self {
             Listener::Tcp(l) => {
-                let (s, _) = l.accept()?;
+                let (s, peer) = l.accept()?;
                 s.set_nodelay(true).ok();
-                Ok(Stream::Tcp(s))
+                Ok((Stream::Tcp(s), peer.to_string()))
             }
             Listener::Unix(l) => {
-                let (s, _) = l.accept()?;
-                Ok(Stream::Unix(s))
+                let (s, addr) = l.accept()?;
+                let peer = addr
+                    .as_pathname()
+                    .map(|p| p.display().to_string())
+                    .unwrap_or_else(|| "unix:unnamed".to_string());
+                Ok((Stream::Unix(s), peer))
             }
         }
     }
@@ -225,25 +246,45 @@ impl BoundServer {
         cfg: &SimulationConfig,
         policy: &RoundPolicy,
     ) -> Result<(RunResult, ServingReport), String> {
+        self.serve_telemetry(cfg, policy, &Telemetry::null())
+    }
+
+    /// Like [`BoundServer::serve`], but records telemetry: structured
+    /// `client_rejected`/`upload_dropped`/`upload_stale` events, a
+    /// `serving_round` latency span per round, and the orchestrator's
+    /// per-round defense metrics. With a null [`Telemetry`] this is exactly
+    /// [`BoundServer::serve`].
+    pub fn serve_telemetry(
+        self,
+        cfg: &SimulationConfig,
+        policy: &RoundPolicy,
+        tel: &Telemetry,
+    ) -> Result<(RunResult, ServingReport), String> {
         let required = data_member_indices(cfg);
         let config_json = serde_json::to_string(cfg).map_err(|e| e.to_string())?;
         let (tx, rx) = channel();
         let mut conns: Vec<ClientConn> = Vec::new();
         let mut claimed: BTreeMap<u32, usize> = BTreeMap::new();
         while claimed.len() < required.len() {
-            let mut stream =
+            let (mut stream, peer) =
                 self.listener.accept().map_err(|e| format!("accept on {}: {e}", self.local))?;
             match admit(&mut stream, &required, &claimed, &config_json) {
                 Ok(workers) => {
                     for &w in &workers {
                         claimed.insert(w, conns.len());
                     }
-                    spawn_reader(&stream, tx.clone())?;
-                    conns.push(ClientConn { stream, workers });
+                    let alive = Arc::new(AtomicBool::new(true));
+                    spawn_reader(&stream, tx.clone(), Arc::clone(&alive))?;
+                    conns.push(ClientConn { stream, workers, alive });
                 }
                 // A bad hello (unknown/duplicate indices, wrong protocol
                 // version) rejects that connection, not the whole run.
-                Err(e) => eprintln!("rejected client: {e}"),
+                Err(e) => {
+                    eprintln!("rejected client {peer}: {e}");
+                    if tel.enabled() {
+                        tel.event("client_rejected", None, format!("{peer}: {e}"));
+                    }
+                }
             }
         }
         let clients = conns.len();
@@ -251,14 +292,18 @@ impl BoundServer {
         let prep = prepare(cfg);
         let mut transport = TcpTransport {
             conns,
+            claimed,
             rx,
             policy: policy.clone(),
             scratch: crate::first_stage::KsScratch::new(),
             round_ms: Vec::new(),
-            dropped: 0,
+            dropped_deadline: 0,
+            dropped_dead_connection: 0,
+            discarded_stale: 0,
             started: Instant::now(),
+            tel,
         };
-        let result = run_with_transport(cfg, &prep, &mut transport);
+        let result = run_with_transport_telemetry(cfg, &prep, &mut transport, tel);
         let wall = transport.started.elapsed().as_secs_f64();
         let report = ServingReport {
             rounds: transport.round_ms.len(),
@@ -266,7 +311,10 @@ impl BoundServer {
             p50_round_ms: percentile(&transport.round_ms, 50.0),
             p99_round_ms: percentile(&transport.round_ms, 99.0),
             rounds_per_sec: if wall > 0.0 { transport.round_ms.len() as f64 / wall } else { 0.0 },
-            dropped_uploads: transport.dropped,
+            dropped_uploads: transport.dropped_deadline + transport.dropped_dead_connection,
+            dropped_deadline: transport.dropped_deadline,
+            dropped_dead_connection: transport.dropped_dead_connection,
+            discarded_stale: transport.discarded_stale,
         };
         Ok((result, report))
     }
@@ -315,19 +363,28 @@ fn admit(
 
 /// Spawns the connection's reader thread: every decoded `Upload` goes to the
 /// collector channel; any decode error or EOF ends the thread (the member
-/// simply stops delivering and drops out of subsequent rounds).
-fn spawn_reader(stream: &Stream, tx: Sender<(u32, u32, Vec<f32>)>) -> Result<(), String> {
+/// simply stops delivering and drops out of subsequent rounds). The `alive`
+/// flag is cleared when the thread exits, so the transport can tell a dead
+/// connection from a straggler when it classifies dropped uploads.
+fn spawn_reader(
+    stream: &Stream,
+    tx: Sender<(u32, u32, Vec<f32>)>,
+    alive: Arc<AtomicBool>,
+) -> Result<(), String> {
     let mut read_half = stream.try_clone().map_err(|e| format!("clone stream: {e}"))?;
-    std::thread::spawn(move || loop {
-        match Message::read_from(&mut read_half, DEFAULT_MAX_FRAME_LEN) {
-            Ok(Message::Upload { round, worker, data }) => {
-                if tx.send((worker, round, data)).is_err() {
-                    return;
+    std::thread::spawn(move || {
+        loop {
+            match Message::read_from(&mut read_half, DEFAULT_MAX_FRAME_LEN) {
+                Ok(Message::Upload { round, worker, data }) => {
+                    if tx.send((worker, round, data)).is_err() {
+                        break;
+                    }
                 }
+                Ok(_) => {}
+                Err(_) => break,
             }
-            Ok(_) => {}
-            Err(_) => return,
         }
+        alive.store(false, Ordering::Release);
     });
     Ok(())
 }
@@ -335,22 +392,29 @@ fn spawn_reader(stream: &Stream, tx: Sender<(u32, u32, Vec<f32>)>) -> Result<(),
 struct ClientConn {
     stream: Stream,
     workers: Vec<u32>,
+    /// True while the connection's reader thread is running.
+    alive: Arc<AtomicBool>,
 }
 
 /// The wire transport: broadcasts `RoundBegin` to every connection serving a
 /// cohort member, folds uploads in arrival order (placing results by member
 /// index), and drops members that miss the round deadline.
-struct TcpTransport {
+struct TcpTransport<'a> {
     conns: Vec<ClientConn>,
+    /// Worker index → owning connection, for drop-reason classification.
+    claimed: BTreeMap<u32, usize>,
     rx: Receiver<(u32, u32, Vec<f32>)>,
     policy: RoundPolicy,
     scratch: crate::first_stage::KsScratch,
     round_ms: Vec<f64>,
-    dropped: u64,
+    dropped_deadline: u64,
+    dropped_dead_connection: u64,
+    discarded_stale: u64,
     started: Instant,
+    tel: &'a Telemetry,
 }
 
-impl Transport for TcpTransport {
+impl Transport for TcpTransport<'_> {
     fn round_trip(
         &mut self,
         round: usize,
@@ -395,14 +459,52 @@ impl Transport for TcpTransport {
                     }
                 }
                 // Stale round (straggler past its deadline): discard.
-                Ok(_) => {}
+                Ok((worker, r, _)) => {
+                    self.discarded_stale += 1;
+                    if self.tel.enabled() {
+                        self.tel.event(
+                            "upload_stale",
+                            Some(round as u64),
+                            format!("worker {worker}: upload for closed round {r} discarded"),
+                        );
+                    }
+                }
                 Err(RecvTimeoutError::Timeout) => break,
                 // Every reader thread is gone; nothing more will arrive.
                 Err(RecvTimeoutError::Disconnected) => break,
             }
         }
-        self.dropped += (members.len() - got) as u64;
-        self.round_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        // Classify every member the round closed without: a dead reader
+        // thread means the connection is gone; otherwise the member was
+        // merely late (a straggler past the deadline).
+        for (pos, slot) in slots.iter().enumerate() {
+            if slot.is_some() {
+                continue;
+            }
+            let w = members[pos] as u32;
+            let conn_alive = self
+                .claimed
+                .get(&w)
+                .map(|&c| self.conns[c].alive.load(Ordering::Acquire))
+                .unwrap_or(false);
+            let reason = if conn_alive {
+                self.dropped_deadline += 1;
+                "deadline"
+            } else {
+                self.dropped_dead_connection += 1;
+                "dead-connection"
+            };
+            if self.tel.enabled() {
+                self.tel.event(
+                    "upload_dropped",
+                    Some(round as u64),
+                    format!("worker {w}: {reason}"),
+                );
+            }
+        }
+        let elapsed = start.elapsed();
+        self.round_ms.push(elapsed.as_secs_f64() * 1e3);
+        self.tel.span("serving_round", Some(round as u64), elapsed.as_micros() as u64);
         slots.into_iter().map(|s| s.unwrap_or(Collected::Dropped)).collect()
     }
 
@@ -597,6 +699,9 @@ mod tests {
         );
         assert_eq!(summary_json(&result), expected, "tcp serving ≠ in-process");
         assert_eq!(report.dropped_uploads, 0);
+        assert_eq!(report.dropped_deadline, 0);
+        assert_eq!(report.dropped_dead_connection, 0);
+        assert_eq!(report.discarded_stale, 0);
         assert_eq!(report.rounds, cfg.iterations());
         assert_eq!(report.clients, 2);
         assert!(report.p50_round_ms <= report.p99_round_ms);
@@ -660,8 +765,11 @@ mod tests {
             serve_loopback(&cfg, "tcp://127.0.0.1:0", &policy, workers.clone(), opts.clone());
         let (b, _, _) = serve_loopback(&cfg, "tcp://127.0.0.1:0", &policy, workers, opts);
         assert_eq!(summary_json(&a), summary_json(&b), "dropout run not deterministic");
-        // Round 2 lost workers 3 (honest) and 4, 5 (byzantine).
+        // Round 2 lost workers 3 (honest) and 4, 5 (byzantine). The client
+        // stayed connected, so every drop classifies as a deadline miss.
         assert_eq!(report_a.dropped_uploads, 3);
+        assert_eq!(report_a.dropped_deadline, 3);
+        assert_eq!(report_a.dropped_dead_connection, 0);
         let full = run(&cfg);
         assert!(
             a.defense_stats.first_stage_rejected_honest

@@ -15,9 +15,10 @@ use crate::first_stage::FirstStage;
 use crate::round::{InProcessTransport, Transport, TwoStageState};
 use crate::second_stage::SecondStage;
 use dpbfl_data::{iid_partition, non_iid_partition, sample_auxiliary, Dataset, SyntheticSpec};
-use dpbfl_dp::{paper_delta, RdpAccountant};
+use dpbfl_dp::{paper_delta, EpsilonSchedule, RdpAccountant};
 use dpbfl_nn::{zoo, Sequential};
 use dpbfl_stats::sample_without_replacement;
+use dpbfl_telemetry::Telemetry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -465,11 +466,26 @@ pub fn run(cfg: &SimulationConfig) -> RunResult {
 /// [`PreparedRun::cache_key`] as `cfg` (enforced by assertion on the worker
 /// count); cells of a grid sharing a key may share one `prep`.
 pub fn run_prepared(cfg: &SimulationConfig, prep: &PreparedRun) -> RunResult {
+    run_prepared_telemetry(cfg, prep, &Telemetry::null())
+}
+
+/// [`run_prepared`] with a telemetry sink attached.
+///
+/// The returned [`RunResult`] is byte-identical to [`run_prepared`]'s:
+/// telemetry only *observes* (counters accumulate after the fold's shard
+/// merge, in cohort order; no sink ever draws RNG or reorders accumulation),
+/// so enabling it cannot perturb the run. With [`Telemetry::null`] this *is*
+/// [`run_prepared`].
+pub fn run_prepared_telemetry(
+    cfg: &SimulationConfig,
+    prep: &PreparedRun,
+    tel: &Telemetry,
+) -> RunResult {
     // The sign-compression substrate is structurally different (majority
     // vote instead of gradient averaging) and owns its data pipeline: a
     // shared `prep` is simply unused for such cells.
     if matches!(cfg.protocol, WorkerProtocol::SignDp { .. }) {
-        return crate::baseline::run_sign_dp_simulation(cfg);
+        return crate::baseline::run_sign_dp_simulation_telemetry(cfg, tel);
     }
     assert!(
         cfg.sampling.is_finite() && cfg.sampling > 0.0 && cfg.sampling <= 1.0,
@@ -480,7 +496,7 @@ pub fn run_prepared(cfg: &SimulationConfig, prep: &PreparedRun) -> RunResult {
     let mut dp = cfg.dp.clone();
     dp.noise_multiplier = sigma;
     let mut transport = InProcessTransport::new(cfg, prep, &dp);
-    run_with_transport(cfg, prep, &mut transport)
+    run_with_transport_telemetry(cfg, prep, &mut transport, tel)
 }
 
 /// Runs one full experiment on already-prepared data, delivering uploads
@@ -499,6 +515,17 @@ pub fn run_with_transport(
     cfg: &SimulationConfig,
     prep: &PreparedRun,
     transport: &mut dyn Transport,
+) -> RunResult {
+    run_with_transport_telemetry(cfg, prep, transport, &Telemetry::null())
+}
+
+/// [`run_with_transport`] with a telemetry sink attached — same contract as
+/// [`run_prepared_telemetry`]: the result is byte-identical with any sink.
+pub fn run_with_transport_telemetry(
+    cfg: &SimulationConfig,
+    prep: &PreparedRun,
+    transport: &mut dyn Transport,
+    tel: &Telemetry,
 ) -> RunResult {
     assert!(
         !matches!(cfg.protocol, WorkerProtocol::SignDp { .. }),
@@ -570,6 +597,15 @@ pub fn run_with_transport(
     };
 
     // ---- training loop ----------------------------------------------------
+    // Per-round telemetry annotates each round with the cumulative achieved
+    // ε. The RDP curve is round-invariant, so derive it once here instead of
+    // rebuilding the accountant inside the loop.
+    let eps_schedule = if tel.enabled() && dp.noise_multiplier > 0.0 && delta > 0.0 {
+        let q_batch = cfg.dp.batch_size as f64 / cfg.per_worker as f64;
+        Some(EpsilonSchedule::new(cfg.sampling, q_batch, dp.noise_multiplier, delta))
+    } else {
+        None
+    };
     let iterations = cfg.iterations();
     let (history, stats) = crate::round::orchestrate(
         cfg,
@@ -581,6 +617,8 @@ pub fn run_with_transport(
         &mut defense,
         &mut fltrust_state,
         transport,
+        tel,
+        eps_schedule.as_ref(),
     );
 
     let final_accuracy = history.last().map(|p| p.accuracy).unwrap_or(0.0);

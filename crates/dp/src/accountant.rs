@@ -126,6 +126,57 @@ pub fn amplified_epsilon(q_client: f64, q_batch: f64, steps: u64, sigma: f64, de
     achieved_epsilon(q_client * q_batch, steps, sigma, delta)
 }
 
+/// Precomputed cumulative-ε schedule for round-by-round accounting.
+///
+/// Per-round telemetry wants the achieved ε after each of `T` rounds.
+/// Calling [`amplified_epsilon`] every round re-derives the
+/// subsampled-Gaussian RDP curve — a series expansion per Rényi order, the
+/// expensive part — `T` times over, even though RDP composes *linearly* in
+/// the step count. This caches the per-step curve once; each
+/// [`EpsilonSchedule::epsilon_at`] call only scales it by the step count
+/// and converts to (ε, δ), which is bit-identical to [`amplified_epsilon`]
+/// at every step count (`compose_rdp` is exactly
+/// `steps · rdp_sampled_gaussian` per order).
+#[derive(Debug, Clone)]
+pub struct EpsilonSchedule {
+    orders: Vec<f64>,
+    per_step_rdp: Vec<f64>,
+    delta: f64,
+    rule: ConversionRule,
+}
+
+impl EpsilonSchedule {
+    /// Caches the per-step RDP curve at participation rate
+    /// `q_client · q_batch` with noise multiplier `sigma`, under the same
+    /// domain checks as [`amplified_epsilon`]. Requires `sigma > 0`: a
+    /// non-private run has no finite schedule to precompute.
+    pub fn new(q_client: f64, q_batch: f64, sigma: f64, delta: f64) -> Self {
+        assert!(
+            q_client.is_finite() && (0.0..=1.0).contains(&q_client),
+            "EpsilonSchedule: client sampling fraction must be a finite value in [0, 1], \
+             got {q_client} — refusing to extrapolate"
+        );
+        let q = q_client * q_batch;
+        assert!(
+            q.is_finite() && (0.0..=1.0).contains(&q),
+            "EpsilonSchedule: sampling rate q must be a finite value in [0, 1], got {q} — \
+             refusing to extrapolate the subsampled-Gaussian RDP bound"
+        );
+        assert!(sigma > 0.0, "EpsilonSchedule: sigma must be positive, got {sigma}");
+        let orders = default_orders();
+        let per_step_rdp = compose_rdp(q, sigma, 1, &orders);
+        EpsilonSchedule { orders, per_step_rdp, delta, rule: ConversionRule::default() }
+    }
+
+    /// Cumulative ε after `steps` composed rounds — bit-identical to
+    /// [`amplified_epsilon`] with the same inputs, without re-deriving the
+    /// RDP curve.
+    pub fn epsilon_at(&self, steps: u64) -> f64 {
+        let rdp: Vec<f64> = self.per_step_rdp.iter().map(|&r| steps as f64 * r).collect();
+        rdp_to_approx_dp(&self.orders, &rdp, self.delta, self.rule).0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -261,5 +312,25 @@ mod tests {
     #[should_panic(expected = "refusing to extrapolate")]
     fn amplified_epsilon_refuses_nan_client_fraction() {
         let _ = amplified_epsilon(f64::NAN, 0.01, 1000, 1.1, 1e-5);
+    }
+
+    #[test]
+    fn schedule_is_bit_exact_with_the_one_shot_accountant() {
+        let (q_client, q_batch, sigma, delta) = (0.8, 16.0 / 128.0, 0.79, 1e-4);
+        let schedule = EpsilonSchedule::new(q_client, q_batch, sigma, delta);
+        for steps in [1u64, 2, 7, 100, 1500] {
+            let one_shot = amplified_epsilon(q_client, q_batch, steps, sigma, delta);
+            assert_eq!(
+                schedule.epsilon_at(steps).to_bits(),
+                one_shot.to_bits(),
+                "steps={steps}: cached schedule diverged from the accountant"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be positive")]
+    fn schedule_refuses_nonprivate_sigma() {
+        let _ = EpsilonSchedule::new(1.0, 0.01, 0.0, 1e-5);
     }
 }

@@ -23,7 +23,9 @@ pub mod conversion;
 pub mod mechanism;
 pub mod rdp;
 
-pub use accountant::{achieved_epsilon, amplified_epsilon, paper_delta, RdpAccountant};
+pub use accountant::{
+    achieved_epsilon, amplified_epsilon, paper_delta, EpsilonSchedule, RdpAccountant,
+};
 pub use conversion::{rdp_to_approx_dp, ConversionRule};
 pub use mechanism::GaussianMechanism;
 pub use rdp::{compose_rdp, default_orders, rdp_sampled_gaussian};

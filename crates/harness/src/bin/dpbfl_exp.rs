@@ -5,7 +5,9 @@
 //! dpbfl-exp show <scenario|file.json>
 //! dpbfl-exp validate <file.json>
 //! dpbfl-exp run <scenario|file.json> [--threads N|auto] [--out DIR] [--resume] [--quiet]
+//!               [--metrics-dir DIR]
 //! dpbfl-exp report <scenario|file.json> [--out DIR]
+//! dpbfl-exp metrics <ledger.jsonl>
 //! dpbfl-exp docs [--out FILE] [--check]
 //! ```
 //!
@@ -27,7 +29,9 @@ USAGE:
     dpbfl-exp show <scenario|file.json>
     dpbfl-exp validate <file.json>
     dpbfl-exp run <scenario|file.json> [--threads N|auto] [--out DIR] [--resume] [--quiet]
+                  [--metrics-dir DIR]
     dpbfl-exp report <scenario|file.json> [--out DIR]
+    dpbfl-exp metrics <ledger.jsonl>
     dpbfl-exp docs [--out FILE] [--check]
 
 A scenario grid expands into cells (cartesian product of the spec's sweep
@@ -36,6 +40,12 @@ bit-identical at any thread count — and writes results.jsonl, report.md,
 report.csv and BENCH_harness.json under OUT/<scenario>/ (OUT defaults to
 target/harness). With --resume, cells whose content key already sits in
 results.jsonl are skipped.
+
+With --metrics-dir, every executed cell additionally records a telemetry
+ledger DIR/cell_<index>.jsonl (deterministic per-round metrics first, then
+wall-clock spans/events) and the reports gain mean-acceptance and ledger-ε
+columns; results are byte-identical with or without it. `metrics` renders
+one such ledger as a per-round table plus span totals.
 
 `docs` renders the built-in registry into the scenario catalog
 (docs/SCENARIOS.md by default); --check exits non-zero instead of writing
@@ -62,6 +72,7 @@ fn real_main() -> i32 {
         "validate" => validate(&args),
         "run" => run(&args),
         "report" => regenerate_report(&args),
+        "metrics" => render_metrics(&args),
         "docs" => write_docs(&args),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -158,6 +169,7 @@ struct Flags {
     out_dir: PathBuf,
     resume: bool,
     quiet: bool,
+    metrics_dir: Option<PathBuf>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -166,6 +178,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         out_dir: PathBuf::from("target/harness"),
         resume: false,
         quiet: false,
+        metrics_dir: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -178,6 +191,12 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--out" => {
                 let value = args.get(i + 1).ok_or_else(|| "--out needs a value".to_string())?;
                 flags.out_dir = PathBuf::from(value);
+                i += 2;
+            }
+            "--metrics-dir" => {
+                let value =
+                    args.get(i + 1).ok_or_else(|| "--metrics-dir needs a value".to_string())?;
+                flags.metrics_dir = Some(PathBuf::from(value));
                 i += 2;
             }
             "--resume" => {
@@ -208,11 +227,19 @@ fn run(args: &[String]) -> i32 {
             out_dir: flags.out_dir,
             resume: flags.resume,
             quiet: flags.quiet,
+            metrics_dir: flags.metrics_dir.clone(),
         };
         match runner::run_grid(&spec, &opts) {
             Ok(outcome) => {
                 if !flags.quiet {
-                    println!("{}", report::markdown(&spec, &outcome.records));
+                    println!(
+                        "{}",
+                        report::markdown_with_metrics(
+                            &spec,
+                            &outcome.records,
+                            &outcome.cell_metrics
+                        )
+                    );
                 }
                 println!(
                     "ran {} cells, skipped {} (resume), {} ms",
@@ -220,6 +247,13 @@ fn run(args: &[String]) -> i32 {
                 );
                 println!("results: {}", outcome.jsonl_path.display());
                 println!("reports: {}", outcome.scenario_dir.join("report.md").display());
+                if let Some(dir) = &flags.metrics_dir {
+                    println!(
+                        "metrics: {} ({} cell ledger(s))",
+                        dir.display(),
+                        outcome.cell_metrics.len()
+                    );
+                }
                 0
             }
             Err(e) => {
@@ -295,6 +329,83 @@ fn write_docs(args: &[String]) -> i32 {
         registry::names().len(),
         rendered.lines().count()
     );
+    0
+}
+
+/// `metrics <ledger.jsonl>`: render one cell's telemetry ledger as a
+/// per-round table (the deterministic section), followed by wall-clock
+/// span totals and any events.
+fn render_metrics(args: &[String]) -> i32 {
+    let Some(arg) = args.get(1) else {
+        eprintln!("error: missing <ledger.jsonl> argument\n\n{USAGE}");
+        return 2;
+    };
+    let text = match std::fs::read_to_string(arg) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: {arg}: {e}");
+            return 1;
+        }
+    };
+    let records = match dpbfl_telemetry::parse_ledger(&text) {
+        Ok(records) => records,
+        Err(e) => {
+            eprintln!("error: {arg}: {e}");
+            return 1;
+        }
+    };
+
+    println!(
+        "| round | cohort | accept | rej nf/norm/ks/drop | ks fast/exact | selected | \
+         score mean [min, max] | retained B | ε |"
+    );
+    println!("{}|", "|---".repeat(9));
+    for m in records.iter().filter_map(|r| r.round.as_ref()) {
+        println!(
+            "| {} | {} | {} | {}/{}/{}/{} | {}/{} | {} | {:.4} [{:.4}, {:.4}] | {} | {} |",
+            m.round,
+            m.cohort,
+            m.accepted,
+            m.rejected_non_finite,
+            m.rejected_norm,
+            m.rejected_ks,
+            m.rejected_dropped,
+            m.ks_fast_path,
+            m.ks_exact_fallback,
+            m.selected,
+            m.scores.mean,
+            m.scores.min,
+            m.scores.max,
+            m.retained_exact_bytes + m.retained_quantized_bytes,
+            m.achieved_epsilon.map_or("∞".into(), |e| format!("{e:.3}")),
+        );
+    }
+
+    // Span totals, in first-appearance order.
+    let mut totals: Vec<(String, u64, u64)> = Vec::new();
+    for s in records.iter().filter_map(|r| r.span.as_ref()) {
+        match totals.iter_mut().find(|(name, _, _)| *name == s.name) {
+            Some((_, count, micros)) => {
+                *count += 1;
+                *micros += s.micros;
+            }
+            None => totals.push((s.name.clone(), 1, s.micros)),
+        }
+    }
+    if !totals.is_empty() {
+        println!("\nspan totals (wall clock — excluded from determinism parity):");
+        for (name, count, micros) in &totals {
+            println!("  {name:<14} {count:>5}× {:>10.1} ms total", *micros as f64 / 1e3);
+        }
+    }
+    let events: Vec<_> = records.iter().filter_map(|r| r.event.as_ref()).collect();
+    if !events.is_empty() {
+        println!("\nevents:");
+        for e in events {
+            let round = e.round.map_or(String::new(), |r| format!(" [round {r}]"));
+            println!("  {}{round}: {}", e.name, e.detail);
+        }
+    }
     0
 }
 

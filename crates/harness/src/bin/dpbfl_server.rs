@@ -18,7 +18,10 @@
 //! an in-process `dpbfl::simulation::run` — CI's serving-smoke job diffs
 //! the two, using `--in-process` to produce the reference file without
 //! opening a socket. `--bench-out` writes the [`ServingReport`]
-//! round-latency metrics as `BENCH_serving.json`.
+//! round-latency metrics as `BENCH_serving.json`; `--metrics-out` records
+//! a full telemetry ledger (per-round defense metrics, `serving_round`
+//! latency spans, admission/drop events) renderable with
+//! `dpbfl-exp metrics`.
 
 use dpbfl::prelude::*;
 use dpbfl_harness::{registry, ScenarioSpec};
@@ -28,13 +31,15 @@ const USAGE: &str = "dpbfl-server — serve one dpbfl training run to remote wor
 
 USAGE:
     dpbfl-server <scenario|file.json> [--listen ADDR] [--deadline-ms N]
-                 [--summary-out FILE] [--bench-out FILE] [--in-process]
+                 [--summary-out FILE] [--bench-out FILE] [--metrics-out FILE]
+                 [--in-process]
 
 OPTIONS:
     --listen ADDR       tcp://HOST:PORT or unix://PATH (default tcp://127.0.0.1:0)
     --deadline-ms N     per-round upload deadline in milliseconds (default 30000)
     --summary-out FILE  write the final RunSummary JSON here
     --bench-out FILE    write the ServingReport JSON (BENCH_serving.json) here
+    --metrics-out FILE  record the telemetry ledger (metrics.jsonl) here
     --in-process        skip the network: run the cell through the in-process
                         transport and write the same outputs (the reference
                         side of the serving determinism diff)
@@ -58,6 +63,7 @@ fn real_main() -> i32 {
     let mut policy = RoundPolicy::default();
     let mut summary_out: Option<String> = None;
     let mut bench_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
     let mut in_process = false;
     let mut i = 1;
     while i < args.len() {
@@ -82,6 +88,7 @@ fn real_main() -> i32 {
             },
             "--summary-out" => summary_out = Some(value.clone()),
             "--bench-out" => bench_out = Some(value.clone()),
+            "--metrics-out" => metrics_out = Some(value.clone()),
             other => {
                 eprintln!("error: unknown flag `{other}`\n\n{USAGE}");
                 return 2;
@@ -99,9 +106,14 @@ fn real_main() -> i32 {
     };
     let workers = data_member_indices(&cfg);
 
+    let tel = match &metrics_out {
+        Some(path) => Telemetry::new(Box::new(JsonlSink::new(path.into()))),
+        None => Telemetry::null(),
+    };
     let (result, report) = if in_process {
         println!("running in-process (no socket)");
-        (dpbfl::simulation::run(&cfg), None)
+        let prep = dpbfl::simulation::prepare(&cfg);
+        (dpbfl::simulation::run_prepared_telemetry(&cfg, &prep, &tel), None)
     } else {
         let server = match BoundServer::bind(&listen) {
             Ok(server) => server,
@@ -117,7 +129,7 @@ fn real_main() -> i32 {
             server.local_addr(),
             workers.len().saturating_sub(1),
         );
-        match server.serve(&cfg, &policy) {
+        match server.serve_telemetry(&cfg, &policy, &tel) {
             Ok((result, report)) => (result, Some(report)),
             Err(e) => {
                 eprintln!("error: {e}");
@@ -125,6 +137,15 @@ fn real_main() -> i32 {
             }
         }
     };
+    if let Some(path) = &metrics_out {
+        match tel.flush() {
+            Ok(()) => println!("telemetry ledger written to {path}"),
+            Err(e) => {
+                eprintln!("error: writing {path}: {e}");
+                return 1;
+            }
+        }
+    }
     match &report {
         Some(report) => println!(
             "run complete: final accuracy {:.3} over {} rounds ({} clients, p50 {:.1} ms, p99 {:.1} ms, {:.2} rounds/s, {} dropped uploads)",

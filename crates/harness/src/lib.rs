@@ -18,7 +18,9 @@
 //! * [`sink`] — the JSONL result sink whose content-hashed cell keys back
 //!   `--resume` (finished cells are never recomputed).
 //! * [`report`] — markdown + CSV paper-style tables and the
-//!   machine-readable `BENCH_harness.json` summary.
+//!   machine-readable `BENCH_harness.json` summary; with `--metrics-dir`
+//!   the tables gain per-cell telemetry-ledger columns (mean stage-1
+//!   acceptance rate, ledger ε).
 //! * [`docs`] — the generated scenario catalog (`dpbfl-exp docs` renders
 //!   the registry into `docs/SCENARIOS.md`; CI keeps it fresh).
 //!
@@ -27,7 +29,7 @@
 //! `examples/` are thin pretty-printing wrappers over [`registry`], and the
 //! `crates/bench` paper-table binaries are thin wrappers over the same
 //! scenarios. `docs/ARCHITECTURE.md` (repo root) places this crate in the
-//! workspace's 9-crate dependency chain and spells out the determinism
+//! workspace's 10-crate dependency chain and spells out the determinism
 //! contract the runner extends to grid level.
 
 pub mod docs;

@@ -4,12 +4,54 @@
 use crate::runner::GridOutcome;
 use crate::sink::CellRecord;
 use crate::spec::ScenarioSpec;
+use dpbfl_telemetry::parse_ledger;
 use serde::Serialize;
 use std::collections::HashMap;
+
+/// What a cell's telemetry ledger boils down to for the reports: the
+/// deterministic per-round counters reduced to two headline figures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsDigest {
+    /// Rounds recorded in the ledger.
+    pub rounds: u64,
+    /// Mean per-round stage-1 acceptance rate (`accepted / cohort`).
+    pub mean_acceptance: f64,
+    /// The last round's cumulative achieved ε from the ledger; `None` for
+    /// non-private runs.
+    pub final_epsilon: Option<f64>,
+}
+
+/// Reduces a ledger file's `"round"` lines to a [`MetricsDigest`]. Errors
+/// on unparseable lines or a ledger with no round records.
+pub fn digest_ledger(text: &str) -> Result<MetricsDigest, String> {
+    let records = parse_ledger(text)?;
+    let rounds: Vec<_> = records.iter().filter_map(|r| r.round.as_ref()).collect();
+    if rounds.is_empty() {
+        return Err("ledger has no round records".into());
+    }
+    let mean_acceptance =
+        rounds.iter().map(|m| m.acceptance_rate()).sum::<f64>() / rounds.len() as f64;
+    Ok(MetricsDigest {
+        rounds: rounds.len() as u64,
+        mean_acceptance,
+        final_epsilon: rounds.last().and_then(|m| m.achieved_epsilon),
+    })
+}
 
 /// The flat per-cell markdown table plus, when the grid sweeps exactly two
 /// axes, a paper-style rows × columns accuracy pivot.
 pub fn markdown(spec: &ScenarioSpec, records: &[CellRecord]) -> String {
+    markdown_with_metrics(spec, records, &HashMap::new())
+}
+
+/// [`markdown`] with per-cell ledger digests: when `metrics` is non-empty
+/// the flat table gains `mean accept` and `ledger ε` columns (so reports
+/// without `--metrics-dir` stay byte-identical to previous releases).
+pub fn markdown_with_metrics(
+    spec: &ScenarioSpec,
+    records: &[CellRecord],
+    metrics: &HashMap<usize, MetricsDigest>,
+) -> String {
     let mut out = String::new();
     out.push_str(&format!("# {}\n\n", spec.title));
     if !spec.notes.is_empty() {
@@ -32,13 +74,19 @@ pub fn markdown(spec: &ScenarioSpec, records: &[CellRecord]) -> String {
         out.push('\n');
     }
 
-    // Flat table: one row per cell.
+    // Flat table: one row per cell. Ledger columns appear only when the
+    // run recorded metrics.
+    let with_metrics = !metrics.is_empty();
     out.push_str("| cell |");
     for axis in &axes {
         out.push_str(&format!(" {axis} |"));
     }
-    out.push_str(" accuracy | σ | lr | achieved ε | byz selected | 1st-stage rejects (H/B) |\n");
-    out.push_str(&"|---".repeat(axes.len() + 7));
+    out.push_str(" accuracy | σ | lr | achieved ε | byz selected | 1st-stage rejects (H/B) |");
+    if with_metrics {
+        out.push_str(" mean accept | ledger ε |");
+    }
+    out.push('\n');
+    out.push_str(&"|---".repeat(axes.len() + 7 + if with_metrics { 2 } else { 0 }));
     out.push_str("|\n");
     for record in records {
         let s = &record.summary;
@@ -49,7 +97,7 @@ pub fn markdown(spec: &ScenarioSpec, records: &[CellRecord]) -> String {
             out.push_str(&format!(" {} |", labels.get(axis.as_str()).unwrap_or(&"—")));
         }
         out.push_str(&format!(
-            " {:.3} | {:.3} | {:.3} | {} | {}/{} | {}/{} |\n",
+            " {:.3} | {:.3} | {:.3} | {} | {}/{} | {}/{} |",
             s.final_accuracy,
             s.sigma,
             s.lr,
@@ -59,6 +107,17 @@ pub fn markdown(spec: &ScenarioSpec, records: &[CellRecord]) -> String {
             s.defense_stats.first_stage_rejected_honest,
             s.defense_stats.first_stage_rejected_byzantine,
         ));
+        if with_metrics {
+            match metrics.get(&record.cell) {
+                Some(d) => out.push_str(&format!(
+                    " {:.3} | {} |",
+                    d.mean_acceptance,
+                    d.final_epsilon.map_or("∞".into(), |e| format!("{e:.3}")),
+                )),
+                None => out.push_str(" — | — |"),
+            }
+        }
+        out.push('\n');
     }
     out
 }
@@ -78,8 +137,16 @@ fn csv_field(value: &str) -> String {
 /// mean and sample standard deviation of its repeat group's final accuracy
 /// (`repeat_mean_accuracy`/`repeat_std_accuracy`; empty without repeats).
 pub fn csv(records: &[CellRecord]) -> String {
+    csv_with_metrics(records, &HashMap::new())
+}
+
+/// [`csv`] with per-cell ledger digests: a non-empty `metrics` map appends
+/// `mean_acceptance_rate` and `ledger_final_epsilon` columns (cells without
+/// a digest leave them empty); an empty map reproduces [`csv`] exactly.
+pub fn csv_with_metrics(records: &[CellRecord], metrics: &HashMap<usize, MetricsDigest>) -> String {
     let axes = axis_names(records);
     let groups = repeat_groups(records);
+    let with_metrics = !metrics.is_empty();
     let mut out = String::from("cell,key,seed");
     for axis in &axes {
         out.push_str(&format!(",{axis}"));
@@ -87,8 +154,12 @@ pub fn csv(records: &[CellRecord]) -> String {
     out.push_str(
         ",final_accuracy,sigma,lr,iterations,delta,achieved_epsilon,\
          byzantine_selected,total_selected,first_stage_rejected_honest,\
-         first_stage_rejected_byzantine,repeat_mean_accuracy,repeat_std_accuracy\n",
+         first_stage_rejected_byzantine,repeat_mean_accuracy,repeat_std_accuracy",
     );
+    if with_metrics {
+        out.push_str(",mean_acceptance_rate,ledger_final_epsilon");
+    }
+    out.push('\n');
     for record in records {
         let s = &record.summary;
         out.push_str(&format!("{},{},{}", record.cell, record.key, record.config.seed));
@@ -110,7 +181,7 @@ pub fn csv(records: &[CellRecord]) -> String {
             })
             .unwrap_or_else(|| ",".into());
         out.push_str(&format!(
-            ",{},{},{},{},{},{},{},{},{},{},{repeat_cols}\n",
+            ",{},{},{},{},{},{},{},{},{},{},{repeat_cols}",
             s.final_accuracy,
             s.sigma,
             s.lr,
@@ -122,6 +193,17 @@ pub fn csv(records: &[CellRecord]) -> String {
             s.defense_stats.first_stage_rejected_honest,
             s.defense_stats.first_stage_rejected_byzantine,
         ));
+        if with_metrics {
+            match metrics.get(&record.cell) {
+                Some(d) => out.push_str(&format!(
+                    ",{},{}",
+                    d.mean_acceptance,
+                    d.final_epsilon.map_or(String::new(), |e| e.to_string()),
+                )),
+                None => out.push_str(",,"),
+            }
+        }
+        out.push('\n');
     }
     out
 }
@@ -252,8 +334,8 @@ pub fn write_reports(spec: &ScenarioSpec, outcome: &GridOutcome) -> Result<(), S
         let path = dir.join(name);
         std::fs::write(&path, content).map_err(|e| format!("{}: {e}", path.display()))
     };
-    write("report.md", markdown(spec, &outcome.records))?;
-    write("report.csv", csv(&outcome.records))?;
+    write("report.md", markdown_with_metrics(spec, &outcome.records, &outcome.cell_metrics))?;
+    write("report.csv", csv_with_metrics(&outcome.records, &outcome.cell_metrics))?;
     let bench = bench_summary(spec, outcome);
     write(
         "BENCH_harness.json",

@@ -11,15 +11,15 @@
 //! RNG stream from it, so sharing is bit-identical to standalone
 //! `simulation::run` calls by construction.
 
-use crate::report;
+use crate::report::{self, MetricsDigest};
 use crate::sink::{self, CellRecord};
 use crate::spec::{axes_label, Cell, ScenarioSpec};
 use dpbfl::prelude::*;
-use dpbfl::simulation::{prepare, run_prepared};
+use dpbfl::simulation::{prepare, run_prepared, run_prepared_telemetry};
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::io::Write;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -34,6 +34,11 @@ pub struct RunOptions {
     pub resume: bool,
     /// Suppress per-cell progress lines.
     pub quiet: bool,
+    /// When set, each executed cell records a telemetry ledger
+    /// (`cell_<index>.jsonl`) into this directory and the reports gain
+    /// metrics columns. `None` (the default) runs with null telemetry —
+    /// byte-identical results either way.
+    pub metrics_dir: Option<PathBuf>,
 }
 
 impl Default for RunOptions {
@@ -43,6 +48,7 @@ impl Default for RunOptions {
             out_dir: PathBuf::from("target/harness"),
             resume: false,
             quiet: true,
+            metrics_dir: None,
         }
     }
 }
@@ -64,6 +70,10 @@ pub struct GridOutcome {
     pub scenario_dir: PathBuf,
     /// The JSONL sink path.
     pub jsonl_path: PathBuf,
+    /// Per-cell ledger digests (cell index → digest), populated only when
+    /// the run recorded metrics (`RunOptions::metrics_dir`); resumed cells
+    /// contribute one only if their ledger file already exists.
+    pub cell_metrics: HashMap<usize, MetricsDigest>,
 }
 
 /// Filesystem-safe directory name for a scenario (`paper/quickstart` →
@@ -78,7 +88,11 @@ pub fn slug(name: &str) -> String {
 /// `on_done` fires on the worker thread the moment a cell completes
 /// (completion order is thread-dependent — use it for progress and
 /// crash-resilient journaling, never for result ordering).
-fn run_cells_timed<F>(cells: &[Cell], on_done: F) -> Vec<(RunResult, u64)>
+fn run_cells_timed<F>(
+    cells: &[Cell],
+    metrics_dir: Option<&Path>,
+    on_done: F,
+) -> Vec<(RunResult, u64)>
 where
     F: Fn(&Cell, &RunResult, u64) + Sync,
 {
@@ -101,7 +115,21 @@ where
         .par_iter()
         .map(|&i| {
             let started = Instant::now();
-            let result = run_prepared(&cells[i].config, prep_of[cell_keys[i].as_str()]);
+            let prep = prep_of[cell_keys[i].as_str()];
+            // Telemetry only *observes* the run (see dpbfl-telemetry's
+            // crate docs), so both arms produce identical RunResults.
+            let result = match metrics_dir {
+                Some(dir) => {
+                    let path = dir.join(ledger_name(cells[i].index));
+                    let tel = Telemetry::new(Box::new(JsonlSink::new(path.clone())));
+                    let result = run_prepared_telemetry(&cells[i].config, prep, &tel);
+                    if let Err(e) = tel.flush() {
+                        eprintln!("warning: metrics ledger {}: {e}", path.display());
+                    }
+                    result
+                }
+                None => run_prepared(&cells[i].config, prep),
+            };
             let ms = started.elapsed().as_millis() as u64;
             on_done(&cells[i], &result, ms);
             (result, ms)
@@ -109,10 +137,15 @@ where
         .collect()
 }
 
+/// The ledger file name of cell `index` inside a metrics directory.
+pub fn ledger_name(index: usize) -> String {
+    format!("cell_{index}.jsonl")
+}
+
 /// Runs `cells` (all of them, results in input order), sharing data
 /// preparation between cells with equal data signatures.
 pub fn run_cells(cells: &[Cell]) -> Vec<RunResult> {
-    run_cells_timed(cells, |_, _, _| {}).into_iter().map(|(result, _)| result).collect()
+    run_cells_timed(cells, None, |_, _, _| {}).into_iter().map(|(result, _)| result).collect()
 }
 
 /// Convenience for examples: expand a scenario and run every cell
@@ -135,6 +168,9 @@ pub fn run_grid(spec: &ScenarioSpec, opts: &RunOptions) -> Result<GridOutcome, S
     std::fs::create_dir_all(&scenario_dir)
         .map_err(|e| format!("{}: {e}", scenario_dir.display()))?;
     let jsonl_path = scenario_dir.join("results.jsonl");
+    if let Some(dir) = &opts.metrics_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    }
 
     // Resume: completed cells are matched by content key, so spec edits
     // that add cells only run the new ones. (Under `PerCell` seeding a
@@ -182,7 +218,7 @@ pub fn run_grid(spec: &ScenarioSpec, opts: &RunOptions) -> Result<GridOutcome, S
     );
     let started = Instant::now();
     let timed = with_threads(opts.threads, || {
-        run_cells_timed(&todo, |cell, result, ms| {
+        run_cells_timed(&todo, opts.metrics_dir.as_deref(), |cell, result, ms| {
             let record = record_for(spec, cell, result.summary());
             let mut line = sink::to_line(&record);
             line.push('\n');
@@ -222,6 +258,22 @@ pub fn run_grid(spec: &ScenarioSpec, opts: &RunOptions) -> Result<GridOutcome, S
     all_lines.extend(stale);
     sink::write_records(&jsonl_path, &all_lines, true)?;
 
+    // Digest the per-cell ledgers into report columns. Unreadable or
+    // missing ledgers (e.g. resumed cells) simply have no digest.
+    let mut cell_metrics: HashMap<usize, MetricsDigest> = HashMap::new();
+    if let Some(dir) = &opts.metrics_dir {
+        for record in &records {
+            let path = dir.join(ledger_name(record.cell));
+            let Ok(text) = std::fs::read_to_string(&path) else { continue };
+            match report::digest_ledger(&text) {
+                Ok(digest) => {
+                    cell_metrics.insert(record.cell, digest);
+                }
+                Err(e) => eprintln!("warning: {}: {e}", path.display()),
+            }
+        }
+    }
+
     let outcome = GridOutcome {
         ran: todo.len(),
         skipped,
@@ -230,6 +282,7 @@ pub fn run_grid(spec: &ScenarioSpec, opts: &RunOptions) -> Result<GridOutcome, S
         scenario_dir,
         jsonl_path,
         records,
+        cell_metrics,
     };
     report::write_reports(spec, &outcome)?;
     Ok(outcome)

@@ -19,7 +19,13 @@ fn temp_out(tag: &str) -> PathBuf {
 }
 
 fn opts(out: &Path, threads: usize, resume: bool) -> RunOptions {
-    RunOptions { threads: Some(threads), out_dir: out.to_path_buf(), resume, quiet: true }
+    RunOptions {
+        threads: Some(threads),
+        out_dir: out.to_path_buf(),
+        resume,
+        quiet: true,
+        metrics_dir: None,
+    }
 }
 
 #[test]
