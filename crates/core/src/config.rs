@@ -1,6 +1,8 @@
 //! Protocol configuration.
 
 use crate::second_stage::{ScoringRule, WeightScheme};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// What each worker does with its momentum list after uploading.
@@ -139,6 +141,114 @@ impl Default for DefenseConfig {
     }
 }
 
+/// Deterministic fault-injection plan for serving runs.
+///
+/// Every decision is a pure function of `(seed, worker, round)` — never of
+/// wall-clock time, arrival order, or which client process hosts the worker
+/// — so the in-process transport can model the same plan and produce a
+/// byte-identical `RunSummary` (the parity reference CI's churn leg `cmp`s
+/// served runs against).
+///
+/// Axes:
+///
+/// * **Withholding** ([`FaultSpec::withholds`]): the worker steps normally
+///   but its upload never leaves the client. `skip_rounds` withholds whole
+///   rounds; `flaky_pct` withholds each `(worker, round)` upload
+///   independently with the given probability. Both are modeled identically
+///   by [`crate::round::InProcessTransport`].
+/// * **Connection churn** (`drop_at_round`): the client closes its
+///   connection on receiving that round's `RoundBegin`, then reconnects
+///   under its retry policy. Wire-only: with reconnect + replay no upload
+///   is lost, so the in-process model ignores it — which is exactly the
+///   property the churn sweep verifies.
+/// * **Latency** (`delay_ms_lo..=delay_ms_hi`): a deterministic per-upload
+///   sleep before sending. Wall-clock only; parity with the in-process
+///   reference holds as long as the round deadline absorbs the delay.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Rounds whose uploads are withheld entirely (the workers still step).
+    pub skip_rounds: Vec<usize>,
+    /// Close the connection on receiving this round's `RoundBegin`, before
+    /// stepping; fires once per client process. Wire-only (see above).
+    pub drop_at_round: Option<usize>,
+    /// Lower bound of the per-upload delay, milliseconds.
+    pub delay_ms_lo: u64,
+    /// Upper bound of the per-upload delay, milliseconds (`0` = no delay).
+    pub delay_ms_hi: u64,
+    /// Per-upload withholding probability, in percent `[0, 100]`.
+    pub flaky_pct: f64,
+    /// Seed of the fault plan's own RNG streams (independent of the run's
+    /// master seed, so sweeping faults never perturbs training draws).
+    pub seed: u64,
+}
+
+/// Domain-separation salts for the fault plan's derived RNG streams.
+const FLAKY_SALT: u64 = 0x00f1_a417;
+const DELAY_SALT: u64 = 0x00de_1a59;
+
+impl FaultSpec {
+    /// True when the plan injects nothing (the `seed` alone is inert).
+    pub fn is_noop(&self) -> bool {
+        self.skip_rounds.is_empty()
+            && self.drop_at_round.is_none()
+            && self.delay_ms_lo == 0
+            && self.delay_ms_hi == 0
+            && self.flaky_pct == 0.0
+    }
+
+    /// One per-`(worker, round)` RNG stream of the plan, domain-separated
+    /// by `salt` — the same derivation shape as the run's worker streams.
+    fn stream(&self, salt: u64, worker: usize, round: usize) -> StdRng {
+        let per_worker = (self.seed ^ salt)
+            .wrapping_mul(0x100000001b3)
+            .wrapping_add(worker as u64)
+            .wrapping_mul(0x9e3779b97f4a7c15);
+        let per_round = per_worker
+            .wrapping_mul(0x100000001b3)
+            .wrapping_add(round as u64)
+            .wrapping_mul(0x9e3779b97f4a7c15);
+        StdRng::seed_from_u64(per_round)
+    }
+
+    /// Whether `worker`'s upload for `round` is withheld.
+    pub fn withholds(&self, worker: usize, round: usize) -> bool {
+        if self.skip_rounds.contains(&round) {
+            return true;
+        }
+        if self.flaky_pct <= 0.0 {
+            return false;
+        }
+        let p = (self.flaky_pct / 100.0).clamp(0.0, 1.0);
+        self.stream(FLAKY_SALT, worker, round).gen_bool(p)
+    }
+
+    /// The deterministic pre-upload delay for `(worker, round)`, drawn
+    /// uniformly from `[delay_ms_lo, delay_ms_hi]`.
+    pub fn delay_ms(&self, worker: usize, round: usize) -> u64 {
+        let (lo, hi) = (self.delay_ms_lo, self.delay_ms_hi.max(self.delay_ms_lo));
+        if hi == 0 {
+            return 0;
+        }
+        self.stream(DELAY_SALT, worker, round).gen_range(lo..=hi)
+    }
+}
+
+/// Serving-layer knobs carried on the run configuration, so a grid cell can
+/// sweep deadline policy and fault schedule like any other axis. `None` on
+/// [`crate::simulation::SimulationConfig::serving`] means "no serving
+/// overrides": the default deadline and a no-op fault plan.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServingSpec {
+    /// Per-round upload deadline override, milliseconds. `Some(0)` means
+    /// "collect only already-queued uploads, never wait" — over the wire no
+    /// upload can be queued before the round broadcast, so every member
+    /// drops, and the in-process model withholds every upload to match.
+    pub deadline_ms: Option<u64>,
+    /// The fault-injection plan clients adopt from the server's `Welcome`
+    /// (unless overridden per client) and the in-process transport models.
+    pub fault: FaultSpec,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,5 +280,53 @@ mod tests {
         let s = serde_json::to_string(&dp).expect("serialize");
         let back: DpSgdConfig = serde_json::from_str(&s).expect("deserialize");
         assert_eq!(back.batch_size, dp.batch_size);
+    }
+
+    #[test]
+    fn fault_plan_is_deterministic_and_per_member() {
+        let fault = FaultSpec { flaky_pct: 40.0, seed: 7, ..FaultSpec::default() };
+        assert!(!fault.is_noop());
+        // Same (seed, worker, round) → same verdict, every time.
+        for w in 0..8 {
+            for r in 0..8 {
+                assert_eq!(fault.withholds(w, r), fault.withholds(w, r));
+            }
+        }
+        // The plan actually withholds *some* but not *all* uploads.
+        let withheld: usize = (0..8)
+            .flat_map(|w| (0..8).map(move |r| (w, r)))
+            .filter(|&(w, r)| fault.withholds(w, r))
+            .count();
+        assert!(withheld > 0 && withheld < 64, "flaky plan withheld {withheld}/64");
+        // A different fault seed gives a different schedule.
+        let other = FaultSpec { seed: 8, ..fault.clone() };
+        let differs = (0..8)
+            .flat_map(|w| (0..8).map(move |r| (w, r)))
+            .any(|(w, r)| fault.withholds(w, r) != other.withholds(w, r));
+        assert!(differs, "fault seed must matter");
+    }
+
+    #[test]
+    fn skip_rounds_withhold_every_member_and_defaults_are_noop() {
+        assert!(FaultSpec::default().is_noop());
+        assert!(!FaultSpec::default().withholds(0, 0));
+        assert_eq!(FaultSpec::default().delay_ms(3, 5), 0);
+        let fault = FaultSpec { skip_rounds: vec![2], ..FaultSpec::default() };
+        for w in 0..6 {
+            assert!(fault.withholds(w, 2));
+            assert!(!fault.withholds(w, 1));
+        }
+    }
+
+    #[test]
+    fn delay_draws_stay_in_bounds() {
+        let fault = FaultSpec { delay_ms_lo: 5, delay_ms_hi: 9, seed: 3, ..FaultSpec::default() };
+        for w in 0..8 {
+            for r in 0..8 {
+                let d = fault.delay_ms(w, r);
+                assert!((5..=9).contains(&d), "delay {d} out of [5, 9]");
+                assert_eq!(d, fault.delay_ms(w, r), "delay draw must be deterministic");
+            }
+        }
     }
 }

@@ -77,7 +77,8 @@ pub mod prelude {
     pub use crate::aggregator::AggregatorKind;
     pub use crate::attack::AttackSpec;
     pub use crate::config::{
-        DefenseConfig, DpSgdConfig, MomentumReset, StepNormalization, UploadRetention,
+        DefenseConfig, DpSgdConfig, FaultSpec, MomentumReset, ServingSpec, StepNormalization,
+        UploadRetention,
     };
     pub use crate::first_stage::{CheckInfo, FirstStage, FirstStageVerdict, KsScratch};
     pub use crate::round::{Collected, InProcessTransport, Retained, Transport};

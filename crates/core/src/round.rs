@@ -212,8 +212,27 @@ impl Transport for InProcessTransport<'_> {
     }
 }
 
+/// Whether the run's serving fault plan withholds `(member, round)`'s
+/// upload. Mirrored bit-exactly by the wire client (which adopts the plan
+/// from the server's `Welcome` config), so served and in-process runs build
+/// the same accepted set under the same schedule. A `deadline_ms` of
+/// `Some(0)` withholds everything: over the wire no upload can beat a zero
+/// deadline, because nothing is queued before the round broadcast.
+pub(crate) fn plan_withholds(cfg: &SimulationConfig, member: usize, round: usize) -> bool {
+    match &cfg.serving {
+        Some(s) => s.deadline_ms == Some(0) || s.fault.withholds(member, round),
+        None => false,
+    }
+}
+
 /// Folds one pool's cohort slice under rayon: the sharding recipe described
 /// on [`InProcessTransport`], identical for the pooled and on-demand cases.
+///
+/// A member the serving fault plan withholds still *steps* (its RNG and
+/// momentum state must evolve exactly as on a remote client that skips the
+/// send) but its upload never reaches `fold` — folding feeds defense state
+/// downstream, so a withheld upload folds as nothing and the member yields
+/// [`Collected::Dropped`], just like a deadline miss over the wire.
 #[allow(clippy::too_many_arguments)]
 fn pool_fold(
     cfg: &SimulationConfig,
@@ -227,31 +246,45 @@ fn pool_fold(
     fold: &UploadFold<'_>,
 ) -> Vec<Collected> {
     let shard = members.len().div_ceil(rayon::current_num_threads().max(1)).max(1);
+    let withheld: Vec<bool> = members.iter().map(|&m| plan_withholds(cfg, m, round)).collect();
     let nested: Vec<Vec<Collected>> = if cfg.provisioning == Provisioning::Pooled {
         let mut refs = cohort_refs(pool, members, base);
-        let shards: Vec<&mut [&mut DpWorker]> = refs.chunks_mut(shard).collect();
+        let shards: Vec<(&mut [&mut DpWorker], &[bool])> =
+            refs.chunks_mut(shard).zip(withheld.chunks(shard)).collect();
         shards
             .into_par_iter()
-            .map(|shard| {
+            .map(|(shard, wh)| {
                 let mut scratch = KsScratch::new();
                 shard
                     .iter_mut()
-                    .map(|w| {
+                    .zip(wh)
+                    .map(|(w, &withhold)| {
                         let upload = protocol_step(w, params, cfg.protocol);
-                        fold(upload, &mut scratch)
+                        if withhold {
+                            Collected::Dropped
+                        } else {
+                            fold(upload, &mut scratch)
+                        }
                     })
                     .collect()
             })
             .collect()
     } else {
-        let shards: Vec<&[usize]> = members.chunks(shard).collect();
+        let shards: Vec<(&[usize], &[bool])> =
+            members.chunks(shard).zip(withheld.chunks(shard)).collect();
         shards
             .into_par_iter()
-            .map(|shard| {
+            .map(|(shard, wh)| {
                 let mut scratch = KsScratch::new();
                 shard
                     .iter()
-                    .map(|&i| {
+                    .zip(wh)
+                    .map(|(&i, &withhold)| {
+                        // On-demand workers are rebuilt per round, so a
+                        // withheld member need not even step.
+                        if withhold {
+                            return Collected::Dropped;
+                        }
                         let mut w =
                             on_demand_worker(cfg, template, dp, i, round, i >= cfg.n_honest);
                         let upload = protocol_step(&mut w, params, cfg.protocol);

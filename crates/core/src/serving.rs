@@ -1,9 +1,9 @@
 //! Serving: the federated round loop over real sockets.
 //!
 //! The server side ([`BoundServer`]) binds a TCP or Unix-domain listener,
-//! waits for clients to claim every data-holding worker index, then drives
-//! the exact same orchestration loop as an in-process run — uploads just
-//! arrive as `dpbfl-transport` frames instead of function returns. The
+//! admits clients until every data-holding worker index is claimed, then
+//! drives the exact same orchestration loop as an in-process run — uploads
+//! just arrive as `dpbfl-transport` frames instead of function returns. The
 //! client side ([`run_client`]) connects, claims its worker indices,
 //! receives the full run configuration in the server's `Welcome`, rebuilds
 //! its workers locally (bit-identical to the in-process pools by
@@ -19,6 +19,21 @@
 //! * `unix://PATH` — a Unix-domain socket at `PATH` (removed and re-created
 //!   on bind).
 //!
+//! ## Reconnects
+//!
+//! The acceptor thread stays alive for the whole run, so a dead connection
+//! no longer strands its members: a fresh `ClientHello` re-claiming workers
+//! whose previous connection's reader thread has terminated **re-binds**
+//! those members to the new connection. Admission replays every closed
+//! round as `RoundReplay` (the historical members ∩ the claim, with that
+//! round's parameters) so a stateful pooled client can bring its worker
+//! RNG/momentum streams up to date without uploading, then re-sends the
+//! currently open round's `RoundBegin` — a fast reconnect loses zero
+//! uploads. A claim overlapping a **live** connection is refused with a
+//! structured `HelloReject` (and a `client_rejected` telemetry event);
+//! [`run_client`] treats that as transient (the previous connection may not
+//! have been reaped yet) and retries under its backoff policy.
+//!
 //! ## Determinism
 //!
 //! The wire carries raw little-endian `f32` words, so the bytes a client
@@ -29,7 +44,14 @@
 //! missing the round deadline ([`RoundPolicy`]) yields
 //! [`Collected::Dropped`], which the orchestrator treats exactly like a
 //! first-stage rejection — the accepted set alone determines the result.
+//! Fault injection keeps the same contract: a [`FaultSpec`] carried on
+//! [`SimulationConfig::serving`] withholds uploads as a pure function of
+//! `(fault seed, worker, round)`, clients adopt the plan from the `Welcome`
+//! config, and [`crate::round::InProcessTransport`] models the identical
+//! schedule — so a served run under faults stays byte-identical to its
+//! in-process reference.
 
+use crate::config::{FaultSpec, ServingSpec};
 use crate::round::{
     data_worker, init_model, on_demand_worker, protocol_step, Collected, Transport, UploadFold,
 };
@@ -49,7 +71,7 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Per-round serving policy: how long the server waits for uploads.
@@ -58,7 +80,11 @@ pub struct RoundPolicy {
     /// Upload deadline per round, in milliseconds from the `RoundBegin`
     /// broadcast. Members whose uploads miss it are dropped for the round
     /// (treated as first-stage rejections); stragglers' late uploads are
-    /// discarded on arrival.
+    /// discarded on arrival. `0` means "collect only the uploads already
+    /// queued when the round opens, never wait" — over the wire nothing can
+    /// be queued before the broadcast, so every member drops, and clients
+    /// seeing a zero deadline withhold their sends (the upload cannot
+    /// count) so the outcome is deterministic rather than a race.
     pub deadline_ms: u64,
 }
 
@@ -74,7 +100,8 @@ impl Default for RoundPolicy {
 pub struct ServingReport {
     /// Rounds driven.
     pub rounds: usize,
-    /// Client connections that served the run.
+    /// Client connections admitted over the run's lifetime (a reconnect
+    /// counts its replacement connection too).
     pub clients: usize,
     /// Median round latency (broadcast → last upload folded), milliseconds.
     pub p50_round_ms: f64,
@@ -96,6 +123,9 @@ pub struct ServingReport {
     /// discarded on arrival. Not counted in `dropped_uploads`: the member
     /// was already dropped when its round's deadline passed.
     pub discarded_stale: u64,
+    /// Mid-run reconnects accepted: fresh connections that re-claimed
+    /// workers previously bound to a dead connection.
+    pub reconnects: u64,
 }
 
 /// A parsed serving address.
@@ -139,6 +169,13 @@ impl Stream {
             Stream::Unix(s) => s.try_clone().map(Stream::Unix),
         }
     }
+
+    fn set_read_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(dur),
+            Stream::Unix(s) => s.set_read_timeout(dur),
+        }
+    }
 }
 
 impl Read for Stream {
@@ -172,16 +209,20 @@ enum Listener {
 
 impl Listener {
     /// Accepts one connection, returning the stream and a printable peer
-    /// address (TCP `IP:PORT`; Unix peers are usually unnamed).
+    /// address (TCP `IP:PORT`; Unix peers are usually unnamed). The
+    /// accepted stream is always blocking, even when the listener polls
+    /// non-blocking.
     fn accept(&self) -> std::io::Result<(Stream, String)> {
         match self {
             Listener::Tcp(l) => {
                 let (s, peer) = l.accept()?;
                 s.set_nodelay(true).ok();
+                s.set_nonblocking(false).ok();
                 Ok((Stream::Tcp(s), peer.to_string()))
             }
             Listener::Unix(l) => {
                 let (s, addr) = l.accept()?;
+                s.set_nonblocking(false).ok();
                 let peer = addr
                     .as_pathname()
                     .map(|p| p.display().to_string())
@@ -190,6 +231,53 @@ impl Listener {
             }
         }
     }
+
+    fn set_nonblocking(&self, nonblocking: bool) -> std::io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(nonblocking),
+            Listener::Unix(l) => l.set_nonblocking(nonblocking),
+        }
+    }
+}
+
+/// How long admission waits for a connection's handshake + hello before
+/// giving up on it (a stalled connection must not block the acceptor).
+const ADMIT_READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Acceptor poll interval while no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// One admitted client connection.
+struct ClientConn {
+    stream: Stream,
+    workers: Vec<u32>,
+    /// True while the connection's reader thread is running.
+    alive: Arc<AtomicBool>,
+}
+
+/// One round the run has broadcast, kept for reconnect catch-up.
+struct RoundRecord {
+    round: u32,
+    members: Vec<u32>,
+    params: Vec<f32>,
+    /// True while the round is still collecting uploads.
+    open: bool,
+}
+
+/// Server state shared between the round loop and the acceptor thread. All
+/// stream writes happen under this lock, so admission replay frames and
+/// round broadcasts never interleave on one connection.
+struct Shared {
+    conns: Vec<ClientConn>,
+    /// Worker index → owning connection (latest binding wins on reconnect).
+    claimed: BTreeMap<u32, usize>,
+    /// Every round broadcast so far, for reconnect replay.
+    history: Vec<RoundRecord>,
+    /// Mid-run re-claims of dead connections' workers.
+    reconnects: u64,
+    /// Set by the acceptor on a fatal listener error, so the coverage wait
+    /// fails instead of blocking forever.
+    failed: Option<String>,
 }
 
 /// A bound, not-yet-serving listener. Splitting bind from serve lets
@@ -232,15 +320,20 @@ impl BoundServer {
         &self.local
     }
 
-    /// Accepts clients until every data-holding worker index is claimed,
+    /// Admits clients until every data-holding worker index is claimed,
     /// then drives the full run over the wire and returns the result plus
-    /// the serving metrics.
+    /// the serving metrics. The acceptor keeps running for the whole run,
+    /// so clients may reconnect mid-run (see the module docs).
     ///
     /// Client admission: each connection handshakes, sends `ClientHello`
     /// with the global worker indices it serves, and receives `Welcome`
-    /// carrying `cfg` as canonical JSON. Claims must be in range, never
-    /// overlap, and together cover the full data-worker set before training
-    /// starts.
+    /// carrying `cfg` as canonical JSON. Claims must be in range and must
+    /// not overlap a *live* connection; a claim overlapping only dead
+    /// connections re-binds those workers.
+    ///
+    /// When `cfg.serving` carries a `deadline_ms`, it overrides `policy` —
+    /// the grid cell's config determines behavior, the caller's policy is
+    /// the fallback.
     pub fn serve(
         self,
         cfg: &SimulationConfig,
@@ -250,10 +343,10 @@ impl BoundServer {
     }
 
     /// Like [`BoundServer::serve`], but records telemetry: structured
-    /// `client_rejected`/`upload_dropped`/`upload_stale` events, a
-    /// `serving_round` latency span per round, and the orchestrator's
-    /// per-round defense metrics. With a null [`Telemetry`] this is exactly
-    /// [`BoundServer::serve`].
+    /// `client_rejected`/`client_reconnected`/`upload_dropped`/
+    /// `upload_stale` events, a `serving_round` latency span per round, and
+    /// the orchestrator's per-round defense metrics. With a null
+    /// [`Telemetry`] this is exactly [`BoundServer::serve`].
     pub fn serve_telemetry(
         self,
         cfg: &SimulationConfig,
@@ -262,61 +355,101 @@ impl BoundServer {
     ) -> Result<(RunResult, ServingReport), String> {
         let required = data_member_indices(cfg);
         let config_json = serde_json::to_string(cfg).map_err(|e| e.to_string())?;
+        let policy = effective_policy(cfg, policy);
         let (tx, rx) = channel();
-        let mut conns: Vec<ClientConn> = Vec::new();
-        let mut claimed: BTreeMap<u32, usize> = BTreeMap::new();
-        while claimed.len() < required.len() {
-            let (mut stream, peer) =
-                self.listener.accept().map_err(|e| format!("accept on {}: {e}", self.local))?;
-            match admit(&mut stream, &required, &claimed, &config_json) {
-                Ok(workers) => {
-                    for &w in &workers {
-                        claimed.insert(w, conns.len());
+        let shared = Mutex::new(Shared {
+            conns: Vec::new(),
+            claimed: BTreeMap::new(),
+            history: Vec::new(),
+            reconnects: 0,
+            failed: None,
+        });
+        let coverage = Condvar::new();
+        let done = AtomicBool::new(false);
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("set_nonblocking on {}: {e}", self.local))?;
+
+        std::thread::scope(|scope| {
+            let acceptor_tx = tx.clone();
+            let acceptor = scope.spawn(|| {
+                acceptor_loop(
+                    &self.listener,
+                    &self.local,
+                    &required,
+                    &config_json,
+                    &policy,
+                    &shared,
+                    &coverage,
+                    &done,
+                    acceptor_tx,
+                    tel,
+                )
+            });
+
+            // Wait until every required worker is claimed (or the acceptor
+            // hits a fatal listener error).
+            {
+                let mut guard = shared.lock().expect("serving state lock");
+                while guard.claimed.len() < required.len() {
+                    if let Some(e) = guard.failed.take() {
+                        done.store(true, Ordering::Release);
+                        drop(guard);
+                        let _ = acceptor.join();
+                        return Err(e);
                     }
-                    let alive = Arc::new(AtomicBool::new(true));
-                    spawn_reader(&stream, tx.clone(), Arc::clone(&alive))?;
-                    conns.push(ClientConn { stream, workers, alive });
-                }
-                // A bad hello (unknown/duplicate indices, wrong protocol
-                // version) rejects that connection, not the whole run.
-                Err(e) => {
-                    eprintln!("rejected client {peer}: {e}");
-                    if tel.enabled() {
-                        tel.event("client_rejected", None, format!("{peer}: {e}"));
-                    }
+                    guard = coverage.wait(guard).expect("serving state lock");
                 }
             }
-        }
-        let clients = conns.len();
 
-        let prep = prepare(cfg);
-        let mut transport = TcpTransport {
-            conns,
-            claimed,
-            rx,
-            policy: policy.clone(),
-            scratch: crate::first_stage::KsScratch::new(),
-            round_ms: Vec::new(),
-            dropped_deadline: 0,
-            dropped_dead_connection: 0,
-            discarded_stale: 0,
-            started: Instant::now(),
-            tel,
-        };
-        let result = run_with_transport_telemetry(cfg, &prep, &mut transport, tel);
-        let wall = transport.started.elapsed().as_secs_f64();
-        let report = ServingReport {
-            rounds: transport.round_ms.len(),
-            clients,
-            p50_round_ms: percentile(&transport.round_ms, 50.0),
-            p99_round_ms: percentile(&transport.round_ms, 99.0),
-            rounds_per_sec: if wall > 0.0 { transport.round_ms.len() as f64 / wall } else { 0.0 },
-            dropped_uploads: transport.dropped_deadline + transport.dropped_dead_connection,
-            dropped_deadline: transport.dropped_deadline,
-            dropped_dead_connection: transport.dropped_dead_connection,
-            discarded_stale: transport.discarded_stale,
-        };
-        Ok((result, report))
+            let prep = prepare(cfg);
+            let mut transport = TcpTransport {
+                shared: &shared,
+                rx,
+                policy: policy.clone(),
+                scratch: crate::first_stage::KsScratch::new(),
+                round_ms: Vec::new(),
+                dropped_deadline: 0,
+                dropped_dead_connection: 0,
+                discarded_stale: 0,
+                started: Instant::now(),
+                tel,
+            };
+            let result = run_with_transport_telemetry(cfg, &prep, &mut transport, tel);
+            done.store(true, Ordering::Release);
+            let wall = transport.started.elapsed().as_secs_f64();
+            let (clients, reconnects) = {
+                let guard = shared.lock().expect("serving state lock");
+                (guard.conns.len(), guard.reconnects)
+            };
+            let report = ServingReport {
+                rounds: transport.round_ms.len(),
+                clients,
+                p50_round_ms: percentile(&transport.round_ms, 50.0),
+                p99_round_ms: percentile(&transport.round_ms, 99.0),
+                rounds_per_sec: if wall > 0.0 {
+                    transport.round_ms.len() as f64 / wall
+                } else {
+                    0.0
+                },
+                dropped_uploads: transport.dropped_deadline + transport.dropped_dead_connection,
+                dropped_deadline: transport.dropped_deadline,
+                dropped_dead_connection: transport.dropped_dead_connection,
+                discarded_stale: transport.discarded_stale,
+                reconnects,
+            };
+            let _ = acceptor.join();
+            Ok((result, report))
+        })
+    }
+}
+
+/// Resolves the run's effective round policy: a `deadline_ms` carried on
+/// `cfg.serving` wins over the caller's `policy`.
+fn effective_policy(cfg: &SimulationConfig, policy: &RoundPolicy) -> RoundPolicy {
+    match cfg.serving.as_ref().and_then(|s| s.deadline_ms) {
+        Some(d) => RoundPolicy { deadline_ms: d },
+        None => policy.clone(),
     }
 }
 
@@ -329,13 +462,155 @@ pub fn data_member_indices(cfg: &SimulationConfig) -> Vec<u32> {
     (0..cfg.n_honest + poisoned).map(|i| i as u32).collect()
 }
 
-/// Handshakes one inbound connection and validates its worker claim.
-fn admit(
-    stream: &mut Stream,
+/// The acceptor: polls the listener until the run completes, admitting
+/// initial claims and mid-run reconnects alike.
+#[allow(clippy::too_many_arguments)]
+fn acceptor_loop(
+    listener: &Listener,
+    local: &str,
     required: &[u32],
-    claimed: &BTreeMap<u32, usize>,
     config_json: &str,
-) -> Result<Vec<u32>, String> {
+    policy: &RoundPolicy,
+    shared: &Mutex<Shared>,
+    coverage: &Condvar,
+    done: &AtomicBool,
+    tx: Sender<(u32, u32, Vec<f32>)>,
+    tel: &Telemetry,
+) {
+    while !done.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                admit_connection(
+                    stream,
+                    &peer,
+                    required,
+                    config_json,
+                    policy,
+                    shared,
+                    coverage,
+                    tx.clone(),
+                    tel,
+                );
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(e) => {
+                let mut guard = shared.lock().expect("serving state lock");
+                guard.failed = Some(format!("accept on {local}: {e}"));
+                coverage.notify_all();
+                break;
+            }
+        }
+    }
+}
+
+/// Handshakes, validates, and (if accepted) registers one inbound
+/// connection, replaying history to reconnecting claims.
+#[allow(clippy::too_many_arguments)]
+fn admit_connection(
+    mut stream: Stream,
+    peer: &str,
+    required: &[u32],
+    config_json: &str,
+    policy: &RoundPolicy,
+    shared: &Mutex<Shared>,
+    coverage: &Condvar,
+    tx: Sender<(u32, u32, Vec<f32>)>,
+    tel: &Telemetry,
+) {
+    // Handshake and hello are read before taking the lock, under a timeout,
+    // so a stalled connection cannot block admission of others for long.
+    stream.set_read_timeout(Some(ADMIT_READ_TIMEOUT)).ok();
+    let claim = read_claim(&mut stream, required);
+    let workers = match claim {
+        Ok(w) => w,
+        Err(reason) => {
+            reject(stream, peer, &reason, tel);
+            return;
+        }
+    };
+    stream.set_read_timeout(None).ok();
+
+    let mut guard = shared.lock().expect("serving state lock");
+    // A claim may overlap previous bindings only if every overlapped
+    // connection is dead — then this is a reconnect and the workers re-bind.
+    let mut reclaim = false;
+    for &w in &workers {
+        if let Some(&c) = guard.claimed.get(&w) {
+            if guard.conns[c].alive.load(Ordering::Acquire) {
+                drop(guard);
+                reject(stream, peer, &format!("worker {w} is claimed by a live connection"), tel);
+                return;
+            }
+            reclaim = true;
+        }
+    }
+
+    // Welcome + catch-up replay + registration happen under the lock, so no
+    // round can open or close between the replayed history and the first
+    // live broadcast this connection sees.
+    let catch_up = (|| -> Result<(), String> {
+        Message::Welcome { config_json: config_json.to_string() }
+            .write_to(&mut stream)
+            .map_err(|e| format!("welcome: {e}"))?;
+        for rec in &guard.history {
+            let mine: Vec<u32> =
+                rec.members.iter().copied().filter(|m| workers.contains(m)).collect();
+            if mine.is_empty() {
+                continue;
+            }
+            let msg = if rec.open {
+                Message::RoundBegin {
+                    round: rec.round,
+                    deadline_ms: policy.deadline_ms,
+                    members: mine,
+                    params: rec.params.clone(),
+                }
+            } else {
+                Message::RoundReplay { round: rec.round, members: mine, params: rec.params.clone() }
+            };
+            msg.write_to(&mut stream).map_err(|e| format!("replay: {e}"))?;
+        }
+        stream.flush().ok();
+        Ok(())
+    })();
+    if let Err(e) = catch_up {
+        drop(guard);
+        eprintln!("lost client {peer} during admission: {e}");
+        return;
+    }
+
+    let alive = Arc::new(AtomicBool::new(true));
+    match spawn_reader(&stream, tx, Arc::clone(&alive)) {
+        Ok(()) => {}
+        Err(e) => {
+            drop(guard);
+            eprintln!("lost client {peer} during admission: {e}");
+            return;
+        }
+    }
+    let idx = guard.conns.len();
+    for &w in &workers {
+        guard.claimed.insert(w, idx);
+    }
+    if reclaim {
+        guard.reconnects += 1;
+        if tel.enabled() {
+            let open_round = guard.history.last().filter(|r| r.open).map(|r| u64::from(r.round));
+            tel.event(
+                "client_reconnected",
+                open_round,
+                format!("{peer} re-claimed workers {workers:?}"),
+            );
+        }
+    }
+    guard.conns.push(ClientConn { stream, workers, alive });
+    coverage.notify_all();
+}
+
+/// Reads the handshake + `ClientHello` and validates the claim's range.
+fn read_claim(stream: &mut Stream, required: &[u32]) -> Result<Vec<u32>, String> {
     write_handshake(stream).map_err(|e| format!("handshake write: {e}"))?;
     read_handshake(stream).map_err(|e| format!("handshake read: {e}"))?;
     let hello = Message::read_from(stream, DEFAULT_MAX_FRAME_LEN)
@@ -350,22 +625,27 @@ fn admit(
         if !required.contains(&w) {
             return Err(format!("worker {w} is not a data-holding index of this run"));
         }
-        if claimed.contains_key(&w) {
-            return Err(format!("worker {w} is already claimed by another client"));
-        }
     }
-    Message::Welcome { config_json: config_json.to_string() }
-        .write_to(stream)
-        .map_err(|e| format!("welcome: {e}"))?;
-    stream.flush().ok();
     Ok(workers)
+}
+
+/// Refuses a connection with a structured `HelloReject` frame (best-effort)
+/// and a `client_rejected` telemetry event.
+fn reject(mut stream: Stream, peer: &str, reason: &str, tel: &Telemetry) {
+    eprintln!("rejected client {peer}: {reason}");
+    if tel.enabled() {
+        tel.event("client_rejected", None, format!("{peer}: {reason}"));
+    }
+    let _ = Message::HelloReject { reason: reason.to_string() }.write_to(&mut stream);
+    let _ = stream.flush();
 }
 
 /// Spawns the connection's reader thread: every decoded `Upload` goes to the
 /// collector channel; any decode error or EOF ends the thread (the member
-/// simply stops delivering and drops out of subsequent rounds). The `alive`
-/// flag is cleared when the thread exits, so the transport can tell a dead
-/// connection from a straggler when it classifies dropped uploads.
+/// stops delivering until a reconnect re-binds it). The `alive` flag is
+/// cleared when the thread exits, so the transport can tell a dead
+/// connection from a straggler, and admission can tell a reconnect from a
+/// duplicate claim.
 fn spawn_reader(
     stream: &Stream,
     tx: Sender<(u32, u32, Vec<f32>)>,
@@ -389,20 +669,11 @@ fn spawn_reader(
     Ok(())
 }
 
-struct ClientConn {
-    stream: Stream,
-    workers: Vec<u32>,
-    /// True while the connection's reader thread is running.
-    alive: Arc<AtomicBool>,
-}
-
 /// The wire transport: broadcasts `RoundBegin` to every connection serving a
 /// cohort member, folds uploads in arrival order (placing results by member
 /// index), and drops members that miss the round deadline.
 struct TcpTransport<'a> {
-    conns: Vec<ClientConn>,
-    /// Worker index → owning connection, for drop-reason classification.
-    claimed: BTreeMap<u32, usize>,
+    shared: &'a Mutex<Shared>,
     rx: Receiver<(u32, u32, Vec<f32>)>,
     policy: RoundPolicy,
     scratch: crate::first_stage::KsScratch,
@@ -412,6 +683,39 @@ struct TcpTransport<'a> {
     discarded_stale: u64,
     started: Instant,
     tel: &'a Telemetry,
+}
+
+impl TcpTransport<'_> {
+    /// Places one received upload: folds a current-round upload into its
+    /// member's slot (first arrival wins; duplicates from reconnect resends
+    /// are ignored), discards stale rounds.
+    fn place(
+        &mut self,
+        (worker, r, data): (u32, u32, Vec<f32>),
+        round: usize,
+        members: &[usize],
+        slots: &mut [Option<Collected>],
+        got: &mut usize,
+        fold: &UploadFold<'_>,
+    ) {
+        if r as usize == round {
+            if let Ok(pos) = members.binary_search(&(worker as usize)) {
+                if slots[pos].is_none() {
+                    slots[pos] = Some(fold(data, &mut self.scratch));
+                    *got += 1;
+                }
+            }
+        } else {
+            self.discarded_stale += 1;
+            if self.tel.enabled() {
+                self.tel.event(
+                    "upload_stale",
+                    Some(round as u64),
+                    format!("worker {worker}: upload for closed round {r} discarded"),
+                );
+            }
+        }
+    }
 }
 
 impl Transport for TcpTransport<'_> {
@@ -424,82 +728,91 @@ impl Transport for TcpTransport<'_> {
     ) -> Vec<Collected> {
         let start = Instant::now();
         let deadline = start + Duration::from_millis(self.policy.deadline_ms);
-        for conn in &mut self.conns {
-            let mine: Vec<u32> =
-                members.iter().map(|&m| m as u32).filter(|m| conn.workers.contains(m)).collect();
-            if mine.is_empty() {
-                continue;
-            }
-            let msg = Message::RoundBegin {
+        {
+            let mut guard = self.shared.lock().expect("serving state lock");
+            guard.history.push(RoundRecord {
                 round: round as u32,
-                deadline_ms: self.policy.deadline_ms,
-                members: mine,
+                members: members.iter().map(|&m| m as u32).collect(),
                 params: params.to_vec(),
-            };
-            // A dead connection just means its members miss the deadline.
-            if msg.write_to(&mut conn.stream).is_ok() {
-                conn.stream.flush().ok();
+                open: true,
+            });
+            for conn in &mut guard.conns {
+                if !conn.alive.load(Ordering::Acquire) {
+                    continue;
+                }
+                let mine: Vec<u32> = members
+                    .iter()
+                    .map(|&m| m as u32)
+                    .filter(|m| conn.workers.contains(m))
+                    .collect();
+                if mine.is_empty() {
+                    continue;
+                }
+                let msg = Message::RoundBegin {
+                    round: round as u32,
+                    deadline_ms: self.policy.deadline_ms,
+                    members: mine,
+                    params: params.to_vec(),
+                };
+                // A dead connection just means its members miss the deadline.
+                if msg.write_to(&mut conn.stream).is_ok() {
+                    conn.stream.flush().ok();
+                }
             }
         }
 
         let mut slots: Vec<Option<Collected>> = members.iter().map(|_| None).collect();
         let mut got = 0usize;
+        // Drain whatever is already queued — with a zero deadline this is
+        // the only collection pass the policy permits.
+        while let Ok(m) = self.rx.try_recv() {
+            self.place(m, round, members, &mut slots, &mut got, fold);
+        }
         while got < members.len() {
             let now = Instant::now();
             if now >= deadline {
                 break;
             }
             match self.rx.recv_timeout(deadline - now) {
-                Ok((worker, r, data)) if r as usize == round => {
-                    if let Ok(pos) = members.binary_search(&(worker as usize)) {
-                        if slots[pos].is_none() {
-                            slots[pos] = Some(fold(data, &mut self.scratch));
-                            got += 1;
-                        }
-                    }
-                }
-                // Stale round (straggler past its deadline): discard.
-                Ok((worker, r, _)) => {
-                    self.discarded_stale += 1;
-                    if self.tel.enabled() {
-                        self.tel.event(
-                            "upload_stale",
-                            Some(round as u64),
-                            format!("worker {worker}: upload for closed round {r} discarded"),
-                        );
-                    }
-                }
+                Ok(m) => self.place(m, round, members, &mut slots, &mut got, fold),
                 Err(RecvTimeoutError::Timeout) => break,
-                // Every reader thread is gone; nothing more will arrive.
+                // Every reader thread is gone; nothing more will arrive
+                // until a reconnect — which the deadline bounds.
                 Err(RecvTimeoutError::Disconnected) => break,
             }
         }
-        // Classify every member the round closed without: a dead reader
-        // thread means the connection is gone; otherwise the member was
-        // merely late (a straggler past the deadline).
-        for (pos, slot) in slots.iter().enumerate() {
-            if slot.is_some() {
-                continue;
+        // Close the round and classify every member it ended without: a
+        // dead reader thread means the connection is gone; otherwise the
+        // member was merely late (a straggler past the deadline).
+        {
+            let mut guard = self.shared.lock().expect("serving state lock");
+            if let Some(rec) = guard.history.last_mut() {
+                rec.open = false;
             }
-            let w = members[pos] as u32;
-            let conn_alive = self
-                .claimed
-                .get(&w)
-                .map(|&c| self.conns[c].alive.load(Ordering::Acquire))
-                .unwrap_or(false);
-            let reason = if conn_alive {
-                self.dropped_deadline += 1;
-                "deadline"
-            } else {
-                self.dropped_dead_connection += 1;
-                "dead-connection"
-            };
-            if self.tel.enabled() {
-                self.tel.event(
-                    "upload_dropped",
-                    Some(round as u64),
-                    format!("worker {w}: {reason}"),
-                );
+            for (pos, slot) in slots.iter().enumerate() {
+                if slot.is_some() {
+                    continue;
+                }
+                let w = members[pos] as u32;
+                let conn_alive = guard
+                    .claimed
+                    .get(&w)
+                    .map(|&c| guard.conns[c].alive.load(Ordering::Acquire))
+                    .unwrap_or(false);
+                let reason = if conn_alive {
+                    self.dropped_deadline += 1;
+                    "deadline"
+                } else {
+                    self.dropped_dead_connection += 1;
+                    "dead-connection"
+                };
+                if self.tel.enabled() {
+                    self.tel.event(
+                        "upload_dropped",
+                        Some(round as u64),
+                        format!("worker {w}: {reason}"),
+                    );
+                }
             }
         }
         let elapsed = start.elapsed();
@@ -513,7 +826,8 @@ impl Transport for TcpTransport<'_> {
             Ok(j) => j,
             Err(_) => return,
         };
-        for conn in &mut self.conns {
+        let mut guard = self.shared.lock().expect("serving state lock");
+        for conn in &mut guard.conns {
             let msg = Message::RunComplete { summary_json: json.clone() };
             if msg.write_to(&mut conn.stream).is_ok() {
                 conn.stream.flush().ok();
@@ -534,11 +848,43 @@ fn percentile(samples: &[f64], p: f64) -> f64 {
 }
 
 /// Options for one client process.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ClientOptions {
-    /// Rounds to silently skip uploading for (fault injection in tests and
-    /// the dropout smoke: the worker still steps, the upload is withheld).
-    pub skip_rounds: Vec<usize>,
+    /// This client's fault-injection plan. When it injects nothing
+    /// ([`FaultSpec::is_noop`]), the client adopts the plan the server
+    /// carries on `cfg.serving` — the grid-swept path, which keeps served
+    /// runs byte-identical to the in-process model. A non-noop plan here
+    /// overrides the server's for this client only (test/CLI injection).
+    pub fault: FaultSpec,
+    /// Reconnect attempts after a connect, handshake, or mid-run stream
+    /// error (a rejected claim counts too: the server may simply not have
+    /// reaped the previous connection yet). `0` disables retry.
+    pub max_retries: u32,
+    /// Base backoff before the first retry, milliseconds; doubled per
+    /// subsequent attempt and capped at 5 s.
+    pub backoff_ms: u64,
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        ClientOptions { fault: FaultSpec::default(), max_retries: 3, backoff_ms: 50 }
+    }
+}
+
+/// Client-side run state that must survive reconnects: the worker pool
+/// (RNG + momentum streams evolve across rounds), the round watermark, and
+/// the last stepped round's uploads (so a reconnect that re-receives the
+/// open round can resend without re-stepping).
+struct ClientState {
+    pool: BTreeMap<usize, DpWorker>,
+    pool_built: bool,
+    /// First round this client has not stepped yet (pooled only).
+    next_round: usize,
+    /// The most recently stepped round, with its computed uploads.
+    cached_round: Option<u32>,
+    cached_uploads: Vec<(u32, Vec<f32>)>,
+    /// `FaultSpec::drop_at_round` fires once per [`run_client`] call.
+    dropped_once: bool,
 }
 
 /// Runs one serving client to completion: connect, claim `workers`, rebuild
@@ -548,19 +894,47 @@ pub struct ClientOptions {
 /// The client rebuilds its workers through the *same* construction path as
 /// the in-process pools ([`prepare`] + the shared worker builder), so the
 /// upload bytes it sends are exactly the bytes an in-process run would fold.
+///
+/// Connect, handshake, claim-rejection, and mid-run stream errors retry
+/// under [`ClientOptions`]' capped exponential backoff. Worker state
+/// persists across retries; the server's admission replay
+/// (`RoundReplay` frames, then the open round's `RoundBegin`) brings a
+/// reconnecting client back in sync, so a mid-run reconnect loses no
+/// uploads.
 pub fn run_client(addr: &str, workers: &[usize], opts: &ClientOptions) -> Result<String, String> {
-    let mut stream = match ServeAddr::parse(addr)? {
-        ServeAddr::Tcp(hostport) => {
-            let s = TcpStream::connect(&hostport)
-                .map_err(|e| format!("connect tcp://{hostport}: {e}"))?;
-            s.set_nodelay(true).ok();
-            Stream::Tcp(s)
-        }
-        ServeAddr::Unix(path) => Stream::Unix(
-            UnixStream::connect(&path)
-                .map_err(|e| format!("connect unix://{}: {e}", path.display()))?,
-        ),
+    let mut state = ClientState {
+        pool: BTreeMap::new(),
+        pool_built: false,
+        next_round: 0,
+        cached_round: None,
+        cached_uploads: Vec::new(),
+        dropped_once: false,
     };
+    let mut attempt = 0u32;
+    loop {
+        match run_session(addr, workers, opts, &mut state) {
+            Ok(summary) => return Ok(summary),
+            Err(e) => {
+                if attempt >= opts.max_retries {
+                    return Err(e);
+                }
+                let backoff = opts.backoff_ms.saturating_mul(1 << attempt.min(16)).min(5_000);
+                std::thread::sleep(Duration::from_millis(backoff));
+                attempt += 1;
+            }
+        }
+    }
+}
+
+/// One connection's lifetime: connect, claim, catch up, serve rounds until
+/// `RunComplete` or a stream error (which the caller's retry loop handles).
+fn run_session(
+    addr: &str,
+    workers: &[usize],
+    opts: &ClientOptions,
+    state: &mut ClientState,
+) -> Result<String, String> {
+    let mut stream = connect(addr)?;
     write_handshake(&mut stream).map_err(|e| format!("handshake write: {e}"))?;
     read_handshake(&mut stream).map_err(|e| format!("handshake read: {e}"))?;
     Message::ClientHello { workers: workers.iter().map(|&w| w as u32).collect() }
@@ -569,39 +943,97 @@ pub fn run_client(addr: &str, workers: &[usize], opts: &ClientOptions) -> Result
     stream.flush().ok();
     let welcome = Message::read_from(&mut stream, DEFAULT_MAX_FRAME_LEN)
         .map_err(|e| format!("welcome: {e}"))?;
-    let Message::Welcome { config_json } = welcome else {
-        return Err("server's first message was not Welcome".into());
+    let config_json = match welcome {
+        Message::Welcome { config_json } => config_json,
+        Message::HelloReject { reason } => {
+            return Err(format!("server rejected claim: {reason}"));
+        }
+        other => return Err(format!("server's first message was not Welcome: {other:?}")),
     };
     let cfg: SimulationConfig =
         serde_json::from_str(&config_json).map_err(|e| format!("config: {e}"))?;
+    // A non-noop local plan overrides the server's; otherwise adopt the
+    // config-carried plan so every participant injects the same schedule.
+    let fault: FaultSpec = if opts.fault.is_noop() {
+        cfg.serving.as_ref().map(|s: &ServingSpec| s.fault.clone()).unwrap_or_default()
+    } else {
+        opts.fault.clone()
+    };
 
-    // Rebuild this client's workers exactly as the in-process pools would.
+    // Rebuild this client's workers exactly as the in-process pools would —
+    // once; their state must survive reconnects.
     let (sigma, _) = resolve_sigma(&cfg);
     let mut dp = cfg.dp.clone();
     dp.noise_multiplier = sigma;
     let template = init_model(&cfg);
     let pooled = cfg.provisioning == Provisioning::Pooled;
-    let mut pool: BTreeMap<usize, DpWorker> = BTreeMap::new();
-    if pooled {
+    if pooled && !state.pool_built {
         let prep = prepare(&cfg);
         let n_data = data_worker_count(&cfg);
         for &w in workers {
             if w >= n_data {
                 return Err(format!("worker {w} is not a data-holding index of this config"));
             }
-            pool.insert(w, data_worker(&cfg, &prep.train, &prep.parts, &dp, &template, w));
+            state.pool.insert(w, data_worker(&cfg, &prep.train, &prep.parts, &dp, &template, w));
         }
+        state.pool_built = true;
     }
 
     loop {
         let msg = Message::read_from(&mut stream, DEFAULT_MAX_FRAME_LEN)
             .map_err(|e| format!("round read: {e}"))?;
         match msg {
-            Message::RoundBegin { round, members, params, .. } => {
-                let skip = opts.skip_rounds.contains(&(round as usize));
+            Message::RoundReplay { round, members, .. } if !pooled => {
+                // On-demand workers are rebuilt per (worker, round); there
+                // is no cross-round state to catch up.
+                let _ = (round, members);
+            }
+            Message::RoundReplay { round, members, params } => {
+                // Catch-up for a closed round: step the members' RNG and
+                // momentum streams exactly as a live round would have, but
+                // upload nothing — the round is over.
+                let r = round as usize;
+                if r < state.next_round {
+                    continue; // stepped before the previous disconnect
+                }
+                for &m in &members {
+                    let w = state
+                        .pool
+                        .get_mut(&(m as usize))
+                        .ok_or_else(|| format!("server replayed unclaimed worker {m}"))?;
+                    let _ = protocol_step(w, &params, cfg.protocol);
+                }
+                state.next_round = r + 1;
+                state.cached_round = None;
+                state.cached_uploads.clear();
+            }
+            Message::RoundBegin { round, deadline_ms, members, params } => {
+                let r = round as usize;
+                if let Some(t) = fault.drop_at_round {
+                    if t == r && !state.dropped_once {
+                        state.dropped_once = true;
+                        return Err(format!("fault injection: dropped connection at round {r}"));
+                    }
+                }
+                if pooled && state.cached_round == Some(round) {
+                    // A reconnect re-delivered the round we already stepped:
+                    // resend from cache (the server deduplicates), never
+                    // re-step — worker state must advance exactly once per
+                    // round.
+                    send_uploads(&mut stream, round, deadline_ms, &state.cached_uploads, &fault)?;
+                    continue;
+                }
+                if pooled && r < state.next_round {
+                    return Err(format!(
+                        "server re-opened stepped round {r} (client is at round {})",
+                        state.next_round
+                    ));
+                }
+                let mut uploads: Vec<(u32, Vec<f32>)> = Vec::with_capacity(members.len());
                 for &m in &members {
                     let upload = if pooled {
-                        let w = pool
+                        let w = state
+                            .pool
                             .get_mut(&(m as usize))
                             .ok_or_else(|| format!("server sent unclaimed worker {m}"))?;
                         protocol_step(w, &params, cfg.protocol)
@@ -611,23 +1043,69 @@ pub fn run_client(addr: &str, workers: &[usize], opts: &ClientOptions) -> Result
                             &template,
                             &dp,
                             m as usize,
-                            round as usize,
+                            r,
                             (m as usize) >= cfg.n_honest,
                         );
                         protocol_step(&mut w, &params, cfg.protocol)
                     };
-                    if skip {
-                        continue;
-                    }
-                    Message::Upload { round, worker: m, data: upload }
-                        .write_to(&mut stream)
-                        .map_err(|e| format!("upload: {e}"))?;
+                    uploads.push((m, upload));
                 }
-                stream.flush().ok();
+                if pooled {
+                    state.next_round = r + 1;
+                    state.cached_round = Some(round);
+                    state.cached_uploads = uploads.clone();
+                }
+                send_uploads(&mut stream, round, deadline_ms, &uploads, &fault)?;
             }
             Message::RunComplete { summary_json } => return Ok(summary_json),
             other => return Err(format!("unexpected server message: {other:?}")),
         }
+    }
+}
+
+/// Sends one round's uploads, applying the fault plan: withheld members
+/// send nothing (the worker already stepped), a zero round deadline
+/// withholds everything (the upload cannot count — sending would only race
+/// the server's drain), and delay draws sleep before each send.
+fn send_uploads(
+    stream: &mut Stream,
+    round: u32,
+    deadline_ms: u64,
+    uploads: &[(u32, Vec<f32>)],
+    fault: &FaultSpec,
+) -> Result<(), String> {
+    if deadline_ms == 0 {
+        return Ok(());
+    }
+    for (m, data) in uploads {
+        if fault.withholds(*m as usize, round as usize) {
+            continue;
+        }
+        let delay = fault.delay_ms(*m as usize, round as usize);
+        if delay > 0 {
+            std::thread::sleep(Duration::from_millis(delay));
+        }
+        Message::Upload { round, worker: *m, data: data.clone() }
+            .write_to(stream)
+            .map_err(|e| format!("upload: {e}"))?;
+    }
+    stream.flush().ok();
+    Ok(())
+}
+
+/// Connects to a serving address.
+fn connect(addr: &str) -> Result<Stream, String> {
+    match ServeAddr::parse(addr)? {
+        ServeAddr::Tcp(hostport) => {
+            let s = TcpStream::connect(&hostport)
+                .map_err(|e| format!("connect tcp://{hostport}: {e}"))?;
+            s.set_nodelay(true).ok();
+            Ok(Stream::Tcp(s))
+        }
+        ServeAddr::Unix(path) => Ok(Stream::Unix(
+            UnixStream::connect(&path)
+                .map_err(|e| format!("connect unix://{}: {e}", path.display()))?,
+        )),
     }
 }
 
@@ -702,6 +1180,7 @@ mod tests {
         assert_eq!(report.dropped_deadline, 0);
         assert_eq!(report.dropped_dead_connection, 0);
         assert_eq!(report.discarded_stale, 0);
+        assert_eq!(report.reconnects, 0);
         assert_eq!(report.rounds, cfg.iterations());
         assert_eq!(report.clients, 2);
         assert!(report.p50_round_ms <= report.p99_round_ms);
@@ -758,7 +1237,10 @@ mod tests {
         // timing, determines the result).
         let cfg = serving_cfg();
         let policy = RoundPolicy { deadline_ms: 2_000 };
-        let skip = ClientOptions { skip_rounds: vec![2] };
+        let skip = ClientOptions {
+            fault: FaultSpec { skip_rounds: vec![2], ..FaultSpec::default() },
+            ..ClientOptions::default()
+        };
         let workers = vec![vec![0, 1, 2], vec![3, 4, 5]];
         let opts = vec![ClientOptions::default(), skip];
         let (a, report_a, _) =
@@ -777,6 +1259,183 @@ mod tests {
             "dropped honest upload must join the rejected set"
         );
         assert_ne!(summary_json(&a), summary_json(&full), "drops must change the accepted set");
+    }
+
+    #[test]
+    fn client_retry_reconnects_mid_run_byte_identical() {
+        // A client that drops its connection on round 1's broadcast and
+        // reconnects under its own retry policy: the server replays round 0,
+        // re-sends the open round, and the run loses nothing — the summary
+        // is byte-identical to the uninterrupted in-process reference.
+        let cfg = serving_cfg();
+        let expected = summary_json(&run(&cfg));
+        let churn = ClientOptions {
+            fault: FaultSpec { drop_at_round: Some(1), ..FaultSpec::default() },
+            max_retries: 5,
+            ..ClientOptions::default()
+        };
+        let (result, report, client_summaries) = serve_loopback(
+            &cfg,
+            "tcp://127.0.0.1:0",
+            &RoundPolicy::default(),
+            vec![vec![0, 1, 2], vec![3, 4, 5]],
+            vec![ClientOptions::default(), churn],
+        );
+        assert_eq!(summary_json(&result), expected, "reconnect run ≠ in-process");
+        assert_eq!(report.reconnects, 1, "exactly one reconnect was injected");
+        assert_eq!(report.dropped_uploads, 0, "a fast reconnect loses no uploads");
+        assert_eq!(report.clients, 3, "replacement connection is admitted alongside 2 originals");
+        for s in client_summaries {
+            assert_eq!(s, expected, "published summary differs");
+        }
+    }
+
+    #[test]
+    fn fresh_client_reconnect_replays_history_byte_identical() {
+        // The satellite scenario: a client process is killed after round 1
+        // and a *fresh* process re-claims its workers before round 3. The
+        // replacement rebuilds its pool from the Welcome config, steps the
+        // replayed closed rounds without uploading, answers the re-sent
+        // open round, and the final summary is byte-identical to an
+        // uninterrupted run with the same accepted set.
+        let cfg = serving_cfg();
+        let expected = summary_json(&run(&cfg));
+        let server = BoundServer::bind("tcp://127.0.0.1:0").expect("bind");
+        let local = server.local_addr().to_string();
+        let stable = {
+            let local = local.clone();
+            std::thread::spawn(move || run_client(&local, &[0, 1, 2], &ClientOptions::default()))
+        };
+        let churn = {
+            let local = local.clone();
+            std::thread::spawn(move || {
+                // First process: dies on round 1's broadcast, no retries —
+                // the connection closes with rounds still to run.
+                let doomed = ClientOptions {
+                    fault: FaultSpec { drop_at_round: Some(1), ..FaultSpec::default() },
+                    max_retries: 0,
+                    ..ClientOptions::default()
+                };
+                let err = run_client(&local, &[3, 4, 5], &doomed);
+                assert!(err.is_err(), "doomed client must die at round 1");
+                // Replacement process: fresh state, same claim. Its first
+                // hello may race the dead connection's reaping and be
+                // rejected; the default retry policy absorbs that.
+                run_client(&local, &[3, 4, 5], &ClientOptions::default())
+            })
+        };
+        let (result, report) = server.serve(&cfg, &RoundPolicy::default()).expect("serve");
+        let stable_summary = stable.join().expect("stable thread").expect("stable client");
+        let churn_summary = churn.join().expect("churn thread").expect("replacement client");
+        assert_eq!(summary_json(&result), expected, "fresh-reconnect run ≠ in-process");
+        assert_eq!(report.reconnects, 1);
+        assert_eq!(report.dropped_uploads, 0, "replay + open-round resend loses no uploads");
+        assert_eq!(stable_summary, expected);
+        assert_eq!(churn_summary, expected);
+    }
+
+    #[test]
+    fn live_claim_overlap_is_rejected_with_structured_reason() {
+        // Two clients cover the run; a third claiming a live worker gets a
+        // structured HelloReject, and the run is unperturbed.
+        let cfg = serving_cfg();
+        let expected = summary_json(&run(&cfg));
+        let server = BoundServer::bind("tcp://127.0.0.1:0").expect("bind");
+        let local = server.local_addr().to_string();
+        let c1 = {
+            let local = local.clone();
+            std::thread::spawn(move || run_client(&local, &[0, 1, 2], &ClientOptions::default()))
+        };
+        // Admission only runs inside `serve`, and the run cannot start until
+        // workers 3..=5 are claimed — so one helper thread first mounts the
+        // duplicate claim (while c1 is live and the server is still waiting
+        // for coverage), then claims the remaining workers to release the
+        // run. The ordering is structural, not timing-based: the rejection
+        // strictly precedes round 0.
+        let rest = {
+            let local = local.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(500)); // let c1 be admitted
+                let dup = run_client(
+                    &local,
+                    &[0],
+                    &ClientOptions { max_retries: 0, ..ClientOptions::default() },
+                );
+                let c2 = run_client(&local, &[3, 4, 5], &ClientOptions::default());
+                (dup, c2)
+            })
+        };
+        let (result, report) = server.serve(&cfg, &RoundPolicy::default()).expect("serve");
+        c1.join().expect("c1 thread").expect("c1");
+        let (dup, c2) = rest.join().expect("helper thread");
+        c2.expect("c2");
+        let err = dup.expect_err("duplicate live claim must be refused");
+        assert!(err.contains("claimed by a live connection"), "unexpected reason: {err}");
+        assert_eq!(summary_json(&result), expected, "rejected claim perturbed the run");
+        assert_eq!(report.reconnects, 0);
+        assert_eq!(report.clients, 2, "the rejected connection is not admitted");
+    }
+
+    #[test]
+    fn zero_deadline_collects_only_queued_uploads() {
+        // RoundPolicy { deadline_ms: 0 } is "no waiting beyond
+        // already-queued uploads": the server drains its queue once and
+        // closes the round. Clients seeing the zero deadline withhold their
+        // sends, and the in-process model withholds every upload to match —
+        // so the all-dropped wire run is byte-identical to its reference,
+        // completes promptly, and never panics or busy-loops.
+        let mut cfg = serving_cfg();
+        cfg.serving = Some(ServingSpec { deadline_ms: Some(0), fault: FaultSpec::default() });
+        let expected = summary_json(&run(&cfg));
+        // The caller's generous policy is overridden by the config's 0.
+        let (result, report, _) = serve_loopback(
+            &cfg,
+            "tcp://127.0.0.1:0",
+            &RoundPolicy::default(),
+            vec![vec![0, 1, 2], vec![3, 4, 5]],
+            vec![ClientOptions::default(), ClientOptions::default()],
+        );
+        assert_eq!(summary_json(&result), expected, "zero-deadline serving ≠ in-process");
+        let members_per_round = 6u64;
+        assert_eq!(report.dropped_uploads, members_per_round * cfg.iterations() as u64);
+        assert_eq!(report.dropped_dead_connection, 0, "clients stay connected throughout");
+        assert_eq!(report.discarded_stale, 0, "withheld sends leave nothing to go stale");
+        // And the all-dropped run differs from the no-fault reference.
+        let mut plain = cfg.clone();
+        plain.serving = None;
+        assert_ne!(expected, summary_json(&run(&plain)));
+    }
+
+    #[test]
+    fn config_carried_fault_plan_reaches_every_client() {
+        // A flaky plan on cfg.serving: clients adopt it from the Welcome,
+        // the in-process transport models it, and the served summary is
+        // byte-identical to the in-process reference under the same
+        // schedule.
+        let mut cfg = serving_cfg();
+        cfg.serving = Some(ServingSpec {
+            deadline_ms: Some(1_500),
+            fault: FaultSpec { flaky_pct: 20.0, seed: 11, ..FaultSpec::default() },
+        });
+        let expected = summary_json(&run(&cfg));
+        let (result, report, _) = serve_loopback(
+            &cfg,
+            "tcp://127.0.0.1:0",
+            &RoundPolicy::default(),
+            vec![vec![0, 1, 2], vec![3, 4, 5]],
+            vec![ClientOptions::default(), ClientOptions::default()],
+        );
+        assert_eq!(summary_json(&result), expected, "flaky serving ≠ in-process model");
+        // The withheld set is the fault plan's, exactly.
+        let fault = cfg.serving.as_ref().unwrap().fault.clone();
+        let planned: u64 = (0..cfg.iterations())
+            .flat_map(|r| (0..6usize).map(move |w| (w, r)))
+            .filter(|&(w, r)| fault.withholds(w, r))
+            .count() as u64;
+        assert!(planned > 0, "a 20% plan over 48 uploads should withhold some");
+        assert_eq!(report.dropped_uploads, planned, "drops ≠ injected schedule");
+        assert_eq!(report.dropped_deadline, planned, "withheld ≠ straggler classification");
+        assert_eq!(report.dropped_dead_connection, 0);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use crate::aggregator::AggregatorKind;
 use crate::attack::AttackSpec;
-use crate::config::{DefenseConfig, DpSgdConfig};
+use crate::config::{DefenseConfig, DpSgdConfig, ServingSpec};
 use crate::first_stage::FirstStage;
 use crate::round::{InProcessTransport, Transport, TwoStageState};
 use crate::second_stage::SecondStage;
@@ -208,6 +208,12 @@ pub struct SimulationConfig {
     pub sampling: f64,
     /// How client training data is provisioned.
     pub provisioning: Provisioning,
+    /// Serving-layer overrides: deadline policy and the fault-injection
+    /// plan. `None` (the default, and what any pre-existing config JSON
+    /// deserializes to) means no overrides. The in-process transport models
+    /// the withholding plan so served and in-process runs stay
+    /// byte-identical under the same schedule.
+    pub serving: Option<ServingSpec>,
 }
 
 impl SimulationConfig {
@@ -236,6 +242,7 @@ impl SimulationConfig {
             eval_every: 0,
             sampling: 1.0,
             provisioning: Provisioning::default(),
+            serving: None,
         }
     }
 

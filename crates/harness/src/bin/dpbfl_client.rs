@@ -1,7 +1,9 @@
 //! `dpbfl-client` — host data workers for a run served by `dpbfl-server`.
 //!
 //! ```text
-//! dpbfl-client --connect ADDR --workers SPEC
+//! dpbfl-client --connect ADDR --workers SPEC [--max-retries N] [--backoff-ms N]
+//!              [--drop-at-round N] [--skip-rounds LIST] [--flaky-pct P]
+//!              [--fault-seed N]
 //! ```
 //!
 //! The client connects, claims the worker indices in `--workers`
@@ -10,21 +12,42 @@
 //! replicas from the config seed — bit-identical to what the in-process
 //! transport would build — and then answers every `RoundBegin` with one
 //! local DP-SGD step per claimed member until `RunComplete`.
+//!
+//! Connection failures (including mid-run stream errors and a transient
+//! rejection while the server reaps a dead predecessor holding the same
+//! claim) are retried with capped exponential backoff; on reconnect the
+//! server replays closed rounds so the client rebuilds its worker state
+//! and resumes at the current round. The `--drop-*`/`--skip-*`/`--flaky-*`
+//! flags inject faults for churn testing; when none are set, the client
+//! adopts the fault plan carried by the run config, so sweep scenarios
+//! like `serving/churn_sweep` need no client-side flags at all.
 
 use dpbfl::prelude::*;
 
 const USAGE: &str = "dpbfl-client — host data workers for a dpbfl-server run
 
 USAGE:
-    dpbfl-client --connect ADDR --workers SPEC
+    dpbfl-client --connect ADDR --workers SPEC [--max-retries N] [--backoff-ms N]
+                 [--drop-at-round N] [--skip-rounds LIST] [--flaky-pct P]
+                 [--fault-seed N]
 
 OPTIONS:
-    --connect ADDR   tcp://HOST:PORT or unix://PATH printed by dpbfl-server
-    --workers SPEC   global worker indices to claim: `0-2`, `0,1,2`, `0-2,5`
+    --connect ADDR      tcp://HOST:PORT or unix://PATH printed by dpbfl-server
+    --workers SPEC      global worker indices to claim: `0-2`, `0,1,2`, `0-2,5`
+    --max-retries N     reconnect attempts after a connection failure (default 3)
+    --backoff-ms N      base retry backoff, doubled per attempt, capped (default 50)
+    --drop-at-round N   fault injection: drop the connection when round N begins
+                        (once; the retry loop then reconnects)
+    --skip-rounds LIST  fault injection: withhold all uploads in these rounds
+                        (comma-separated round indices)
+    --flaky-pct P       fault injection: withhold each upload with probability P%
+                        (deterministic per (seed, worker, round))
+    --fault-seed N      seed for the flaky/delay fault streams (default 0)
 
-The server rejects claims that overlap another client's or fall outside
-the run's data-worker set; training starts once connected clients cover
-the whole set.";
+The server rejects claims that overlap another *live* client's or fall
+outside the run's data-worker set; training starts once connected clients
+cover the whole set. A claim over a dead predecessor's workers re-binds
+them: the server replays closed rounds and the run continues.";
 
 fn main() {
     std::process::exit(real_main());
@@ -38,6 +61,7 @@ fn real_main() -> i32 {
     }
     let mut connect: Option<String> = None;
     let mut workers: Option<Vec<usize>> = None;
+    let mut opts = ClientOptions::default();
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -45,6 +69,19 @@ fn real_main() -> i32 {
             eprintln!("error: {flag} needs a value\n\n{USAGE}");
             return 2;
         };
+        // One parse closure per target type, so every numeric flag reports
+        // the offending value the same way.
+        macro_rules! parsed {
+            ($what:literal) => {
+                match value.parse() {
+                    Ok(v) => v,
+                    Err(_) => {
+                        eprintln!("error: {flag} wants {}, got `{value}`", $what);
+                        return 2;
+                    }
+                }
+            };
+        }
         match flag {
             "--connect" => connect = Some(value.clone()),
             "--workers" => match parse_workers(value) {
@@ -54,6 +91,18 @@ fn real_main() -> i32 {
                     return 2;
                 }
             },
+            "--max-retries" => opts.max_retries = parsed!("an attempt count"),
+            "--backoff-ms" => opts.backoff_ms = parsed!("milliseconds"),
+            "--drop-at-round" => opts.fault.drop_at_round = Some(parsed!("a round index")),
+            "--skip-rounds" => match parse_workers(value) {
+                Ok(list) => opts.fault.skip_rounds = list,
+                Err(e) => {
+                    eprintln!("error: --skip-rounds {value}: {e}");
+                    return 2;
+                }
+            },
+            "--flaky-pct" => opts.fault.flaky_pct = parsed!("a percentage"),
+            "--fault-seed" => opts.fault.seed = parsed!("a seed"),
             other => {
                 eprintln!("error: unknown flag `{other}`\n\n{USAGE}");
                 return 2;
@@ -65,9 +114,13 @@ fn real_main() -> i32 {
         eprintln!("error: --connect and --workers are both required\n\n{USAGE}");
         return 2;
     };
+    if !(opts.fault.flaky_pct.is_finite() && (0.0..=100.0).contains(&opts.fault.flaky_pct)) {
+        eprintln!("error: --flaky-pct must be in [0, 100], got {}", opts.fault.flaky_pct);
+        return 2;
+    }
 
     println!("connecting to {addr} claiming workers {workers:?}");
-    match run_client(&addr, &workers, &ClientOptions::default()) {
+    match run_client(&addr, &workers, &opts) {
         Ok(summary_json) => {
             println!("run complete; server summary:\n{summary_json}");
             0

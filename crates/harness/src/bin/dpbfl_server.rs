@@ -2,12 +2,13 @@
 //!
 //! ```text
 //! dpbfl-server <scenario|file.json> [--listen ADDR] [--deadline-ms N]
-//!              [--summary-out FILE] [--bench-out FILE]
+//!              [--cell N] [--summary-out FILE] [--bench-out FILE]
 //! ```
 //!
 //! The scenario argument resolves exactly like `dpbfl-exp run` (built-in
-//! registry first, then a spec file path) and must expand to a single cell —
-//! serving sweeps makes no sense, one server drives one run. The server
+//! registry first, then a spec file path). One server drives one run, so
+//! a multi-cell scenario (e.g. the `serving/churn_sweep` fault grid) needs
+//! `--cell N` to pick the cell to serve. The server
 //! binds `--listen` (default `tcp://127.0.0.1:0`, an ephemeral port),
 //! prints the bound address and the worker indices clients must claim,
 //! blocks until connected clients cover the full data-worker set, drives
@@ -31,12 +32,16 @@ const USAGE: &str = "dpbfl-server — serve one dpbfl training run to remote wor
 
 USAGE:
     dpbfl-server <scenario|file.json> [--listen ADDR] [--deadline-ms N]
-                 [--summary-out FILE] [--bench-out FILE] [--metrics-out FILE]
-                 [--in-process]
+                 [--cell N] [--summary-out FILE] [--bench-out FILE]
+                 [--metrics-out FILE] [--in-process]
 
 OPTIONS:
     --listen ADDR       tcp://HOST:PORT or unix://PATH (default tcp://127.0.0.1:0)
-    --deadline-ms N     per-round upload deadline in milliseconds (default 30000)
+    --deadline-ms N     per-round upload deadline in milliseconds (default 30000;
+                        a config-level serving.deadline_ms overrides this; 0 means
+                        collect only already-queued uploads)
+    --cell N            serve cell N of a multi-cell scenario (default: the
+                        scenario must expand to exactly one cell)
     --summary-out FILE  write the final RunSummary JSON here
     --bench-out FILE    write the ServingReport JSON (BENCH_serving.json) here
     --metrics-out FILE  record the telemetry ledger (metrics.jsonl) here
@@ -64,6 +69,7 @@ fn real_main() -> i32 {
     let mut summary_out: Option<String> = None;
     let mut bench_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    let mut cell: Option<usize> = None;
     let mut in_process = false;
     let mut i = 1;
     while i < args.len() {
@@ -86,6 +92,13 @@ fn real_main() -> i32 {
                     return 2;
                 }
             },
+            "--cell" => match value.parse() {
+                Ok(n) => cell = Some(n),
+                Err(_) => {
+                    eprintln!("error: --cell wants a cell index, got `{value}`");
+                    return 2;
+                }
+            },
             "--summary-out" => summary_out = Some(value.clone()),
             "--bench-out" => bench_out = Some(value.clone()),
             "--metrics-out" => metrics_out = Some(value.clone()),
@@ -97,7 +110,7 @@ fn real_main() -> i32 {
         i += 2;
     }
 
-    let cfg = match resolve_single_cell(scenario) {
+    let cfg = match resolve_cell(scenario, cell) {
         Ok(cfg) => cfg,
         Err(e) => {
             eprintln!("error: {e}");
@@ -148,10 +161,11 @@ fn real_main() -> i32 {
     }
     match &report {
         Some(report) => println!(
-            "run complete: final accuracy {:.3} over {} rounds ({} clients, p50 {:.1} ms, p99 {:.1} ms, {:.2} rounds/s, {} dropped uploads)",
+            "run complete: final accuracy {:.3} over {} rounds ({} clients, {} reconnects, p50 {:.1} ms, p99 {:.1} ms, {:.2} rounds/s, {} dropped uploads)",
             result.final_accuracy,
             report.rounds,
             report.clients,
+            report.reconnects,
             report.p50_round_ms,
             report.p99_round_ms,
             report.rounds_per_sec,
@@ -191,9 +205,10 @@ fn real_main() -> i32 {
     0
 }
 
-/// Resolves the scenario argument exactly like `dpbfl-exp` and insists on a
-/// single cell (one server serves one run, not a sweep).
-fn resolve_single_cell(arg: &str) -> Result<SimulationConfig, String> {
+/// Resolves the scenario argument exactly like `dpbfl-exp` and picks one
+/// cell: the only one when the grid is trivial, else the `--cell` index
+/// (one server serves one run, not a sweep).
+fn resolve_cell(arg: &str, cell: Option<usize>) -> Result<SimulationConfig, String> {
     let spec = if let Some(spec) = registry::get(arg) {
         spec
     } else {
@@ -205,14 +220,25 @@ fn resolve_single_cell(arg: &str) -> Result<SimulationConfig, String> {
         }
         ScenarioSpec::load(path)?
     };
-    let cells = spec.cells();
-    if cells.len() != 1 {
-        return Err(format!(
-            "`{}` expands to {} cells; dpbfl-server serves exactly one (pick a 1-cell \
-             scenario such as serving/loopback_smoke, or a spec file without sweep axes)",
-            spec.name,
-            cells.len()
-        ));
-    }
-    Ok(cells.into_iter().next().expect("one cell").config)
+    let mut cells = spec.cells();
+    let index = match cell {
+        Some(index) if index < cells.len() => index,
+        Some(index) => {
+            return Err(format!(
+                "`{}` has cells 0..{}; --cell {index} is out of range",
+                spec.name,
+                cells.len()
+            ));
+        }
+        None if cells.len() == 1 => 0,
+        None => {
+            return Err(format!(
+                "`{}` expands to {} cells; dpbfl-server serves exactly one (pass --cell N, \
+                 or pick a 1-cell scenario such as serving/loopback_smoke)",
+                spec.name,
+                cells.len()
+            ));
+        }
+    };
+    Ok(cells.swap_remove(index).config)
 }

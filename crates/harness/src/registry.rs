@@ -32,6 +32,8 @@ pub fn names() -> &'static [&'static str] {
         "scale/million_clients",
         "scale/smoke",
         "serving/loopback_smoke",
+        "serving/churn_sweep",
+        "serving/deadline_sweep",
         "smoke/tiny",
     ]
 }
@@ -104,6 +106,8 @@ pub fn get(name: &str) -> Option<ScenarioSpec> {
         "scale/million_clients" => Some(scale_million_clients()),
         "scale/smoke" => Some(scale_smoke()),
         "serving/loopback_smoke" => Some(serving_loopback_smoke()),
+        "serving/churn_sweep" => Some(serving_churn_sweep()),
+        "serving/deadline_sweep" => Some(serving_deadline_sweep()),
         "smoke/tiny" => Some(smoke_tiny()),
         _ => None,
     }
@@ -690,10 +694,10 @@ fn scale_smoke() -> ScenarioSpec {
     }
 }
 
-/// The config the served loopback run is pinned to: the same cell CI runs
-/// once over `dpbfl-server` + TCP loopback clients and once in-process,
-/// diffing the two `RunSummary` JSON blobs byte for byte.
-fn serving_loopback_smoke() -> ScenarioSpec {
+/// The 6-worker base config every `serving/*` scenario shares: small enough
+/// for CI loopback runs, adversarial enough (2 Byzantine label-flip under
+/// the two-stage defense) that a lost upload visibly changes the summary.
+fn serving_base() -> SimulationConfig {
     let mut base =
         SimulationConfig::quick(SyntheticSpec::mnist_like(), ModelKind::SmallMlp { hidden: 8 });
     base.per_worker = 128;
@@ -705,6 +709,14 @@ fn serving_loopback_smoke() -> ScenarioSpec {
     base.dp.noise_multiplier = 0.5;
     base.attack = AttackSpec::LabelFlip;
     base.defense = DefenseKind::TwoStage;
+    base
+}
+
+/// The config the served loopback run is pinned to: the same cell CI runs
+/// once over `dpbfl-server` + TCP loopback clients and once in-process,
+/// diffing the two `RunSummary` JSON blobs byte for byte.
+fn serving_loopback_smoke() -> ScenarioSpec {
+    let base = serving_base();
     ScenarioSpec {
         name: "serving/loopback_smoke".into(),
         title: "Served round loop: TCP loopback vs in-process, byte-identical".into(),
@@ -716,6 +728,51 @@ fn serving_loopback_smoke() -> ScenarioSpec {
         seed: SeedPolicy::Fixed { seed: 1 },
         base,
         grid: GridSpec::default(),
+    }
+}
+
+/// Dropout-rate sweep under connection churn: every cell drops one client's
+/// connection at round 1 (wire runs reconnect and replay; in-process runs
+/// are unaffected by design) while sweeping the flaky-upload percentage.
+fn serving_churn_sweep() -> ScenarioSpec {
+    let mut base = serving_base();
+    base.serving = Some(ServingSpec {
+        deadline_ms: Some(1_500),
+        fault: FaultSpec { drop_at_round: Some(1), seed: 7, ..FaultSpec::default() },
+    });
+    ScenarioSpec {
+        name: "serving/churn_sweep".into(),
+        title: "Fault-injection sweep: dropout rate × mid-run reconnect".into(),
+        notes: "Sweeps the flaky-upload percentage {0, 10, 25} with a connection drop \
+                injected at round 1. `drop_at_round` is wire-only: the replacement \
+                connection replays closed rounds and re-answers the open one, so every \
+                cell served over loopback must stay byte-identical to its in-process \
+                reference — the CI churn leg's contract. The flaky plan is a pure \
+                function of (fault seed, worker, round), so both transports withhold \
+                the identical upload set."
+            .into(),
+        seed: SeedPolicy::Fixed { seed: 1 },
+        base,
+        grid: GridSpec { flaky_pcts: Some(vec![0.0, 10.0, 25.0]), ..GridSpec::default() },
+    }
+}
+
+/// Round-deadline policy sweep, including the drain-only zero deadline.
+fn serving_deadline_sweep() -> ScenarioSpec {
+    let mut base = serving_base();
+    base.serving = Some(ServingSpec { deadline_ms: None, fault: FaultSpec::default() });
+    ScenarioSpec {
+        name: "serving/deadline_sweep".into(),
+        title: "Round-deadline policy sweep, 0 ms (drain-only) to 2 s".into(),
+        notes: "Sweeps the per-round collection deadline {0, 250, 2000} ms. The 0 ms \
+                cell pins the defined drain-only semantics: the server collects only \
+                already-queued uploads and never blocks, clients withhold their sends, \
+                and the in-process model withholds every upload to match — all-dropped, \
+                deterministic, and still byte-identical across transports."
+            .into(),
+        seed: SeedPolicy::Fixed { seed: 1 },
+        base,
+        grid: GridSpec { deadlines_ms: Some(vec![0, 250, 2_000]), ..GridSpec::default() },
     }
 }
 

@@ -85,6 +85,18 @@ pub struct GridSpec {
     /// the fraction feeds both the cohort sampler and the amplification
     /// accountant, which refuses to extrapolate beyond `q = 1`.
     pub samplings: Option<Vec<f64>>,
+    /// Serving round deadlines (ms) to sweep. Each value lands in
+    /// `base.serving.deadline_ms` (creating the [`ServingSpec`] when the
+    /// base has none), where it overrides the server operator's
+    /// `RoundPolicy`. `0` is a defined policy — "collect only what is
+    /// already queued" — not a degenerate one.
+    pub deadlines_ms: Option<Vec<u64>>,
+    /// Fault-injection flaky percentages to sweep. Each value lands in
+    /// `base.serving.fault.flaky_pct`: the per-(worker, round) probability
+    /// (in percent) that an upload is withheld, drawn deterministically
+    /// from the fault seed so the wire run and its in-process reference
+    /// withhold the identical set.
+    pub flaky_pcts: Option<Vec<f64>>,
     /// Labeled one-off rows appended after the cartesian cells. Each entry
     /// overrides a handful of base-config fields at once — the shape of the
     /// paper's method-comparison tables (Tables 1 and 3), whose rows vary
@@ -182,6 +194,8 @@ const GRID_FIELDS: &[&str] = &[
     "protocols",
     "datasets",
     "samplings",
+    "deadlines_ms",
+    "flaky_pcts",
     "include",
 ];
 
@@ -264,7 +278,15 @@ const BASE_FIELDS: &[&str] = &[
     "eval_every",
     "sampling",
     "provisioning",
+    "serving",
 ];
+
+/// The field names `ServingSpec` serializes.
+const SERVING_FIELDS: &[&str] = &["deadline_ms", "fault"];
+
+/// The field names `FaultSpec` serializes.
+const FAULT_FIELDS: &[&str] =
+    &["skip_rounds", "drop_at_round", "delay_ms_lo", "delay_ms_hi", "flaky_pct", "seed"];
 
 /// The field names `DpSgdConfig` serializes.
 const DP_FIELDS: &[&str] = &["batch_size", "momentum", "noise_multiplier", "momentum_reset"];
@@ -333,6 +355,8 @@ impl ScenarioSpec {
             || g.protocols.is_some()
             || g.datasets.is_some()
             || g.samplings.is_some()
+            || g.deadlines_ms.is_some()
+            || g.flaky_pcts.is_some()
     }
 
     /// The grid's include rows (empty slice when absent).
@@ -350,7 +374,7 @@ impl ScenarioSpec {
 
     /// The swept axes as a list of (axis values) lists, in expansion order:
     /// model, attack, defense, `n_byzantine`, γ, ε, partition, protocol,
-    /// dataset, sampling. Omitted axes contribute nothing.
+    /// dataset, sampling, deadline, flaky. Omitted axes contribute nothing.
     fn swept_axes(&self) -> Vec<Vec<AxisSetting>> {
         let mut axes: Vec<Vec<AxisSetting>> = Vec::new();
         let mut push = |values: Option<Vec<AxisSetting>>| axes.extend(values);
@@ -367,6 +391,12 @@ impl ScenarioSpec {
         push(g.protocols.as_ref().map(|v| v.iter().map(|p| AxisSetting::Protocol(*p)).collect()));
         push(g.datasets.as_ref().map(|v| v.iter().cloned().map(AxisSetting::Dataset).collect()));
         push(g.samplings.as_ref().map(|v| v.iter().map(|q| AxisSetting::Sampling(*q)).collect()));
+        push(
+            g.deadlines_ms
+                .as_ref()
+                .map(|v| v.iter().map(|d| AxisSetting::DeadlineMs(*d)).collect()),
+        );
+        push(g.flaky_pcts.as_ref().map(|v| v.iter().map(|p| AxisSetting::FlakyPct(*p)).collect()));
         axes
     }
 
@@ -461,6 +491,8 @@ impl ScenarioSpec {
                 * axis_len(&self.grid.protocols)
                 * axis_len(&self.grid.datasets)
                 * axis_len(&self.grid.samplings)
+                * axis_len(&self.grid.deadlines_ms)
+                * axis_len(&self.grid.flaky_pcts)
         } else {
             0
         };
@@ -494,6 +526,8 @@ impl ScenarioSpec {
             ("protocols", self.grid.protocols.as_ref().map(Vec::len)),
             ("datasets", self.grid.datasets.as_ref().map(Vec::len)),
             ("samplings", self.grid.samplings.as_ref().map(Vec::len)),
+            ("deadlines_ms", self.grid.deadlines_ms.as_ref().map(Vec::len)),
+            ("flaky_pcts", self.grid.flaky_pcts.as_ref().map(Vec::len)),
             ("include", self.grid.include.as_ref().map(Vec::len)),
         ] {
             if len == Some(0) {
@@ -505,6 +539,12 @@ impl ScenarioSpec {
         for (i, name) in self.grid.datasets.iter().flatten().enumerate() {
             if SyntheticSpec::by_name(name).is_none() {
                 problems.push(unknown_dataset(&format!("grid.datasets[{i}]"), name));
+            }
+        }
+        for (i, pct) in self.grid.flaky_pcts.iter().flatten().enumerate() {
+            if !(pct.is_finite() && (0.0..=100.0).contains(pct)) {
+                problems
+                    .push(format!("grid.flaky_pcts[{i}]: flaky percentage {pct} outside [0, 100]"));
             }
         }
         let mut labels: Vec<&str> = Vec::new();
@@ -544,6 +584,16 @@ impl ScenarioSpec {
             let q = c.sampling;
             if !(q.is_finite() && q > 0.0 && q <= 1.0) {
                 problems.push(at(format!("sampling fraction {q} outside (0, 1]")));
+            }
+            if let Some(serving) = &c.serving {
+                let pct = serving.fault.flaky_pct;
+                if !(pct.is_finite() && (0.0..=100.0).contains(&pct)) {
+                    problems.push(at(format!("serving flaky_pct {pct} outside [0, 100]")));
+                }
+                let (lo, hi) = (serving.fault.delay_ms_lo, serving.fault.delay_ms_hi);
+                if lo > hi && hi != 0 {
+                    problems.push(at(format!("serving delay bounds inverted ({lo} > {hi})")));
+                }
             }
             if c.provisioning == Provisioning::OnDemand && !c.iid {
                 problems.push(at(
@@ -670,6 +720,14 @@ impl ScenarioSpec {
             if let Some(dataset) = base.get("dataset") {
                 check_known_fields(dataset, "ScenarioSpec.base.dataset", DATASET_FIELDS)?;
             }
+            if let Some(serving) = base.get("serving") {
+                if !matches!(serving, Value::Null) {
+                    check_known_fields(serving, "ScenarioSpec.base.serving", SERVING_FIELDS)?;
+                    if let Some(fault) = serving.get("fault") {
+                        check_known_fields(fault, "ScenarioSpec.base.serving.fault", FAULT_FIELDS)?;
+                    }
+                }
+            }
         }
         Deserialize::from_value(&value).map_err(|e: serde::Error| e.to_string())
     }
@@ -775,6 +833,10 @@ enum AxisSetting {
     Dataset(String),
     /// Per-round client sampling fraction `q`.
     Sampling(f64),
+    /// Serving round deadline in milliseconds (0 = drain-only).
+    DeadlineMs(u64),
+    /// Fault-injection flaky upload percentage.
+    FlakyPct(f64),
 }
 
 impl AxisSetting {
@@ -824,6 +886,14 @@ impl AxisSetting {
             AxisSetting::Sampling(q) => {
                 cfg.sampling = *q;
                 ("sampling".into(), format!("{q}"))
+            }
+            AxisSetting::DeadlineMs(d) => {
+                cfg.serving.get_or_insert_with(ServingSpec::default).deadline_ms = Some(*d);
+                ("deadline_ms".into(), d.to_string())
+            }
+            AxisSetting::FlakyPct(p) => {
+                cfg.serving.get_or_insert_with(ServingSpec::default).fault.flaky_pct = *p;
+                ("flaky_pct".into(), format!("{p}"))
             }
         }
     }
@@ -1322,6 +1392,7 @@ mod tests {
         }
         let mut s = spec(GridSpec::default(), SeedPolicy::Fixed { seed: 1 });
         s.grid.include = Some(vec![IncludeRow { label: "x".into(), ..IncludeRow::default() }]);
+        s.base.serving = Some(ServingSpec::default());
         let spec_value = serde::Serialize::to_value(&s);
         assert_keys(&spec_value, SPEC_FIELDS, "ScenarioSpec");
         let grid = spec_value.get("grid").unwrap();
@@ -1333,6 +1404,65 @@ mod tests {
         assert_keys(base.get("dp").unwrap(), DP_FIELDS, "dp");
         assert_keys(base.get("defense_cfg").unwrap(), DEFENSE_CFG_FIELDS, "defense_cfg");
         assert_keys(base.get("dataset").unwrap(), DATASET_FIELDS, "dataset");
+        let serving = base.get("serving").unwrap();
+        assert_keys(serving, SERVING_FIELDS, "serving");
+        assert_keys(serving.get("fault").unwrap(), FAULT_FIELDS, "serving.fault");
+    }
+
+    #[test]
+    fn serving_axes_expand_label_and_validate() {
+        let grid = GridSpec {
+            deadlines_ms: Some(vec![0, 1500]),
+            flaky_pcts: Some(vec![0.0, 25.0]),
+            ..GridSpec::default()
+        };
+        let s = spec(grid, SeedPolicy::Fixed { seed: 3 });
+        assert_eq!(s.n_cells(), 4);
+        let cells = s.cells();
+        assert_eq!(cells.len(), 4);
+        // flaky is the innermost axis (varies fastest).
+        let serving0 = cells[0].config.serving.as_ref().unwrap();
+        assert_eq!(serving0.deadline_ms, Some(0));
+        assert_eq!(serving0.fault.flaky_pct, 0.0);
+        let serving3 = cells[3].config.serving.as_ref().unwrap();
+        assert_eq!(serving3.deadline_ms, Some(1500));
+        assert_eq!(serving3.fault.flaky_pct, 25.0);
+        assert_eq!(cells[0].axis("deadline_ms"), Some("0"));
+        assert_eq!(cells[1].axis("flaky_pct"), Some("25"));
+        assert!(s.validate().is_empty(), "{:?}", s.validate());
+
+        // Out-of-range flaky percentages are named by the validator, both
+        // on the axis and after expansion into cells.
+        let bad = spec(
+            GridSpec { flaky_pcts: Some(vec![120.0]), ..GridSpec::default() },
+            SeedPolicy::Fixed { seed: 3 },
+        );
+        let problems = bad.validate();
+        assert!(
+            problems.iter().any(|p| p.contains("flaky_pcts[0]")),
+            "missing axis-level complaint: {problems:?}"
+        );
+    }
+
+    #[test]
+    fn serving_json_roundtrips_and_unknown_fault_fields_are_rejected() {
+        let mut s = spec(GridSpec::default(), SeedPolicy::Fixed { seed: 1 });
+        s.base.serving = Some(ServingSpec {
+            deadline_ms: Some(1500),
+            fault: FaultSpec {
+                drop_at_round: Some(1),
+                flaky_pct: 10.0,
+                seed: 7,
+                ..FaultSpec::default()
+            },
+        });
+        let json = serde_json::to_string(&s).unwrap();
+        let back = ScenarioSpec::from_json(&json).expect("roundtrip parses");
+        assert_eq!(back.base.serving, s.base.serving);
+        let bad = json.replace("\"flaky_pct\"", "\"flaky_percent\"");
+        let err = ScenarioSpec::from_json(&bad).unwrap_err();
+        assert!(err.contains("flaky_percent"), "{err}");
+        assert!(err.contains("serving.fault"), "{err}");
     }
 
     #[test]

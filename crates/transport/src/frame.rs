@@ -9,7 +9,8 @@ pub const MAGIC: [u8; 4] = *b"DPBF";
 
 /// Protocol version, sent as `u16` little-endian right after the magic.
 /// Bumped on any incompatible change to the frame or message grammar.
-pub const VERSION: u16 = 1;
+/// Version 2 added the reconnect grammar (`HelloReject`, `RoundReplay`).
+pub const VERSION: u16 = 2;
 
 /// Default cap on a frame's declared payload length (64 MiB) — far above any
 /// legitimate frame (the largest, `RoundBegin` at the paper's model size,

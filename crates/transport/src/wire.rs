@@ -1,6 +1,6 @@
 //! The message grammar on top of the frame layer.
 //!
-//! Five message kinds carry a whole federated run:
+//! Seven message kinds carry a whole federated run:
 //!
 //! | kind | message      | direction       | payload |
 //! |------|--------------|-----------------|---------|
@@ -9,6 +9,8 @@
 //! | 3    | `RoundBegin` | server → client | `u32 round, u64 deadline_ms, u32s members, f32s params` |
 //! | 4    | `Upload`     | client → server | `u32 round, u32 worker, f32s data` |
 //! | 5    | `RunComplete`| server → client | length-prefixed UTF-8: the `RunSummary` as canonical JSON |
+//! | 6    | `HelloReject`| server → client | length-prefixed UTF-8: why the claim was refused |
+//! | 7    | `RoundReplay`| server → client | `u32 round, u32s members, f32s params` — catch-up for a reconnect |
 //!
 //! Slices are length-prefixed (`u32` count, then raw little-endian words) and
 //! every count is validated against the bytes actually present before any
@@ -32,6 +34,11 @@ pub mod kind {
     pub const UPLOAD: u8 = 4;
     /// Final summary; the connection closes after this.
     pub const RUN_COMPLETE: u8 = 5;
+    /// Structured claim refusal; the connection closes after this.
+    pub const HELLO_REJECT: u8 = 6;
+    /// Historical round re-broadcast so a reconnecting client can replay
+    /// state evolution without uploading.
+    pub const ROUND_REPLAY: u8 = 7;
 }
 
 /// One protocol message (see the module table for the wire layout).
@@ -73,6 +80,27 @@ pub enum Message {
         /// Serialized `RunSummary`.
         summary_json: String,
     },
+    /// Server → client: your `ClientHello` was refused (out-of-range claim,
+    /// overlap with a live connection, …). The server closes the connection
+    /// after sending this; the reason is human-readable and stable enough
+    /// for clients to log and decide whether to retry.
+    HelloReject {
+        /// Why the claim was refused.
+        reason: String,
+    },
+    /// Server → client: one already-closed round, re-broadcast during
+    /// reconnect admission. A stateful (pooled) client steps the listed
+    /// members with these parameters but uploads nothing — the round is
+    /// over; the replay only brings worker RNG/momentum state up to date.
+    /// Stateless (on-demand) clients ignore it.
+    RoundReplay {
+        /// The closed round index, 0-based.
+        round: u32,
+        /// The members of that round this client now serves.
+        members: Vec<u32>,
+        /// The model parameters that round broadcast.
+        params: Vec<f32>,
+    },
 }
 
 impl Message {
@@ -105,6 +133,16 @@ impl Message {
                 put::str(&mut payload, summary_json);
                 kind::RUN_COMPLETE
             }
+            Message::HelloReject { reason } => {
+                put::str(&mut payload, reason);
+                kind::HELLO_REJECT
+            }
+            Message::RoundReplay { round, members, params } => {
+                put::u32(&mut payload, *round);
+                put::u32s(&mut payload, members);
+                put::f32s(&mut payload, params);
+                kind::ROUND_REPLAY
+            }
         };
         Frame { kind, payload }
     }
@@ -130,6 +168,12 @@ impl Message {
                 data: r.f32s("upload data")?,
             },
             kind::RUN_COMPLETE => Message::RunComplete { summary_json: r.str("run summary")? },
+            kind::HELLO_REJECT => Message::HelloReject { reason: r.str("reject reason")? },
+            kind::ROUND_REPLAY => Message::RoundReplay {
+                round: r.u32("replay round")?,
+                members: r.u32s("replay members")?,
+                params: r.f32s("replay params")?,
+            },
             other => return Err(FrameError::UnknownKind(other)),
         };
         r.finish("trailing bytes")?;
@@ -165,6 +209,8 @@ mod tests {
             },
             Message::Upload { round: 9, worker: 3, data: vec![0.25, -3.5] },
             Message::RunComplete { summary_json: "{}".into() },
+            Message::HelloReject { reason: "worker 3 is claimed by a live connection".into() },
+            Message::RoundReplay { round: 2, members: vec![0, 4], params: vec![0.5, -1.25] },
         ];
         for m in &messages {
             let frame = m.encode();

@@ -23,7 +23,7 @@ use std::io::Cursor;
 /// An arbitrary message of the kind selected by `which`, built from plain
 /// generated vectors (the vendored proptest has no `prop_oneof`).
 fn build_message(which: usize, ints: Vec<u32>, floats: Vec<f32>, text: String) -> Message {
-    match which % 5 {
+    match which % 7 {
         0 => Message::ClientHello { workers: ints },
         1 => Message::Welcome { config_json: text },
         2 => Message::RoundBegin {
@@ -38,6 +38,12 @@ fn build_message(which: usize, ints: Vec<u32>, floats: Vec<f32>, text: String) -
             data: floats,
         },
         4 => Message::RunComplete { summary_json: text },
+        5 => Message::HelloReject { reason: text },
+        6 => Message::RoundReplay {
+            round: ints.first().copied().unwrap_or(0),
+            members: ints,
+            params: floats,
+        },
         _ => unreachable!(),
     }
 }
@@ -58,7 +64,7 @@ proptest! {
 
     #[test]
     fn message_encode_decode_is_identity(
-        which in 0usize..5,
+        which in 0usize..7,
         ints in prop::collection::vec(0u32..=u32::MAX, 0..64),
         floats in prop::collection::vec(-1.0e30f32..1.0e30, 0..64),
         text_bytes in prop::collection::vec(0u32..0xD7FF, 0..32),
@@ -116,7 +122,7 @@ proptest! {
 
     #[test]
     fn corrupted_valid_messages_error_or_decode_never_panic(
-        which in 0usize..5,
+        which in 0usize..7,
         ints in prop::collection::vec(0u32..1000, 0..16),
         floats in prop::collection::vec(-10.0f32..10.0, 0..16),
         flip_byte in 0usize..10_000,
@@ -170,7 +176,7 @@ fn every_corrupted_handshake_byte_is_rejected() {
 /// every slice-bearing kind with an inflated count must error.
 #[test]
 fn inflated_inner_counts_are_rejected() {
-    for k in [kind::CLIENT_HELLO, kind::ROUND_BEGIN, kind::UPLOAD] {
+    for k in [kind::CLIENT_HELLO, kind::ROUND_BEGIN, kind::UPLOAD, kind::ROUND_REPLAY] {
         let mut payload = Vec::new();
         if k == kind::ROUND_BEGIN {
             payload.extend_from_slice(&0u32.to_le_bytes()); // round
@@ -179,6 +185,9 @@ fn inflated_inner_counts_are_rejected() {
         if k == kind::UPLOAD {
             payload.extend_from_slice(&0u32.to_le_bytes()); // round
             payload.extend_from_slice(&0u32.to_le_bytes()); // worker
+        }
+        if k == kind::ROUND_REPLAY {
+            payload.extend_from_slice(&0u32.to_le_bytes()); // round
         }
         payload.extend_from_slice(&u32::MAX.to_le_bytes()); // absurd count
         let result = Message::decode(&Frame { kind: k, payload });
