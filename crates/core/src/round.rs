@@ -31,7 +31,9 @@
 //! existing rejection stats — so the accepted set alone determines the run,
 //! bit-for-bit, regardless of timing.
 
-use crate::attack::{craft_uploads, AttackContext, AttackSpec};
+use crate::attack::{
+    craft_uploads_stateful, AttackContext, AttackSpec, AttackState, ByzantineData,
+};
 use crate::config::{DpSgdConfig, StepNormalization, UploadRetention};
 use crate::first_stage::{CheckInfo, FirstStage, FirstStageVerdict, KsScratch};
 use crate::second_stage::{ScoringRule, SecondStage};
@@ -166,8 +168,19 @@ pub(crate) fn init_model(cfg: &SimulationConfig) -> Sequential {
     cfg.model.build(&mut init_rng, &cfg.dataset)
 }
 
+/// Whether data-holding member `index` trains on label-flipped data: only
+/// Byzantine members, and only when the attack's data mode is
+/// [`ByzantineData::Flipped`] — sleeper cover workers
+/// ([`ByzantineData::Honest`]) train on honest data like everyone else.
+/// Shared by every worker construction site (pooled, on-demand, and the
+/// remote client) so all sides build bit-identical workers.
+pub(crate) fn member_flips(cfg: &SimulationConfig, index: usize) -> bool {
+    index >= cfg.n_honest && cfg.attack.byzantine_data() == ByzantineData::Flipped
+}
+
 /// Builds the long-lived worker of global index `index` from the pooled
-/// training partition: honest below `n_honest`, label-flipped above. The
+/// training partition: honest below `n_honest`, label-flipped above (when
+/// the attack poisons its members' data — see [`member_flips`]). The
 /// single construction site shared by [`InProcessTransport`] and the remote
 /// client — both sides build bit-identical workers from `(cfg, prep)`.
 pub(crate) fn data_worker(
@@ -179,7 +192,7 @@ pub(crate) fn data_worker(
     index: usize,
 ) -> DpWorker {
     let mut data = train.subset(&parts[index]);
-    if index >= cfg.n_honest {
+    if member_flips(cfg, index) {
         flip_labels(&mut data);
     }
     DpWorker::new(template.clone(), data, dp.clone(), worker_seed(cfg.seed, index))
@@ -286,7 +299,7 @@ fn pool_fold(
                             return Collected::Dropped;
                         }
                         let mut w =
-                            on_demand_worker(cfg, template, dp, i, round, i >= cfg.n_honest);
+                            on_demand_worker(cfg, template, dp, i, round, member_flips(cfg, i));
                         let upload = protocol_step(&mut w, params, cfg.protocol);
                         fold(upload, &mut scratch)
                     })
@@ -337,6 +350,12 @@ pub(crate) fn orchestrate(
     let mut history = Vec::new();
     let mut stats = DefenseStats::default();
     let mut attack_rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0xa77ac4));
+    // Cross-round attacker state: created once per run, fed the defense's
+    // observable output (the stage-1 acceptance count) after every round.
+    if let Err(e) = cfg.attack.validate() {
+        panic!("invalid attack spec: {e}");
+    }
+    let mut attack_state = AttackState::new(&cfg.attack);
 
     for t in 0..iterations {
         // The round's participants: drawn sequentially, before any parallel
@@ -368,7 +387,10 @@ pub(crate) fn orchestrate(
                 AttackSpec::None | AttackSpec::Gaussian | AttackSpec::LabelFlip
             );
 
-        if streaming {
+        // Each branch reports the round's stage-1 acceptance count — the
+        // defense's public output that the acceptance-rate-adaptive attacker
+        // observes (identical to the telemetry record's `accepted` counter).
+        let accepted: u64 = if streaming {
             let state = defense.as_mut().expect("two-stage state always built");
             // Server's clean gradient, hoisted ahead of the fold so every
             // upload can be scored the moment it survives the first stage —
@@ -432,6 +454,15 @@ pub(crate) fn orchestrate(
                 state.finish_streaming(cfg, &cohort, &folds, &mut stats, lr, metrics.as_mut());
             vecops::add_assign(params, &update);
             tel.stop(timer, "aggregate", Some(t as u64));
+            // Mirrors `note_stage1`: a `None` info is an acceptance only when
+            // the stage never rejected it (ablated stage), not when the
+            // upload was dropped in flight.
+            folds
+                .iter()
+                .filter(|(_, r, info)| {
+                    info.map_or(!matches!(r, Retained::Rejected), |ci| ci.verdict.is_accepted())
+                })
+                .count() as u64
         } else {
             // Materialized reference pipeline: collect the raw uploads.
             let fold = |upload: Vec<f32>, _scratch: &mut KsScratch| Collected::Upload(upload);
@@ -462,7 +493,8 @@ pub(crate) fn orchestrate(
                 poisoned_uploads: &poisoned_uploads,
             };
             let timer = tel.start();
-            let byzantine = craft_uploads(&cfg.attack, &ctx, &mut attack_rng);
+            let byzantine =
+                craft_uploads_stateful(&cfg.attack, &ctx, &mut attack_state, &mut attack_rng);
             tel.stop(timer, "attack", Some(t as u64));
 
             let mut uploads = benign;
@@ -485,15 +517,17 @@ pub(crate) fn orchestrate(
                     let g = vecops::mean(&refs).expect("at least one worker");
                     vecops::axpy(-(lr as f32), &g, params);
                     tel.stop(timer, "aggregate", Some(t as u64));
+                    cohort.len() as u64
                 }
                 (DefenseKind::Robust { rule }, _) => {
                     let timer = tel.start();
                     let g = rule.aggregate(&uploads);
                     vecops::axpy(-(lr as f32), &g, params);
                     tel.stop(timer, "aggregate", Some(t as u64));
+                    cohort.len() as u64
                 }
                 (DefenseKind::TwoStage, Some(state)) => {
-                    let update = state.step(
+                    let (update, accepted) = state.step(
                         cfg,
                         &cohort,
                         &mut uploads,
@@ -504,6 +538,7 @@ pub(crate) fn orchestrate(
                         metrics.as_mut(),
                     );
                     vecops::add_assign(params, &update);
+                    accepted
                 }
                 (DefenseKind::TwoStage, None) => unreachable!("two-stage state always built"),
                 (DefenseKind::FlTrust, _) => {
@@ -519,9 +554,18 @@ pub(crate) fn orchestrate(
                     let g = crate::aggregator_ext::fltrust(&refs, grad_buf);
                     vecops::axpy(-(lr as f32), &g, params);
                     tel.stop(timer, "aggregate", Some(t as u64));
+                    cohort.len() as u64
                 }
             }
+        };
+
+        // Stamp the scale the attacker used this round (before the feedback
+        // step advances it), then let the attacker observe the defense's
+        // acceptance count — the cross-round feedback loop.
+        if let Some(m) = &mut metrics {
+            m.attack_scale = attack_state.round_scale();
         }
+        attack_state.observe(accepted, cohort.len() as u64);
 
         // Publish the round's deterministic counters, stamped with the
         // cumulative achieved ε through this round.
@@ -560,7 +604,9 @@ pub(crate) struct TwoStageState {
 
 impl TwoStageState {
     /// Runs Algorithms 2 + 3 for one round over the materialized cohort
-    /// upload matrix; returns the (already lr-scaled) parameter update.
+    /// upload matrix; returns the (already lr-scaled) parameter update and
+    /// the stage-1 acceptance count (the defense's public output an adaptive
+    /// attacker can observe).
     ///
     /// `uploads[k]` is the upload of global worker `cohort[k]`; at full
     /// participation the cohort is the identity and this is exactly the
@@ -580,7 +626,7 @@ impl TwoStageState {
         lr: f64,
         tel: &Telemetry,
         mut metrics: Option<&mut RoundMetrics>,
-    ) -> Vec<f32> {
+    ) -> (Vec<f32>, u64) {
         let round = metrics.as_ref().map(|m| m.round);
         // First stage: test-and-zero every upload. The per-upload checks fan
         // out under rayon as one contiguous chunk per thread; each chunk owns
@@ -614,6 +660,9 @@ impl TwoStageState {
             nested.into_iter().flatten().collect()
         };
         tel.stop(timer, "stage1", round);
+        let accepted_count =
+            verdicts.iter().filter(|info| info.is_none_or(|i| i.verdict.is_accepted())).count()
+                as u64;
         for (k, info) in verdicts.iter().enumerate() {
             if !info.is_none_or(|i| i.verdict.is_accepted()) {
                 if cohort[k] < cfg.n_honest {
@@ -683,7 +732,7 @@ impl TwoStageState {
         let coef = -lr / denom;
         let update = update.into_iter().map(|u| (u * coef) as f32).collect();
         tel.stop(timer, "aggregate", round);
-        update
+        (update, accepted_count)
     }
 
     /// Computes the round's server gradient from the auxiliary data

@@ -53,7 +53,8 @@
 
 use crate::config::{FaultSpec, ServingSpec};
 use crate::round::{
-    data_worker, init_model, on_demand_worker, protocol_step, Collected, Transport, UploadFold,
+    data_worker, init_model, member_flips, on_demand_worker, protocol_step, Collected, Transport,
+    UploadFold,
 };
 use crate::simulation::{
     data_worker_count, prepare, resolve_sigma, run_with_transport_telemetry, Provisioning,
@@ -1044,7 +1045,7 @@ fn run_session(
                             &dp,
                             m as usize,
                             r,
-                            (m as usize) >= cfg.n_honest,
+                            member_flips(&cfg, m as usize),
                         );
                         protocol_step(&mut w, &params, cfg.protocol)
                     };

@@ -31,6 +31,7 @@ pub fn names() -> &'static [&'static str] {
         "paper/table6_gamma",
         "scale/million_clients",
         "scale/smoke",
+        "scenarios/adversary_zoo",
         "serving/loopback_smoke",
         "serving/churn_sweep",
         "serving/deadline_sweep",
@@ -105,6 +106,7 @@ pub fn get(name: &str) -> Option<ScenarioSpec> {
         "paper/table6_gamma" => Some(table6_gamma()),
         "scale/million_clients" => Some(scale_million_clients()),
         "scale/smoke" => Some(scale_smoke()),
+        "scenarios/adversary_zoo" => Some(adversary_zoo()),
         "serving/loopback_smoke" => Some(serving_loopback_smoke()),
         "serving/churn_sweep" => Some(serving_churn_sweep()),
         "serving/deadline_sweep" => Some(serving_deadline_sweep()),
@@ -776,6 +778,46 @@ fn serving_deadline_sweep() -> ScenarioSpec {
     }
 }
 
+/// The stateful-adversary stress surface: every zoo v2 attack (sleeper,
+/// oscillating, collusion, sybil flood, acceptance-rate search) × {two-stage,
+/// undefended} at 60 % Byzantine on a small 8-round config. The grid every
+/// later stateful-defense PR is measured against; its bench summary lands as
+/// `BENCH_adversary_zoo.json` robust-accuracy rows.
+fn adversary_zoo() -> ScenarioSpec {
+    let mut base =
+        SimulationConfig::quick(SyntheticSpec::mnist_like(), ModelKind::SmallMlp { hidden: 8 });
+    base.per_worker = 128; // 8 rounds at batch 16, epochs 1 — room to turn/oscillate
+    base.test_count = 200;
+    base.n_honest = 4;
+    base.n_byzantine = 6; // the paper's 60 % Byzantine majority
+    base.epochs = 1.0;
+    base.epsilon = None;
+    base.dp.noise_multiplier = 0.5;
+    let payload = || Box::new(AttackSpec::InnerProduct { scale: 5.0 });
+    ScenarioSpec {
+        name: "scenarios/adversary_zoo".into(),
+        title: "Adversary zoo v2: stateful multi-round attacks × {two-stage, undefended}".into(),
+        notes: "Sleeper turns at round 4 of 8; the oscillator attacks every other round; \
+                collusion/sybil shares are calibrated to sit inside the first-stage norm \
+                band; the adaptive search retunes its scale against the observed stage-1 \
+                acceptance rate each round. Deterministic at any thread count."
+            .into(),
+        seed: SeedPolicy::Fixed { seed: 11 },
+        base,
+        grid: GridSpec {
+            attacks: Some(vec![
+                AttackSpec::Sleeper { turn_round: 4, inner: payload() },
+                AttackSpec::Oscillating { period: 2, duty: 1, inner: payload() },
+                AttackSpec::Collusion { alpha: 0.8 },
+                AttackSpec::SybilFlood { scale: 0.95 },
+                AttackSpec::AdaptiveSearch { init_scale: 1.0, target_accept: 0.9, step: 0.25 },
+            ]),
+            defenses: Some(vec![DefenseKind::TwoStage, DefenseKind::NoDefense]),
+            ..GridSpec::default()
+        },
+    }
+}
+
 /// A 2×2 grid small enough for CI and the determinism tests: two attacks ×
 /// {two-stage, undefended} on a tiny MLP (seconds, not minutes).
 fn smoke_tiny() -> ScenarioSpec {
@@ -821,6 +863,38 @@ mod tests {
     }
 
     #[test]
+    fn adversary_zoo_sweeps_every_stateful_attack() {
+        let spec = get("scenarios/adversary_zoo").unwrap();
+        let cells = spec.cells();
+        // 5 zoo attacks × {two-stage, undefended}.
+        assert_eq!(cells.len(), 10);
+        let attacks: Vec<String> =
+            cells.iter().step_by(2).map(|c| c.config.attack.name()).collect();
+        assert_eq!(
+            attacks,
+            [
+                "sleeper(4,inner-product)",
+                "oscillating(2,1,inner-product)",
+                "collusion(0.8)",
+                "sybil-flood(0.95)",
+                "adaptive-search(1,0.9,0.25)",
+            ]
+        );
+        for c in &cells {
+            assert_eq!(c.config.n_byzantine, 6, "60 % Byzantine majority");
+            // The sleeper must have enough rounds to actually turn.
+            assert_eq!(c.config.iterations(), 8);
+            // Every zoo cell is expressible from grid JSON: the spec's serde
+            // round trip preserves the attack variant exactly.
+            let json = serde_json::to_string(&c.config.attack).unwrap();
+            let back: AttackSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, c.config.attack, "{json}");
+        }
+        assert_eq!(cells[0].config.defense, DefenseKind::TwoStage);
+        assert_eq!(cells[1].config.defense, DefenseKind::NoDefense);
+    }
+
+    #[test]
     fn quickstart_matches_the_pinned_headline_config() {
         let spec = get("paper/quickstart").unwrap();
         let cells = spec.cells();
@@ -858,7 +932,7 @@ mod tests {
         let flat: Vec<&str> = groups.iter().flat_map(|(_, ns)| ns.iter().copied()).collect();
         assert_eq!(flat, names(), "grouping must preserve display order and lose nothing");
         let prefixes: Vec<&str> = groups.iter().map(|(p, _)| *p).collect();
-        assert_eq!(prefixes, ["paper", "scale", "serving", "smoke"]);
+        assert_eq!(prefixes, ["paper", "scale", "scenarios", "serving", "smoke"]);
         assert!(groups.iter().all(|(p, ns)| ns.iter().all(|n| n.starts_with(&format!("{p}/")))));
     }
 

@@ -286,7 +286,20 @@ fn repeats_table(groups: &[RepeatGroup]) -> String {
     out
 }
 
-/// The machine-readable run summary (`BENCH_harness.json`).
+/// One cell's headline result in the bench summary: the axis labels that
+/// identify the cell plus its robust accuracy.
+#[derive(Debug, Serialize)]
+pub struct BenchRow {
+    /// Cell index within the grid.
+    pub cell: usize,
+    /// The cell's `(axis, label)` pairs, e.g. `("attack", "collusion(0.8)")`.
+    pub axes: Vec<(String, String)>,
+    /// Final (robust) accuracy of the cell's run.
+    pub final_accuracy: f64,
+}
+
+/// The machine-readable run summary (`BENCH_harness.json`, plus a
+/// scenario-named copy `BENCH_<scenario>.json`).
 #[derive(Debug, Serialize)]
 pub struct BenchSummary {
     /// Scenario name.
@@ -307,6 +320,8 @@ pub struct BenchSummary {
     pub max_final_accuracy: f64,
     /// Per executed cell wall time: `(cell index, ms)`.
     pub cell_wall_ms: Vec<(usize, u64)>,
+    /// Per-cell robust-accuracy rows, in cell order.
+    pub rows: Vec<BenchRow>,
 }
 
 /// Builds the bench summary for an outcome.
@@ -323,11 +338,22 @@ pub fn bench_summary(spec: &ScenarioSpec, outcome: &GridOutcome) -> BenchSummary
         min_final_accuracy: accs.iter().copied().fold(f64::INFINITY, f64::min),
         max_final_accuracy: accs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
         cell_wall_ms: outcome.cell_wall_ms.clone(),
+        rows: outcome
+            .records
+            .iter()
+            .map(|r| BenchRow {
+                cell: r.cell,
+                axes: r.axes.clone(),
+                final_accuracy: r.summary.final_accuracy,
+            })
+            .collect(),
     }
 }
 
 /// Writes `report.md`, `report.csv` and `BENCH_harness.json` into the
-/// outcome's scenario directory.
+/// outcome's scenario directory, plus a scenario-named copy of the bench
+/// summary (`BENCH_adversary_zoo.json` for `scenarios/adversary_zoo`) so
+/// downstream tooling can collect per-scenario benches by filename.
 pub fn write_reports(spec: &ScenarioSpec, outcome: &GridOutcome) -> Result<(), String> {
     let dir = &outcome.scenario_dir;
     let write = |name: &str, content: String| -> Result<(), String> {
@@ -337,10 +363,12 @@ pub fn write_reports(spec: &ScenarioSpec, outcome: &GridOutcome) -> Result<(), S
     write("report.md", markdown_with_metrics(spec, &outcome.records, &outcome.cell_metrics))?;
     write("report.csv", csv_with_metrics(&outcome.records, &outcome.cell_metrics))?;
     let bench = bench_summary(spec, outcome);
-    write(
-        "BENCH_harness.json",
-        serde_json::to_string_pretty(&bench).expect("bench summary serializes"),
-    )
+    let json = serde_json::to_string_pretty(&bench).expect("bench summary serializes");
+    let component = crate::runner::slug(spec.name.rsplit('/').next().unwrap_or(&spec.name));
+    if component != "harness" {
+        write(&format!("BENCH_{component}.json"), json.clone())?;
+    }
+    write("BENCH_harness.json", json)
 }
 
 /// ε actually bought by a cell's (q, T, σ, δ), via the RDP accountant;

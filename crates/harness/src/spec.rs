@@ -572,6 +572,12 @@ impl ScenarioSpec {
             if !(gamma > 0.0 && gamma <= 1.0) {
                 problems.push(at(format!("gamma {gamma} outside (0, 1]")));
             }
+            // Attack-spec structural checks (zoo parameter ranges, stateful
+            // nesting, sleeper payload constraints) — the same validation the
+            // round loop asserts, surfaced at spec load time.
+            if let Err(e) = c.attack.validate() {
+                problems.push(at(format!("invalid attack spec: {e}")));
+            }
             if c.n_total() == 0 {
                 problems.push(at("no workers (n_honest + n_byzantine = 0)".into()));
             }

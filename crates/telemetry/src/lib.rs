@@ -124,6 +124,10 @@ pub struct RoundMetrics {
     /// Cumulative achieved ε after this round, from the RDP accountant;
     /// `None` for non-private runs (σ = 0 or δ = 0).
     pub achieved_epsilon: Option<f64>,
+    /// The scale a stateful attacker used this round (recorded *before* its
+    /// post-round feedback step advances it); `None` when the attack carries
+    /// no tunable scale.
+    pub attack_scale: Option<f64>,
 }
 
 impl RoundMetrics {
@@ -144,6 +148,7 @@ impl RoundMetrics {
             retained_exact_bytes: 0,
             retained_quantized_bytes: 0,
             achieved_epsilon: None,
+            attack_scale: None,
         }
     }
 

@@ -1,0 +1,212 @@
+//! Defense invariants over the full adversary zoo: every stateful
+//! multi-round attack, against both the two-stage defense and the
+//! undefended baseline, must satisfy
+//!
+//! 1. **thread identity** — the `RunSummary` JSON is byte-identical at any
+//!    rayon thread count (the attack streams draw in cohort order, never in
+//!    worker-thread order);
+//! 2. **reproducibility** — re-running the same config yields the same
+//!    bytes;
+//! 3. **monotonicity** — the defended run's final accuracy is at least the
+//!    undefended run's, at 40 % and at 60 % Byzantine;
+//! 4. **honest feedback** — the adaptive-search attacker's observed
+//!    acceptance rate is exactly the stage-1 accept count the telemetry
+//!    ledger records, cross-checked by replaying the scale trajectory.
+//!
+//! The release-scale variants are `#[ignore]`d here and run by CI's
+//! bench-smoke pass: `cargo test --release -p dpbfl --test
+//! adversary_invariants -- --ignored`.
+
+use dpbfl::attack::{adaptive_search_step, AttackSpec};
+use dpbfl::prelude::*;
+use std::sync::{Arc, Mutex};
+
+/// The zoo: one representative of each stateful / coordinated attack family,
+/// parameterized for a run of `total_rounds` iterations.
+fn zoo(total_rounds: usize) -> Vec<AttackSpec> {
+    vec![
+        AttackSpec::Sleeper {
+            turn_round: total_rounds / 2,
+            inner: Box::new(AttackSpec::InnerProduct { scale: 5.0 }),
+        },
+        AttackSpec::Oscillating {
+            period: 2,
+            duty: 1,
+            inner: Box::new(AttackSpec::InnerProduct { scale: 5.0 }),
+        },
+        AttackSpec::Collusion { alpha: 0.8 },
+        AttackSpec::SybilFlood { scale: 0.95 },
+        AttackSpec::AdaptiveSearch { init_scale: 1.0, target_accept: 0.9, step: 0.25 },
+    ]
+}
+
+fn cfg(
+    attack: AttackSpec,
+    defense: DefenseKind,
+    h: usize,
+    b: usize,
+    per_worker: usize,
+) -> SimulationConfig {
+    let mut cfg =
+        SimulationConfig::quick(SyntheticSpec::mnist_like(), ModelKind::SmallMlp { hidden: 8 });
+    cfg.per_worker = per_worker;
+    cfg.test_count = 128;
+    cfg.n_honest = h;
+    cfg.n_byzantine = b;
+    cfg.epochs = 1.0;
+    cfg.epsilon = None;
+    cfg.dp.noise_multiplier = 0.5;
+    cfg.defense = defense;
+    cfg.attack = attack;
+    cfg
+}
+
+fn assert_defended_at_least_undefended_at(h: usize, b: usize, per_worker: usize, epochs: f64) {
+    let rounds = {
+        let mut c = cfg(AttackSpec::None, DefenseKind::TwoStage, h, b, per_worker);
+        c.epochs = epochs;
+        c.iterations()
+    };
+    for attack in zoo(rounds) {
+        let name = attack.name();
+        let mut defended_cfg = cfg(attack.clone(), DefenseKind::TwoStage, h, b, per_worker);
+        defended_cfg.epochs = epochs;
+        let mut undefended_cfg = cfg(attack, DefenseKind::NoDefense, h, b, per_worker);
+        undefended_cfg.epochs = epochs;
+        let defended = dpbfl::simulation::run(&defended_cfg);
+        let undefended = dpbfl::simulation::run(&undefended_cfg);
+        let (da, ua) = (defended.summary().final_accuracy, undefended.summary().final_accuracy);
+        assert!(
+            da >= ua,
+            "{name} at {b}/{} Byzantine: defended accuracy {da} < undefended {ua}",
+            h + b
+        );
+    }
+}
+
+fn summary_with_threads(cfg: &SimulationConfig, threads: usize) -> String {
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("local pool");
+    let summary = pool.install(|| dpbfl::simulation::run(cfg)).summary();
+    serde_json::to_string(&summary).expect("summary serializes")
+}
+
+/// Every zoo attack × {TwoStage, NoDefense}: byte-identical summaries at 1
+/// and 4 threads, and across repeated runs. Stateful attacks are the point
+/// of this suite — their feedback loops must observe the same per-round
+/// accept counts regardless of how the cohort was sharded across threads.
+#[test]
+fn zoo_summaries_are_byte_identical_across_threads_and_runs() {
+    for defense in [DefenseKind::TwoStage, DefenseKind::NoDefense] {
+        for attack in zoo(4) {
+            let c = cfg(attack, defense.clone(), 4, 6, 64);
+            assert_eq!(c.iterations(), 4);
+            let name = c.attack.name();
+            let single = summary_with_threads(&c, 1);
+            let multi = summary_with_threads(&c, 4);
+            assert_eq!(single, multi, "{name} vs {defense:?}: thread-count identity broken");
+            let again = summary_with_threads(&c, 1);
+            assert_eq!(single, again, "{name} vs {defense:?}: run not reproducible");
+        }
+    }
+}
+
+/// Monotonicity at 40 % Byzantine (3 honest, 2 Byzantine).
+#[test]
+fn defense_never_hurts_at_forty_percent_byzantine() {
+    assert_defended_at_least_undefended_at(3, 2, 128, 1.0);
+}
+
+/// Monotonicity at 60 % Byzantine (2 honest, 3 Byzantine) — past the
+/// classical 1/2 breakdown point, where the paper's two-stage protocol is
+/// the only baseline still standing.
+#[test]
+fn defense_never_hurts_at_sixty_percent_byzantine() {
+    assert_defended_at_least_undefended_at(2, 3, 128, 1.0);
+}
+
+/// The adaptive attacker's feedback is honest: each round's recorded
+/// `attack_scale` replays exactly — in f64 bits — from the init scale and
+/// the per-round stage-1 accept counts in the same telemetry ledger. The
+/// observed acceptance rate the attacker tunes on IS the defense's own
+/// accept count; there is no side channel and no skew.
+#[test]
+fn adaptive_search_scale_replays_from_recorded_accept_rates() {
+    let (init_scale, target_accept, step) = (1.0, 0.9, 0.25);
+    let c = cfg(
+        AttackSpec::AdaptiveSearch { init_scale, target_accept, step },
+        DefenseKind::TwoStage,
+        4,
+        6,
+        128,
+    );
+    let prep = dpbfl::simulation::prepare(&c);
+    let sink = Arc::new(Mutex::new(MemorySink::default()));
+    let tel = Telemetry::new(Box::new(Arc::clone(&sink)));
+    run_prepared_telemetry(&c, &prep, &tel);
+    let rounds = sink.lock().unwrap().rounds.clone();
+    assert_eq!(rounds.len(), c.iterations(), "one metrics record per round");
+
+    let mut scale = init_scale;
+    for m in &rounds {
+        let recorded = m
+            .attack_scale
+            .unwrap_or_else(|| panic!("round {}: adaptive run must record attack_scale", m.round));
+        assert_eq!(
+            recorded.to_bits(),
+            scale.to_bits(),
+            "round {}: recorded scale {recorded} != replayed {scale}",
+            m.round
+        );
+        let rate = if m.cohort == 0 { 1.0 } else { m.accepted as f64 / m.cohort as f64 };
+        scale = adaptive_search_step(scale, rate, target_accept, step);
+    }
+    // The feedback loop is live: with a 0.9 target over 10-member cohorts
+    // the rate cannot sit exactly at target, so the scale must have moved.
+    assert_ne!(rounds.last().unwrap().attack_scale, Some(init_scale), "scale never adapted");
+}
+
+/// Non-adaptive runs record no attack scale.
+#[test]
+fn non_adaptive_runs_record_no_attack_scale() {
+    let c = cfg(AttackSpec::Collusion { alpha: 0.8 }, DefenseKind::TwoStage, 4, 6, 64);
+    let prep = dpbfl::simulation::prepare(&c);
+    let sink = Arc::new(Mutex::new(MemorySink::default()));
+    let tel = Telemetry::new(Box::new(Arc::clone(&sink)));
+    run_prepared_telemetry(&c, &prep, &tel);
+    assert!(sink.lock().unwrap().rounds.iter().all(|m| m.attack_scale.is_none()));
+}
+
+// ---------------------------------------------------------------------------
+// Release-scale variants, run by CI's bench-smoke pass with `--ignored`.
+// ---------------------------------------------------------------------------
+
+/// Thread identity at release scale and a wider thread spread.
+#[test]
+#[ignore = "release-scale: run via cargo test --release -- --ignored"]
+fn release_zoo_summaries_are_byte_identical_across_threads() {
+    for defense in [DefenseKind::TwoStage, DefenseKind::NoDefense] {
+        for attack in zoo(16) {
+            let c = cfg(attack, defense.clone(), 4, 6, 256);
+            assert_eq!(c.iterations(), 16);
+            let name = c.attack.name();
+            let single = summary_with_threads(&c, 1);
+            for threads in [2, 8] {
+                assert_eq!(
+                    single,
+                    summary_with_threads(&c, threads),
+                    "{name} vs {defense:?}: identity broken at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+/// Monotonicity at release scale, both Byzantine fractions — long enough
+/// training (4 epochs) for the defended run to actually climb away from
+/// chance accuracy, as in the quickstart headline.
+#[test]
+#[ignore = "release-scale: run via cargo test --release -- --ignored"]
+fn release_defense_never_hurts() {
+    assert_defended_at_least_undefended_at(6, 4, 256, 4.0);
+    assert_defended_at_least_undefended_at(4, 6, 256, 4.0);
+}
